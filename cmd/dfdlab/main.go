@@ -1,0 +1,60 @@
+// Command dfdlab regenerates the paper's tables and figures on the
+// machine simulator.
+//
+// Usage:
+//
+//	dfdlab [flags] [experiment ...]
+//
+// With no experiment arguments it runs everything in order. Experiments:
+// fig1, fig11, fig12, fig13, fig14, fig15, fig16, fig17, thm45.
+//
+// Flags:
+//
+//	-procs N   simulated processors for the §5 experiments (default 8)
+//	-k BYTES   memory threshold K for ADF/DFD (default 50000, §5.2)
+//	-seed S    scheduling-randomness seed (default 1)
+//	-quick     reduced sweeps (for smoke tests)
+//	-csv       emit CSV instead of aligned tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dfdeques/internal/lab"
+)
+
+func main() {
+	def := lab.DefaultOptions()
+	procs := flag.Int("procs", def.Procs, "simulated processors")
+	k := flag.Int64("k", def.K, "memory threshold K in bytes")
+	seed := flag.Int64("seed", def.Seed, "scheduling randomness seed")
+	quick := flag.Bool("quick", false, "reduced sweeps")
+	csv := flag.Bool("csv", false, "CSV output")
+	flag.Parse()
+
+	opts := lab.Options{Procs: *procs, K: *k, Seed: *seed, Quick: *quick}
+	exps := lab.Experiments()
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = lab.Order()
+	}
+	for _, id := range ids {
+		driver, ok := exps[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dfdlab: unknown experiment %q (have %v)\n", id, lab.Order())
+			os.Exit(2)
+		}
+		start := time.Now()
+		table := driver(opts)
+		if *csv {
+			fmt.Print(table.CSV())
+		} else {
+			fmt.Print(table.String())
+			fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		}
+	}
+}

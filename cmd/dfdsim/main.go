@@ -1,0 +1,127 @@
+// Command dfdsim runs one benchmark × scheduler × machine configuration on
+// the simulator and prints the full metric set — the exploration tool
+// behind the dfdlab tables.
+//
+// Usage:
+//
+//	dfdsim [flags]
+//
+// Flags:
+//
+//	-bench NAME   workload: one of the paper's seven ("Vol. Rend.",
+//	              "Dense MM", "Sparse MVM", "FFTW", "FMM", "Barnes Hut",
+//	              "Decision Tr."), or "synthetic" (§6) or "lowerbound"
+//	              (Thm 4.5). Default "Dense MM".
+//	-sched NAME   DFD | DFD-inf | WS | ADF | FIFO (default DFD)
+//	-procs N      processors (default 8)
+//	-k BYTES      memory threshold (default 3000)
+//	-grain G      medium | fine (default fine)
+//	-seed S       randomness seed (default 1)
+//	-realism      enable the §5 cost-model extensions (cache, latencies)
+//	-check        verify Lemma 3.1 invariants every timestep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dfdeques/internal/cache"
+	"dfdeques/internal/dag"
+	"dfdeques/internal/machine"
+	"dfdeques/internal/sched"
+	"dfdeques/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "Dense MM", "workload name")
+	schedName := flag.String("sched", "DFD", "scheduler")
+	procs := flag.Int("procs", 8, "processors")
+	k := flag.Int64("k", 3000, "memory threshold K (bytes)")
+	grain := flag.String("grain", "fine", "thread granularity: medium|fine")
+	seed := flag.Int64("seed", 1, "seed")
+	realism := flag.Bool("realism", false, "enable §5 cost-model extensions")
+	check := flag.Bool("check", false, "check Lemma 3.1 invariants per timestep")
+	flag.Parse()
+
+	g := workload.Fine
+	if *grain == "medium" {
+		g = workload.Medium
+	}
+
+	var spec *dag.ThreadSpec
+	switch *bench {
+	case "synthetic":
+		spec = workload.Synthetic(workload.DefaultSynthetic())
+	case "lowerbound":
+		spec = workload.LowerBound(workload.LowerBoundConfig{P: *procs, D: 60, A: *k})
+	default:
+		w, ok := workload.ByName(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dfdsim: unknown benchmark %q\n", *bench)
+			os.Exit(2)
+		}
+		spec = w.Build(g)
+	}
+
+	var s machine.Scheduler
+	switch *schedName {
+	case "DFD":
+		s = sched.NewDFDeques(*k)
+	case "DFD-inf":
+		s = sched.NewDFDeques(0)
+	case "WS":
+		s = sched.NewWS()
+	case "ADF":
+		s = sched.NewADF(*k)
+	case "FIFO":
+		s = sched.NewFIFO()
+	default:
+		fmt.Fprintf(os.Stderr, "dfdsim: unknown scheduler %q\n", *schedName)
+		os.Exit(2)
+	}
+
+	cfg := machine.Config{Procs: *procs, Seed: *seed, CheckInvariants: *check}
+	if *realism {
+		cfg.MissPenalty = 20
+		cfg.Cache = cache.Config{CapacityBytes: 32 << 10, LineBytes: 64}
+		cfg.StackBytes = 8192
+		cfg.StealLatency = 6
+		cfg.QueueLatency = 3
+		cfg.MemPressureBytes = 2 << 20
+		cfg.MemPressurePenalty = 60
+	}
+
+	sm := dag.Measure(spec)
+	fmt.Printf("benchmark: %s (%s grain)  W=%d D=%d S1=%d threads=%d\n",
+		*bench, g, sm.W, sm.D, sm.HeapHW, sm.TotalThreads)
+
+	m := machine.New(cfg, s)
+	met, err := m.Run(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dfdsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scheduler: %s  p=%d  K=%d  seed=%d  realism=%v\n\n",
+		s.Name(), *procs, *k, *seed, *realism)
+	fmt.Printf("time (steps):        %d\n", met.Steps)
+	fmt.Printf("actions:             %d\n", met.Actions)
+	fmt.Printf("heap high-water:     %d bytes (%.2f × S1)\n", met.HeapHW, float64(met.HeapHW)/max(1, float64(sm.HeapHW)))
+	fmt.Printf("space w/ stacks:     %d bytes\n", met.SpaceHW)
+	fmt.Printf("max live threads:    %d (of %d total)\n", met.MaxLiveThreads, met.TotalThreads)
+	fmt.Printf("steals / failed:     %d / %d\n", met.Steals, met.FailedSteals)
+	fmt.Printf("own-deque dispatch:  %d\n", met.LocalDispatches)
+	fmt.Printf("preemptions:         %d\n", met.Preemptions)
+	fmt.Printf("dummy threads:       %d\n", met.DummyThreads)
+	fmt.Printf("sched granularity:   %.2f actions/steal\n", met.SchedGranularity())
+	if met.CacheHits+met.CacheMisses > 0 {
+		fmt.Printf("cache miss rate:     %.1f%%\n", met.MissRate())
+	}
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

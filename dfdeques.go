@@ -1,0 +1,217 @@
+// Package dfdeques is a Go implementation of the DFDeques thread
+// scheduler from Girija Narlikar, "Scheduling Threads for Low Space
+// Requirement and Good Locality" (SPAA 1999), together with the baselines
+// the paper compares against and the machinery to reproduce its
+// evaluation.
+//
+// The package offers two ways to run nested-parallel (fork-join)
+// computations:
+//
+//   - Run executes real Go code on a user-level thread runtime with a
+//     pluggable scheduler (DFDeques(K), the depth-first ADF(K), or the
+//     FIFO scheduler of classic Pthreads libraries). This is the paper's
+//     modified Pthreads library, §5.
+//
+//   - Simulate executes a declarative Program on a deterministic
+//     p-processor machine simulator under the paper's §4.1 cost model
+//     (optionally extended with caches, contention, and thread-stack
+//     costs), measuring time, space, steals, scheduling granularity, and
+//     cache behaviour. This is how the paper's tables and figures are
+//     regenerated; see cmd/dfdlab.
+//
+// # Quick start (real execution)
+//
+//	stats, err := dfdeques.Run(dfdeques.RuntimeConfig{
+//	    Workers: 8,
+//	    Sched:   dfdeques.SchedDFDeques,
+//	    K:       50_000,
+//	}, func(t *dfdeques.Thread) {
+//	    h := t.Fork(func(c *dfdeques.Thread) { /* child */ })
+//	    /* parent */
+//	    t.Join(h)
+//	})
+//
+// # Quick start (simulation)
+//
+//	prog := dfdeques.NewProgram("demo").Work(100).Spec()
+//	met, err := dfdeques.Simulate(prog, dfdeques.SimConfig{
+//	    Procs: 8, Scheduler: "DFD", K: 50_000,
+//	})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every reproduced table and figure.
+package dfdeques
+
+import (
+	"fmt"
+
+	"dfdeques/internal/cache"
+	"dfdeques/internal/dag"
+	"dfdeques/internal/grt"
+	"dfdeques/internal/machine"
+	"dfdeques/internal/sched"
+)
+
+// ---- Real execution (the user-level thread runtime) ---------------------
+
+// Thread is a handle on a running user-level thread; thread bodies receive
+// one and use it to Fork, Join, Alloc, Free, and lock Mutexes.
+type Thread = grt.T
+
+// Mutex is a scheduler-mediated blocking lock (see Fig. 17).
+type Mutex = grt.Mutex
+
+// Future is a scheduler-mediated write-once synchronization variable
+// (Multilisp-style futures; the extension of [4] referenced in §1).
+type Future = grt.Future
+
+// RunStats reports what a real execution did.
+type RunStats = grt.Stats
+
+// SchedKind selects the runtime's scheduling algorithm.
+type SchedKind = grt.Kind
+
+// Scheduler kinds for RuntimeConfig.
+const (
+	SchedDFDeques = grt.DFDeques
+	SchedADF      = grt.ADF
+	SchedFIFO     = grt.FIFO
+)
+
+// RuntimeConfig configures the real runtime.
+type RuntimeConfig = grt.Config
+
+// Run executes root as the root thread of a fresh runtime; see grt.Run.
+func Run(cfg RuntimeConfig, root func(*Thread)) (RunStats, error) {
+	return grt.Run(cfg, root)
+}
+
+// RunProgram interprets a declarative Program on the real runtime: the
+// same workload definition a Simulate call measures under the cost model
+// executes here as genuine concurrency. workScale sets spin iterations per
+// unit action (0 = default).
+func RunProgram(cfg RuntimeConfig, p *Program, workScale int) (RunStats, error) {
+	return grt.RunSpec(cfg, p, workScale)
+}
+
+// ---- Simulation ----------------------------------------------------------
+
+// Program is a declarative nested-parallel computation: a tree of threads
+// with work, allocation, fork/join and lock instructions.
+type Program = dag.ThreadSpec
+
+// ProgramBuilder builds one thread of a Program.
+type ProgramBuilder = dag.B
+
+// NewProgram starts building a Program's thread.
+func NewProgram(label string) *ProgramBuilder { return dag.NewThread(label) }
+
+// ParFor builds a balanced binary fork tree over n leaf threads.
+func ParFor(label string, n int, leaf func(i int) *Program) *Program {
+	return dag.ParFor(label, n, leaf)
+}
+
+// Par2 runs two programs in parallel under a fresh parent thread.
+func Par2(label string, left, right *Program) *Program { return dag.Par2(label, left, right) }
+
+// ProgramMetrics are a Program's intrinsic measures: work W, depth D,
+// serial space S1, thread counts.
+type ProgramMetrics = dag.SerialMetrics
+
+// MeasureProgram computes the serial (1DF) metrics of a program.
+func MeasureProgram(p *Program) ProgramMetrics { return dag.Measure(p) }
+
+// SimMetrics are the results of a simulated execution.
+type SimMetrics = machine.Metrics
+
+// CacheConfig configures the simulated per-processor data cache.
+type CacheConfig = cache.Config
+
+// SimConfig configures a simulation.
+type SimConfig struct {
+	// Procs is the simulated processor count (default 1).
+	Procs int
+	// Scheduler is one of "DFD", "DFD-inf", "WS", "ADF", "FIFO"
+	// (default "DFD").
+	Scheduler string
+	// K is the memory threshold in bytes for DFD/ADF (0 = ∞).
+	K int64
+	// Seed drives scheduling randomness.
+	Seed int64
+
+	// Optional cost-model extensions (zero values give the paper's pure
+	// §4.1 model): see the fields of the same names in machine.Config.
+	MissPenalty  int64
+	Cache        CacheConfig
+	StackBytes   int64
+	StealLatency int64
+	QueueLatency int64
+	SpinLocks    bool
+
+	// CheckInvariants verifies Lemma 3.1 after every timestep (slow).
+	CheckInvariants bool
+
+	// DFDeques variants (apply to Scheduler "DFD" only):
+
+	// AdaptiveTarget enables the adaptive memory-threshold controller
+	// (§7 future work): K doubles/halves to keep the live heap near this
+	// byte budget.
+	AdaptiveTarget int64
+	// ClusterGroups > 1 selects the multi-level cluster scheduler (§7):
+	// DFDeques per SMP node with affinity-first cross-node stealing.
+	ClusterGroups int
+	// ClusterCrossLatency is the extra stall per cross-node steal.
+	ClusterCrossLatency int64
+	// StealFromTop and FullWindow are the design-choice ablations (see
+	// EXPERIMENTS.md); production use wants both false.
+	StealFromTop bool
+	FullWindow   bool
+}
+
+// Simulate runs the program on the machine simulator and returns its
+// metrics.
+func Simulate(p *Program, cfg SimConfig) (SimMetrics, error) {
+	if cfg.Procs == 0 {
+		cfg.Procs = 1
+	}
+	if cfg.Scheduler == "" {
+		cfg.Scheduler = "DFD"
+	}
+	var s machine.Scheduler
+	switch cfg.Scheduler {
+	case "DFD":
+		if cfg.ClusterGroups > 1 {
+			cl := sched.NewClustered(cfg.K, cfg.ClusterGroups)
+			cl.CrossLatency = cfg.ClusterCrossLatency
+			s = cl
+			break
+		}
+		d := sched.NewDFDeques(cfg.K)
+		d.TargetSpace = cfg.AdaptiveTarget
+		d.StealFromTop = cfg.StealFromTop
+		d.FullWindow = cfg.FullWindow
+		s = d
+	case "DFD-inf":
+		s = sched.NewDFDeques(0)
+	case "WS":
+		s = sched.NewWS()
+	case "ADF":
+		s = sched.NewADF(cfg.K)
+	case "FIFO":
+		s = sched.NewFIFO()
+	default:
+		return SimMetrics{}, fmt.Errorf("dfdeques: unknown scheduler %q", cfg.Scheduler)
+	}
+	m := machine.New(machine.Config{
+		Procs:           cfg.Procs,
+		Seed:            cfg.Seed,
+		MissPenalty:     cfg.MissPenalty,
+		Cache:           cfg.Cache,
+		StackBytes:      cfg.StackBytes,
+		StealLatency:    cfg.StealLatency,
+		QueueLatency:    cfg.QueueLatency,
+		SpinLocks:       cfg.SpinLocks,
+		CheckInvariants: cfg.CheckInvariants,
+	}, s)
+	return m.Run(p)
+}

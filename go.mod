@@ -1,0 +1,3 @@
+module dfdeques
+
+go 1.22

@@ -1,0 +1,233 @@
+// Package cache implements a per-processor data-cache simulator used to
+// measure the locality effects the paper reports as L2 miss rates (Fig. 1)
+// and to charge miss penalties in the machine's extended cost model.
+//
+// The model is a fully-associative LRU cache of fixed-size lines, one per
+// simulated processor — the analogue of the 512 kB off-chip L2 caches of
+// the paper's Enterprise 5000 (§5). Workload threads declare the (block,
+// bytes) footprint each Work instruction touches; the cache reports how
+// many of those lines missed.
+package cache
+
+// Config describes a cache.
+type Config struct {
+	CapacityBytes int64 // total capacity; 0 disables the cache (everything hits)
+	LineBytes     int64 // line size; defaults to 64
+	// Ways selects set associativity: 0 means fully associative (the
+	// default, and the fastest to simulate); w > 0 gives a w-way
+	// set-associative cache with LRU replacement per set, matching real
+	// L2 organizations. CapacityBytes must then be a multiple of
+	// Ways·LineBytes.
+	Ways int
+}
+
+// DefaultConfig mirrors the paper's machine: 512 kB per-processor L2 with
+// 64-byte lines (the UltraSPARC's E-cache is direct-mapped; we default to
+// fully associative, which only understates conflict misses).
+func DefaultConfig() Config {
+	return Config{CapacityBytes: 512 << 10, LineBytes: 64}
+}
+
+type node struct {
+	key        uint64
+	prev, next *node
+}
+
+// Cache is a fully-associative LRU cache over (block, line) keys. The zero
+// value is not usable; call New.
+type Cache struct {
+	cfg      Config
+	capLines int
+	lines    map[uint64]*node
+	head     *node // most recently used
+	tail     *node // least recently used
+	free     []*node
+
+	// Set-associative organization (Ways > 0).
+	numSets int
+	sets    []assocSet
+	clock   int64
+
+	hits, misses int64
+}
+
+// assocSet is one set of a set-associative cache: up to Ways resident
+// lines with per-line LRU stamps. Linear scan — Ways is small.
+type assocSet struct {
+	keys  []uint64
+	stamp []int64
+}
+
+// New returns an empty cache with the given configuration.
+func New(cfg Config) *Cache {
+	if cfg.LineBytes <= 0 {
+		cfg.LineBytes = 64
+	}
+	capLines := int(cfg.CapacityBytes / cfg.LineBytes)
+	c := &Cache{cfg: cfg, capLines: capLines}
+	if cfg.Ways > 0 && capLines > 0 {
+		if capLines%cfg.Ways != 0 {
+			panic("cache: CapacityBytes must be a multiple of Ways·LineBytes")
+		}
+		c.numSets = capLines / cfg.Ways
+		c.sets = make([]assocSet, c.numSets)
+	} else {
+		c.lines = make(map[uint64]*node, capLines+1)
+	}
+	return c
+}
+
+// Touch accesses `bytes` bytes of block blk starting at its beginning and
+// returns the number of lines that missed. A disabled cache (capacity 0)
+// reports zero misses.
+func (c *Cache) Touch(blk int32, bytes int64) int64 {
+	if c.capLines == 0 || bytes <= 0 || blk == 0 {
+		return 0
+	}
+	nLines := (bytes + c.cfg.LineBytes - 1) / c.cfg.LineBytes
+	var missed int64
+	for i := int64(0); i < nLines; i++ {
+		key := uint64(uint32(blk))<<32 | uint64(uint32(i))
+		if c.numSets > 0 {
+			if !c.touchAssoc(key) {
+				missed++
+			}
+			continue
+		}
+		if n, ok := c.lines[key]; ok {
+			c.hits++
+			c.moveToFront(n)
+		} else {
+			c.misses++
+			missed++
+			c.insert(key)
+		}
+	}
+	return missed
+}
+
+// touchAssoc accesses one line of a set-associative cache, returning
+// whether it hit. The set index mixes block and line bits so distinct
+// blocks spread across sets.
+func (c *Cache) touchAssoc(key uint64) bool {
+	c.clock++
+	s := &c.sets[key%uint64(c.numSets)]
+	for i, k := range s.keys {
+		if k == key {
+			c.hits++
+			s.stamp[i] = c.clock
+			return true
+		}
+	}
+	c.misses++
+	if len(s.keys) < c.cfg.Ways {
+		s.keys = append(s.keys, key)
+		s.stamp = append(s.stamp, c.clock)
+		return false
+	}
+	// Evict the LRU way.
+	victim := 0
+	for i := 1; i < len(s.stamp); i++ {
+		if s.stamp[i] < s.stamp[victim] {
+			victim = i
+		}
+	}
+	s.keys[victim] = key
+	s.stamp[victim] = c.clock
+	return false
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// MissRate returns misses/(hits+misses), or 0 if the cache saw no traffic.
+func (c *Cache) MissRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}
+
+// Len returns the number of resident lines.
+func (c *Cache) Len() int {
+	if c.numSets > 0 {
+		n := 0
+		for i := range c.sets {
+			n += len(c.sets[i].keys)
+		}
+		return n
+	}
+	return len(c.lines)
+}
+
+// Reset empties the cache and zeroes its statistics.
+func (c *Cache) Reset() {
+	if c.numSets > 0 {
+		c.sets = make([]assocSet, c.numSets)
+	} else {
+		c.lines = make(map[uint64]*node, c.capLines+1)
+	}
+	c.head, c.tail = nil, nil
+	c.free = c.free[:0]
+	c.hits, c.misses = 0, 0
+	c.clock = 0
+}
+
+func (c *Cache) moveToFront(n *node) {
+	if c.head == n {
+		return
+	}
+	// unlink
+	if n.prev != nil {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if c.tail == n {
+		c.tail = n.prev
+	}
+	// relink at head
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *Cache) insert(key uint64) {
+	var n *node
+	if len(c.lines) >= c.capLines {
+		// Evict the LRU line and reuse its node.
+		n = c.tail
+		delete(c.lines, n.key)
+		c.tail = n.prev
+		if c.tail != nil {
+			c.tail.next = nil
+		} else {
+			c.head = nil
+		}
+		n.prev, n.next = nil, nil
+	} else if len(c.free) > 0 {
+		n = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	} else {
+		n = &node{}
+	}
+	n.key = key
+	n.next = c.head
+	n.prev = nil
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+	c.lines[key] = n
+}

@@ -1,0 +1,251 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(Config{CapacityBytes: 1024, LineBytes: 64})
+	if m := c.Touch(1, 64); m != 1 {
+		t.Fatalf("cold touch misses = %d, want 1", m)
+	}
+	if m := c.Touch(1, 64); m != 0 {
+		t.Fatalf("warm touch misses = %d, want 0", m)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits %d misses, want 1, 1", hits, misses)
+	}
+}
+
+func TestMultiLineTouch(t *testing.T) {
+	c := New(Config{CapacityBytes: 4096, LineBytes: 64})
+	// 200 bytes spans ceil(200/64) = 4 lines.
+	if m := c.Touch(3, 200); m != 4 {
+		t.Fatalf("misses = %d, want 4", m)
+	}
+	if m := c.Touch(3, 200); m != 0 {
+		t.Fatalf("second touch misses = %d, want 0", m)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Capacity: 2 lines.
+	c := New(Config{CapacityBytes: 128, LineBytes: 64})
+	c.Touch(1, 1) // line (1,0)
+	c.Touch(2, 1) // line (2,0)
+	c.Touch(1, 1) // hit, makes (1,0) MRU
+	c.Touch(3, 1) // evicts (2,0), the LRU
+	if m := c.Touch(1, 1); m != 0 {
+		t.Fatal("block 1 should still be resident")
+	}
+	if m := c.Touch(2, 1); m != 1 {
+		t.Fatal("block 2 should have been evicted")
+	}
+}
+
+func TestDistinctBlocksDistinctLines(t *testing.T) {
+	c := New(Config{CapacityBytes: 1 << 20, LineBytes: 64})
+	if m := c.Touch(1, 64); m != 1 {
+		t.Fatal("want miss")
+	}
+	if m := c.Touch(2, 64); m != 1 {
+		t.Fatal("same offset in a different block must be a distinct line")
+	}
+}
+
+func TestDisabledCache(t *testing.T) {
+	c := New(Config{})
+	if m := c.Touch(1, 4096); m != 0 {
+		t.Fatalf("disabled cache misses = %d, want 0", m)
+	}
+	if c.MissRate() != 0 {
+		t.Fatal("disabled cache miss rate should be 0")
+	}
+}
+
+func TestBlockZeroIgnored(t *testing.T) {
+	c := New(Config{CapacityBytes: 1024, LineBytes: 64})
+	if m := c.Touch(0, 4096); m != 0 {
+		t.Fatal("block 0 should be ignored")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(Config{CapacityBytes: 1024, LineBytes: 64})
+	c.Touch(1, 512)
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("reset did not empty cache")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatal("reset did not zero stats")
+	}
+	if m := c.Touch(1, 64); m != 1 {
+		t.Fatal("post-reset touch should miss")
+	}
+}
+
+func TestWorkingSetFitsAllHitsAfterWarmup(t *testing.T) {
+	c := New(Config{CapacityBytes: 64 * 64, LineBytes: 64}) // 64 lines
+	rng := rand.New(rand.NewSource(5))
+	// Working set: 8 blocks × 8 lines = 64 lines, exactly capacity.
+	for i := 0; i < 8; i++ {
+		c.Touch(int32(i+1), 8*64) // warm up
+	}
+	_, coldMisses := c.Stats()
+	for i := 0; i < 1000; i++ {
+		c.Touch(int32(rng.Intn(8)+1), 8*64)
+	}
+	_, misses := c.Stats()
+	if misses != coldMisses {
+		t.Fatalf("steady-state misses = %d, want 0 extra beyond %d cold", misses-coldMisses, coldMisses)
+	}
+}
+
+func TestThrashingMissesEveryTime(t *testing.T) {
+	c := New(Config{CapacityBytes: 2 * 64, LineBytes: 64}) // 2 lines
+	// Cycle through 3 blocks: with LRU, every access misses.
+	for round := 0; round < 10; round++ {
+		for b := int32(1); b <= 3; b++ {
+			if m := c.Touch(b, 1); m != 1 {
+				t.Fatalf("round %d block %d: expected thrash miss", round, b)
+			}
+		}
+	}
+}
+
+// TestQuickResidencyBound: the number of resident lines never exceeds
+// capacity, and stats are consistent, under arbitrary access strings.
+func TestQuickResidencyBound(t *testing.T) {
+	f := func(accesses []uint16, capLines uint8) bool {
+		cl := int64(capLines%32) + 1
+		c := New(Config{CapacityBytes: cl * 64, LineBytes: 64})
+		var touches int64
+		for _, a := range accesses {
+			blk := int32(a%16) + 1
+			bytes := int64(a%300) + 1
+			nLines := (bytes + 63) / 64
+			touches += nLines
+			c.Touch(blk, bytes)
+			if int64(c.Len()) > cl {
+				return false
+			}
+		}
+		h, m := c.Stats()
+		return h+m == touches && m >= 0 && h >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTouchHit(b *testing.B) {
+	c := New(DefaultConfig())
+	c.Touch(1, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Touch(1, 64)
+	}
+}
+
+func BenchmarkTouchThrash(b *testing.B) {
+	c := New(Config{CapacityBytes: 1024, LineBytes: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Touch(int32(i%64+1), 64)
+	}
+}
+
+// ---- Set-associative organization ----------------------------------------
+
+func TestAssocBasicHitMiss(t *testing.T) {
+	// 4 lines, 2-way: 2 sets.
+	c := New(Config{CapacityBytes: 4 * 64, LineBytes: 64, Ways: 2})
+	if m := c.Touch(1, 64); m != 1 {
+		t.Fatalf("cold miss = %d, want 1", m)
+	}
+	if m := c.Touch(1, 64); m != 0 {
+		t.Fatalf("warm hit = %d, want 0", m)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestAssocConflictMisses(t *testing.T) {
+	// 2 sets × 2 ways. Keys are blk<<32|line; line 0 of even blocks maps
+	// to set (key % 2 == 0). Blocks 2, 4, 6 all collide in set 0: with
+	// only 2 ways, cycling through them thrashes even though the cache
+	// has capacity 4.
+	c := New(Config{CapacityBytes: 4 * 64, LineBytes: 64, Ways: 2})
+	for round := 0; round < 3; round++ {
+		for _, blk := range []int32{2, 4, 6} {
+			c.Touch(blk, 1)
+		}
+	}
+	_, misses := c.Stats()
+	if misses != 9 {
+		t.Errorf("conflict thrash misses = %d, want 9 (every access)", misses)
+	}
+	// A fully associative cache of the same size has no conflicts.
+	fa := New(Config{CapacityBytes: 4 * 64, LineBytes: 64})
+	for round := 0; round < 3; round++ {
+		for _, blk := range []int32{2, 4, 6} {
+			fa.Touch(blk, 1)
+		}
+	}
+	_, faMisses := fa.Stats()
+	if faMisses != 3 {
+		t.Errorf("fully associative misses = %d, want 3 (cold only)", faMisses)
+	}
+}
+
+func TestAssocLRUWithinSet(t *testing.T) {
+	// 1 set × 2 ways: pure LRU between two resident lines.
+	c := New(Config{CapacityBytes: 2 * 64, LineBytes: 64, Ways: 2})
+	c.Touch(2, 1) // keys even → set 0 (the only set)
+	c.Touch(4, 1)
+	c.Touch(2, 1) // 2 is MRU
+	c.Touch(6, 1) // evicts 4
+	if m := c.Touch(2, 1); m != 0 {
+		t.Error("2 should be resident")
+	}
+	if m := c.Touch(4, 1); m != 1 {
+		t.Error("4 should have been evicted")
+	}
+}
+
+func TestAssocReset(t *testing.T) {
+	c := New(Config{CapacityBytes: 4 * 64, LineBytes: 64, Ways: 2})
+	c.Touch(1, 64)
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("reset did not empty")
+	}
+	if m := c.Touch(1, 64); m != 1 {
+		t.Fatal("post-reset should miss")
+	}
+}
+
+func TestAssocBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for capacity not multiple of ways")
+		}
+	}()
+	New(Config{CapacityBytes: 3 * 64, LineBytes: 64, Ways: 2})
+}
+
+func TestAssocResidencyNeverExceedsCapacity(t *testing.T) {
+	c := New(Config{CapacityBytes: 8 * 64, LineBytes: 64, Ways: 4})
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		c.Touch(int32(rng.Intn(64)+1), int64(rng.Intn(200)+1))
+		if c.Len() > 8 {
+			t.Fatalf("resident lines %d exceed capacity 8", c.Len())
+		}
+	}
+}

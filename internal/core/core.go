@@ -1,0 +1,240 @@
+// Package core implements the heart of the paper's contribution — the
+// DFDeques ready-thread pool (§3.2–3.3) — as an engine-independent data
+// structure: the globally ordered list R of ready deques together with the
+// owner/thief operations of algorithm DFDeques.
+//
+// The structure is deliberately free of threads, time, and locking so two
+// very different engines can drive it:
+//
+//   - internal/grt, the real goroutine-based runtime, wraps a Pool in one
+//     mutex — exactly how the paper's Pthreads implementation serializes
+//     access to R (§5);
+//   - tests drive it directly to property-check the Lemma 3.1 ordering
+//     invariants without a machine in the loop.
+//
+// (The machine simulator's scheduler in internal/sched keeps its own copy
+// of this logic because the §4.1 cost model needs per-timestep steal
+// arbitration hooks inside the structure's operations.)
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dfdeques/internal/deque"
+)
+
+// Pool is the DFDeques ready pool for p workers. It is NOT safe for
+// concurrent use; callers serialize access (one mutex in practice, §5).
+type Pool[T any] struct {
+	p    int
+	r    deque.List[T]
+	own  []*deque.Deque[T]
+	rng  *rand.Rand
+	less func(a, b T) bool // 1DF priority: less = higher priority
+
+	steals    int64
+	failed    int64
+	localDisp int64
+	maxR      int
+}
+
+// NewPool builds a pool for p workers. less reports whether a has higher
+// 1DF priority than b; it is used to place threads woken by
+// synchronization (§5's extension) and by CheckInvariants. rng drives
+// victim selection.
+func NewPool[T any](p int, less func(a, b T) bool, rng *rand.Rand) *Pool[T] {
+	if p < 1 {
+		panic("core: pool needs at least one worker")
+	}
+	return &Pool[T]{
+		p:    p,
+		own:  make([]*deque.Deque[T], p),
+		rng:  rng,
+		less: less,
+	}
+}
+
+// Seed places the root thread into a fresh, unowned deque at the left end
+// of R, ready to be stolen by the first idle worker.
+func (pl *Pool[T]) Seed(root T) {
+	d := pl.r.PushLeft()
+	d.PushTop(root)
+	pl.noteR()
+}
+
+// PushOwn pushes x onto worker w's deque top (the fork and preemption
+// path). The worker must own a deque.
+func (pl *Pool[T]) PushOwn(w int, x T) {
+	d := pl.own[w]
+	if d == nil {
+		panic("core: PushOwn without an owned deque")
+	}
+	d.PushTop(x)
+}
+
+// PopOwn pops the top of w's deque. When the deque is empty it is deleted
+// from R (the give-up-and-delete step of the scheduling loop) and ok is
+// false — the worker must steal next.
+func (pl *Pool[T]) PopOwn(w int) (x T, ok bool) {
+	d := pl.own[w]
+	if d == nil {
+		return x, false
+	}
+	if x, ok = d.PopTop(); ok {
+		pl.localDisp++
+		return x, true
+	}
+	pl.r.Delete(d)
+	pl.own[w] = nil
+	return x, false
+}
+
+// GiveUp releases ownership of w's deque without popping (the
+// quota-exhaustion path): the deque stays in R, unowned and stealable. An
+// empty deque is deleted instead.
+func (pl *Pool[T]) GiveUp(w int) {
+	d := pl.own[w]
+	if d == nil {
+		return
+	}
+	if d.Empty() {
+		pl.r.Delete(d)
+	} else {
+		d.Owner = -1
+	}
+	pl.own[w] = nil
+}
+
+// Steal performs one steal attempt for worker w: pick a uniformly random
+// deque among the leftmost p in R, pop its bottom thread, and become owner
+// of a new deque placed immediately to the victim's right. ok is false if
+// the attempt failed (nonexistent or empty victim). The worker must not
+// own a deque.
+func (pl *Pool[T]) Steal(w int) (x T, ok bool) {
+	if pl.own[w] != nil {
+		panic("core: Steal while owning a deque")
+	}
+	c := pl.rng.Intn(pl.p)
+	if c >= pl.r.Len() {
+		pl.failed++
+		return x, false
+	}
+	victim := pl.r.Kth(c)
+	x, ok = victim.PopBottom()
+	if !ok {
+		pl.failed++
+		return x, false
+	}
+	nd := pl.r.InsertRight(victim)
+	nd.Owner = w
+	pl.own[w] = nd
+	if victim.Empty() && victim.Owner == -1 {
+		pl.r.Delete(victim)
+	}
+	pl.noteR()
+	pl.steals++
+	return x, true
+}
+
+// PushWoken places a thread woken by a blocking synchronization into a new
+// deque at its priority position in R (§5's extension beyond the
+// nested-parallel model).
+func (pl *Pool[T]) PushWoken(x T) {
+	insertAt := pl.r.Len()
+	for i := 0; i < pl.r.Len(); i++ {
+		top, ok := pl.r.Kth(i).PeekTop()
+		if !ok {
+			continue
+		}
+		if pl.less(x, top) {
+			insertAt = i
+			break
+		}
+	}
+	var nd *deque.Deque[T]
+	if insertAt == 0 {
+		nd = pl.r.PushLeft()
+	} else {
+		nd = pl.r.InsertRight(pl.r.Kth(insertAt - 1))
+	}
+	nd.PushTop(x)
+	pl.noteR()
+}
+
+// HasWork reports whether any deque in R holds a stealable thread.
+func (pl *Pool[T]) HasWork() bool {
+	found := false
+	pl.r.Walk(func(d *deque.Deque[T]) bool {
+		if !d.Empty() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Owns reports whether worker w currently owns a deque.
+func (pl *Pool[T]) Owns(w int) bool { return pl.own[w] != nil }
+
+// Deques returns the current number of deques in R.
+func (pl *Pool[T]) Deques() int { return pl.r.Len() }
+
+// MaxDeques returns the high-water mark of len(R).
+func (pl *Pool[T]) MaxDeques() int { return pl.maxR }
+
+// Stats returns (successful steals, failed steal attempts, local
+// dispatches).
+func (pl *Pool[T]) Stats() (steals, failed, local int64) {
+	return pl.steals, pl.failed, pl.localDisp
+}
+
+func (pl *Pool[T]) noteR() {
+	if n := pl.r.Len(); n > pl.maxR {
+		pl.maxR = n
+	}
+}
+
+// CheckInvariants verifies the Lemma 3.1 ordering over the pool's deques:
+// every deque is priority-sorted top to bottom, and deques are ordered
+// left to right by decreasing priority. curr gives each worker's currently
+// executing thread (ok=false when idle) for clause (2).
+func (pl *Pool[T]) CheckInvariants(curr func(w int) (T, bool)) error {
+	for i := 0; i < pl.r.Len(); i++ {
+		items := pl.r.Kth(i).Items()
+		for j := 1; j < len(items); j++ {
+			if !pl.less(items[j], items[j-1]) {
+				return fmt.Errorf("core: lemma 3.1(1): deque %d unsorted at %d", i, j)
+			}
+		}
+	}
+	for w := 0; w < pl.p; w++ {
+		d := pl.own[w]
+		if d == nil {
+			continue
+		}
+		x, running := curr(w)
+		if !running {
+			continue
+		}
+		if top, ok := d.PeekTop(); ok && !pl.less(x, top) {
+			return fmt.Errorf("core: lemma 3.1(2): worker %d below its deque top", w)
+		}
+	}
+	var havePrev bool
+	var prevBottom T
+	for i := 0; i < pl.r.Len(); i++ {
+		d := pl.r.Kth(i)
+		top, ok := d.PeekTop()
+		if !ok {
+			continue
+		}
+		if havePrev && !pl.less(prevBottom, top) {
+			return fmt.Errorf("core: lemma 3.1(3): deque %d out of order", i)
+		}
+		prevBottom, _ = d.PeekBottom()
+		havePrev = true
+	}
+	return nil
+}

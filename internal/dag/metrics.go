@@ -1,0 +1,118 @@
+package dag
+
+// SerialMetrics are the intrinsic measures of a nested-parallel
+// computation, obtained by the serial depth-first (1DF) execution that
+// treats every fork as a plain function call (§3.1): total work W, depth D
+// (critical-path length), the serial heap high-water mark S1, and thread
+// counts. These are the quantities the paper's bounds are stated in.
+type SerialMetrics struct {
+	W int64 // work: total unit actions in the dag
+	D int64 // depth: longest path, in actions
+
+	HeapHW     int64 // S1: high-water mark of net heap allocation in the 1DF execution
+	HeapEnd    int64 // net heap allocation remaining at the end (0 for balanced programs)
+	TotalAlloc int64 // SA: sum of all allocation sizes, ignoring frees
+
+	TotalThreads  int64 // dynamic thread instances (forks + 1)
+	MaxLiveSerial int64 // max simultaneously live threads during the 1DF execution
+}
+
+// Measure runs the 1DF interpretation of the spec tree and returns its
+// metrics. Shared sub-specs are measured once per dynamic fork of them, as
+// the schedulers would execute them.
+func Measure(root *ThreadSpec) SerialMetrics {
+	ms := &measurer{}
+	end := ms.thread(root, 0)
+	ms.m.D = end
+	return ms.m
+}
+
+type measurer struct {
+	m    SerialMetrics
+	cur  int64 // current net heap bytes
+	live int64 // currently live threads
+}
+
+// thread interprets one dynamic thread instance. d0 is the depth of the
+// action that created the thread (the fork node; 0 for the root, whose
+// first action sits at depth 1). It returns the depth of the thread's last
+// action.
+func (ms *measurer) thread(s *ThreadSpec, d0 int64) int64 {
+	ms.m.TotalThreads++
+	ms.live++
+	if ms.live > ms.m.MaxLiveSerial {
+		ms.m.MaxLiveSerial = ms.live
+	}
+	d := d0
+	var joinStack []int64
+	for _, in := range s.Instrs {
+		switch in.Op {
+		case OpWork:
+			d += in.N
+			ms.m.W += in.N
+		case OpAlloc:
+			d++
+			ms.m.W++
+			ms.cur += in.N
+			ms.m.TotalAlloc += in.N
+			if ms.cur > ms.m.HeapHW {
+				ms.m.HeapHW = ms.cur
+			}
+		case OpFree:
+			d++
+			ms.m.W++
+			ms.cur -= in.N
+		case OpFork:
+			d++ // the fork action itself
+			ms.m.W++
+			childEnd := ms.thread(in.Child, d)
+			joinStack = append(joinStack, childEnd)
+		case OpJoin:
+			childEnd := joinStack[len(joinStack)-1]
+			joinStack = joinStack[:len(joinStack)-1]
+			if childEnd > d {
+				d = childEnd
+			}
+			d++ // the join action itself
+			ms.m.W++
+		case OpAcquire, OpRelease, OpDummy:
+			d++
+			ms.m.W++
+		}
+	}
+	ms.live--
+	return d
+}
+
+// CountThreads returns the number of dynamic thread instances in the spec
+// tree (the paper's "total threads expressed in the program", Fig. 11).
+func CountThreads(root *ThreadSpec) int64 {
+	return Measure(root).TotalThreads
+}
+
+// CompletionOrder returns the sequence of thread terminations in the 1DF
+// execution, with threads identified by their creation index (1 = root,
+// in creation order). Schedulers that claim depth-first semantics on one
+// processor must terminate threads in exactly this order — the oracle the
+// machine-simulator conformance tests compare against.
+func CompletionOrder(root *ThreadSpec) []int64 {
+	co := &orderWalker{}
+	co.thread(root)
+	return co.completions
+}
+
+type orderWalker struct {
+	nextID      int64
+	completions []int64
+}
+
+func (co *orderWalker) thread(s *ThreadSpec) {
+	co.nextID++
+	id := co.nextID
+	for _, in := range s.Instrs {
+		if in.Op == OpFork {
+			co.thread(in.Child)
+		}
+	}
+	co.completions = append(co.completions, id)
+}

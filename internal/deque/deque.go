@@ -1,0 +1,176 @@
+// Package deque provides the two scheduling data structures of algorithm
+// DFDeques (Narlikar, SPAA '99, §3.2):
+//
+//   - Deque: a doubly-ended queue of ready threads. The owner processor
+//     treats it as a LIFO stack (PushTop/PopTop); thief processors steal
+//     from the bottom (PopBottom), which holds the thread with the lowest
+//     1DF priority in the deque — typically the coarsest thread.
+//
+//   - List: the global list R of deques, ordered by thread priority from
+//     left (highest) to right (lowest). It supports inserting a new deque
+//     immediately to the right of a victim, deleting a deque, and indexing
+//     the k-th deque from the left end — the operation steals use to pick
+//     a victim among the leftmost p deques.
+package deque
+
+// Deque is a doubly-ended queue. The zero value is an empty deque, but
+// deques that participate in a List must be created by List.InsertRight or
+// List.PushLeft so their position bookkeeping is initialized.
+type Deque[T any] struct {
+	items []T // items[0] is the bottom, items[len-1] is the top
+
+	// Owner is scheduler bookkeeping: the processor that currently owns
+	// this deque, or -1 if unowned. The deque itself never reads it.
+	Owner int
+
+	list *List[T]
+	pos  int // index within list.deques, maintained by List
+}
+
+// NewDeque returns an empty, unowned, stand-alone deque.
+func NewDeque[T any]() *Deque[T] {
+	return &Deque[T]{Owner: -1, pos: -1}
+}
+
+// Len reports the number of items in the deque.
+func (d *Deque[T]) Len() int { return len(d.items) }
+
+// Empty reports whether the deque holds no items.
+func (d *Deque[T]) Empty() bool { return len(d.items) == 0 }
+
+// PushTop pushes an item onto the top of the deque (owner operation).
+func (d *Deque[T]) PushTop(x T) { d.items = append(d.items, x) }
+
+// PopTop removes and returns the top item (owner operation). The second
+// result is false if the deque is empty.
+func (d *Deque[T]) PopTop() (T, bool) {
+	var zero T
+	n := len(d.items)
+	if n == 0 {
+		return zero, false
+	}
+	x := d.items[n-1]
+	d.items[n-1] = zero
+	d.items = d.items[:n-1]
+	return x, true
+}
+
+// PeekTop returns the top item without removing it.
+func (d *Deque[T]) PeekTop() (T, bool) {
+	var zero T
+	if len(d.items) == 0 {
+		return zero, false
+	}
+	return d.items[len(d.items)-1], true
+}
+
+// PopBottom removes and returns the bottom item (thief operation). The
+// second result is false if the deque is empty.
+func (d *Deque[T]) PopBottom() (T, bool) {
+	var zero T
+	if len(d.items) == 0 {
+		return zero, false
+	}
+	x := d.items[0]
+	d.items[0] = zero
+	d.items = d.items[1:]
+	return x, true
+}
+
+// PeekBottom returns the bottom item without removing it.
+func (d *Deque[T]) PeekBottom() (T, bool) {
+	var zero T
+	if len(d.items) == 0 {
+		return zero, false
+	}
+	return d.items[0], true
+}
+
+// Items returns the deque's contents from bottom to top. The slice aliases
+// internal storage and must not be modified; it is intended for invariant
+// checkers and tests.
+func (d *Deque[T]) Items() []T { return d.items }
+
+// InList reports whether the deque is currently a member of a List.
+func (d *Deque[T]) InList() bool { return d.list != nil }
+
+// Pos returns the deque's index from the left end of its List, or -1 if it
+// is not in a list.
+func (d *Deque[T]) Pos() int {
+	if d.list == nil {
+		return -1
+	}
+	return d.pos
+}
+
+// List is the globally ordered list R of deques.
+type List[T any] struct {
+	deques []*Deque[T]
+}
+
+// Len reports the number of deques in R.
+func (l *List[T]) Len() int { return len(l.deques) }
+
+// Kth returns the k-th deque from the left end (0-based).
+func (l *List[T]) Kth(k int) *Deque[T] { return l.deques[k] }
+
+// PushLeft creates a new deque at the left end of R and returns it.
+func (l *List[T]) PushLeft() *Deque[T] {
+	d := NewDeque[T]()
+	l.insertAt(0, d)
+	return d
+}
+
+// PushRight creates a new deque at the right end of R and returns it.
+func (l *List[T]) PushRight() *Deque[T] {
+	d := NewDeque[T]()
+	l.insertAt(len(l.deques), d)
+	return d
+}
+
+// InsertRight creates a new deque immediately to the right of victim
+// (which must be in R) and returns it.
+func (l *List[T]) InsertRight(victim *Deque[T]) *Deque[T] {
+	if victim.list != l {
+		panic("deque: InsertRight victim not in this list")
+	}
+	d := NewDeque[T]()
+	l.insertAt(victim.pos+1, d)
+	return d
+}
+
+func (l *List[T]) insertAt(i int, d *Deque[T]) {
+	l.deques = append(l.deques, nil)
+	copy(l.deques[i+1:], l.deques[i:])
+	l.deques[i] = d
+	d.list = l
+	for j := i; j < len(l.deques); j++ {
+		l.deques[j].pos = j
+	}
+}
+
+// Delete removes d from R. The deque must be in R.
+func (l *List[T]) Delete(d *Deque[T]) {
+	if d.list != l {
+		panic("deque: Delete on deque not in this list")
+	}
+	i := d.pos
+	copy(l.deques[i:], l.deques[i+1:])
+	l.deques[len(l.deques)-1] = nil
+	l.deques = l.deques[:len(l.deques)-1]
+	for j := i; j < len(l.deques); j++ {
+		l.deques[j].pos = j
+	}
+	d.list = nil
+	d.pos = -1
+}
+
+// Walk calls f on every deque from left to right, stopping early if f
+// returns false.
+func (l *List[T]) Walk(f func(*Deque[T]) bool) {
+	for _, d := range l.deques {
+		if !f(d) {
+			return
+		}
+	}
+}

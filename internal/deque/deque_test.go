@@ -1,0 +1,233 @@
+package deque
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeLIFOTop(t *testing.T) {
+	d := NewDeque[int]()
+	for i := 0; i < 5; i++ {
+		d.PushTop(i)
+	}
+	for i := 4; i >= 0; i-- {
+		x, ok := d.PopTop()
+		if !ok || x != i {
+			t.Fatalf("PopTop = %d,%v want %d,true", x, ok, i)
+		}
+	}
+	if _, ok := d.PopTop(); ok {
+		t.Fatal("PopTop on empty deque succeeded")
+	}
+}
+
+func TestDequeBottomIsOldest(t *testing.T) {
+	d := NewDeque[string]()
+	d.PushTop("oldest")
+	d.PushTop("middle")
+	d.PushTop("newest")
+	x, ok := d.PopBottom()
+	if !ok || x != "oldest" {
+		t.Fatalf("PopBottom = %q, want oldest", x)
+	}
+	if top, _ := d.PeekTop(); top != "newest" {
+		t.Fatalf("PeekTop = %q, want newest", top)
+	}
+	if bot, _ := d.PeekBottom(); bot != "middle" {
+		t.Fatalf("PeekBottom = %q, want middle", bot)
+	}
+}
+
+func TestDequeEmptyOps(t *testing.T) {
+	d := NewDeque[int]()
+	if !d.Empty() || d.Len() != 0 {
+		t.Fatal("new deque not empty")
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("PopBottom on empty succeeded")
+	}
+	if _, ok := d.PeekTop(); ok {
+		t.Fatal("PeekTop on empty succeeded")
+	}
+	if _, ok := d.PeekBottom(); ok {
+		t.Fatal("PeekBottom on empty succeeded")
+	}
+	if d.InList() || d.Pos() != -1 {
+		t.Fatal("stand-alone deque claims list membership")
+	}
+}
+
+// TestDequeMixedAgainstReference runs a random op sequence against a slice
+// reference model.
+func TestDequeMixedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDeque[int]()
+	var ref []int
+	for step := 0; step < 20000; step++ {
+		switch rng.Intn(3) {
+		case 0:
+			d.PushTop(step)
+			ref = append(ref, step)
+		case 1:
+			x, ok := d.PopTop()
+			if len(ref) == 0 {
+				if ok {
+					t.Fatal("PopTop succeeded on empty")
+				}
+			} else {
+				want := ref[len(ref)-1]
+				ref = ref[:len(ref)-1]
+				if !ok || x != want {
+					t.Fatalf("PopTop = %d,%v want %d", x, ok, want)
+				}
+			}
+		case 2:
+			x, ok := d.PopBottom()
+			if len(ref) == 0 {
+				if ok {
+					t.Fatal("PopBottom succeeded on empty")
+				}
+			} else {
+				want := ref[0]
+				ref = ref[1:]
+				if !ok || x != want {
+					t.Fatalf("PopBottom = %d,%v want %d", x, ok, want)
+				}
+			}
+		}
+		if d.Len() != len(ref) {
+			t.Fatalf("Len = %d, want %d", d.Len(), len(ref))
+		}
+	}
+}
+
+func TestListInsertRightOrdering(t *testing.T) {
+	var r List[int]
+	a := r.PushLeft()
+	b := r.InsertRight(a)
+	c := r.InsertRight(a) // lands between a and b
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Kth(0) != a || r.Kth(1) != c || r.Kth(2) != b {
+		t.Fatal("InsertRight produced wrong order")
+	}
+	if a.Pos() != 0 || c.Pos() != 1 || b.Pos() != 2 {
+		t.Fatal("positions not maintained")
+	}
+}
+
+func TestListDelete(t *testing.T) {
+	var r List[int]
+	a := r.PushRight()
+	b := r.PushRight()
+	c := r.PushRight()
+	r.Delete(b)
+	if r.Len() != 2 || r.Kth(0) != a || r.Kth(1) != c {
+		t.Fatal("Delete broke order")
+	}
+	if c.Pos() != 1 {
+		t.Fatalf("c.Pos = %d, want 1", c.Pos())
+	}
+	if b.InList() {
+		t.Fatal("deleted deque still claims membership")
+	}
+	mustPanic(t, func() { r.Delete(b) })
+}
+
+func TestListWalkEarlyStop(t *testing.T) {
+	var r List[int]
+	for i := 0; i < 5; i++ {
+		r.PushRight()
+	}
+	visited := 0
+	r.Walk(func(*Deque[int]) bool {
+		visited++
+		return visited < 3
+	})
+	if visited != 3 {
+		t.Fatalf("Walk visited %d, want 3", visited)
+	}
+}
+
+func TestCrossListInsertPanics(t *testing.T) {
+	var r1, r2 List[int]
+	a := r1.PushLeft()
+	_ = r2.PushLeft()
+	mustPanic(t, func() { r2.InsertRight(a) })
+}
+
+// TestListPositionsQuick property-checks that after an arbitrary script of
+// inserts and deletes, each deque's recorded position matches its actual
+// index.
+func TestListPositionsQuick(t *testing.T) {
+	f := func(script []uint8) bool {
+		var r List[int]
+		var all []*Deque[int]
+		for _, b := range script {
+			switch {
+			case r.Len() == 0 || b%4 == 0:
+				all = append(all, r.PushLeft())
+			case b%4 == 1:
+				all = append(all, r.PushRight())
+			case b%4 == 2:
+				victim := r.Kth(int(b) % r.Len())
+				all = append(all, r.InsertRight(victim))
+			default:
+				d := r.Kth(int(b) % r.Len())
+				r.Delete(d)
+			}
+		}
+		for i := 0; i < r.Len(); i++ {
+			if r.Kth(i).Pos() != i {
+				return false
+			}
+		}
+		inList := 0
+		for _, d := range all {
+			if d.InList() {
+				inList++
+			}
+		}
+		return inList == r.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func BenchmarkPushPopTop(b *testing.B) {
+	d := NewDeque[int]()
+	for i := 0; i < b.N; i++ {
+		d.PushTop(i)
+		if i%2 == 1 {
+			d.PopTop()
+			d.PopTop()
+		}
+	}
+}
+
+func BenchmarkStealPattern(b *testing.B) {
+	// Owner pushes, thief steals from the bottom: the deque stays shallow
+	// as in steady-state work stealing.
+	d := NewDeque[int]()
+	for i := 0; i < 8; i++ {
+		d.PushTop(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushTop(i)
+		d.PopBottom()
+	}
+}

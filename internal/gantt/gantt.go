@@ -1,0 +1,136 @@
+// Package gantt reconstructs per-processor occupancy timelines from the
+// machine simulator's observer events and renders them as ASCII Gantt
+// charts — a quick visual read on a schedule: who ran what, where the
+// steals happened, how long processors idled.
+package gantt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// segment is a half-open [from, to) interval during which one thread
+// occupied one processor.
+type segment struct {
+	from, to int64
+	thread   int64
+}
+
+// Builder accumulates observer events. Feed its Event method to
+// machine.Config.Observer, then Render after the run.
+type Builder struct {
+	procs    int
+	open     []int64 // currently running thread per proc; -1 if idle
+	openFrom []int64
+	rows     [][]segment
+	lastStep int64
+}
+
+// NewBuilder creates a builder for p processors.
+func NewBuilder(p int) *Builder {
+	b := &Builder{
+		procs:    p,
+		open:     make([]int64, p),
+		openFrom: make([]int64, p),
+		rows:     make([][]segment, p),
+	}
+	for i := range b.open {
+		b.open[i] = -1
+	}
+	return b
+}
+
+// Event consumes one observer event. Kinds "steal" and "resume" open a
+// segment; "terminate", "suspend", "preempt" and "block" close it; other
+// kinds only advance the clock.
+func (b *Builder) Event(step int64, proc int, kind string, threadID int64) {
+	if proc < 0 || proc >= b.procs {
+		return
+	}
+	if step > b.lastStep {
+		b.lastStep = step
+	}
+	switch kind {
+	case "steal", "resume":
+		b.close(proc, step)
+		b.open[proc] = threadID
+		b.openFrom[proc] = step
+	case "terminate", "suspend", "preempt", "block":
+		b.close(proc, step)
+	}
+}
+
+func (b *Builder) close(proc int, step int64) {
+	if b.open[proc] < 0 {
+		return
+	}
+	to := step
+	if to <= b.openFrom[proc] {
+		to = b.openFrom[proc] + 1 // at least the event's own timestep
+	}
+	b.rows[proc] = append(b.rows[proc], segment{b.openFrom[proc], to, b.open[proc]})
+	b.open[proc] = -1
+}
+
+// Finish closes any still-open segments at the final observed step.
+func (b *Builder) Finish() {
+	for p := 0; p < b.procs; p++ {
+		b.close(p, b.lastStep+1)
+	}
+}
+
+// Busy returns the total occupied timesteps of processor p.
+func (b *Builder) Busy(p int) int64 {
+	var n int64
+	for _, s := range b.rows[p] {
+		n += s.to - s.from
+	}
+	return n
+}
+
+// Render draws the timelines with the given chart width in characters.
+// Each cell shows the thread occupying the processor at that time bin
+// (digits cycle through thread IDs mod 62 as 0-9a-zA-Z), '.' for idle.
+func (b *Builder) Render(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	span := b.lastStep + 1
+	if span < 1 {
+		span = 1
+	}
+	binSize := (span + int64(width) - 1) / int64(width)
+	if binSize < 1 {
+		binSize = 1
+	}
+	bins := int((span + binSize - 1) / binSize)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "time 0 .. %d (each column = %d steps; '.' idle)\n", b.lastStep, binSize)
+	for p := 0; p < b.procs; p++ {
+		fmt.Fprintf(&sb, "P%-3d ", p)
+		row := make([]byte, bins)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range b.rows[p] {
+			lo := int(s.from / binSize)
+			hi := int((s.to - 1) / binSize)
+			for i := lo; i <= hi && i < bins; i++ {
+				row[i] = glyph(s.thread)
+			}
+		}
+		sb.Write(row)
+		fmt.Fprintf(&sb, "  (busy %d)\n", b.Busy(p))
+	}
+	return sb.String()
+}
+
+const glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+func glyph(id int64) byte {
+	if id < 0 {
+		return '?'
+	}
+	return glyphs[id%int64(len(glyphs))]
+}

@@ -1,0 +1,105 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"dfdeques/internal/dag"
+	"dfdeques/internal/machine"
+	"dfdeques/internal/sched"
+)
+
+func TestSyntheticTimeline(t *testing.T) {
+	b := NewBuilder(2)
+	b.Event(0, 0, "steal", 1)
+	b.Event(10, 0, "terminate", 1)
+	b.Event(3, 1, "steal", 2)
+	b.Event(7, 1, "suspend", 2)
+	b.Event(8, 1, "resume", 3)
+	b.Event(12, 1, "terminate", 3)
+	b.Finish()
+	if got := b.Busy(0); got != 10 {
+		t.Errorf("P0 busy = %d, want 10", got)
+	}
+	if got := b.Busy(1); got != 8 { // 4 + 4
+		t.Errorf("P1 busy = %d, want 8", got)
+	}
+	out := b.Render(13)
+	if !strings.Contains(out, "P0") || !strings.Contains(out, "P1") {
+		t.Fatalf("render missing rows:\n%s", out)
+	}
+	// Width ≥ span: one column per step. P0 runs thread 1 for steps 0-9.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "1111111111") {
+		t.Errorf("P0 row wrong: %q", lines[1])
+	}
+	// Thread 2 occupies steps 3–6, step 7 is idle (suspended at 7, next
+	// resume at 8), thread 3 occupies steps 8–11.
+	if !strings.Contains(lines[2], "...2222.3333") {
+		t.Errorf("P1 row wrong: %q", lines[2])
+	}
+}
+
+func TestZeroLengthSegmentsGetOneStep(t *testing.T) {
+	b := NewBuilder(1)
+	b.Event(5, 0, "steal", 7)
+	b.Event(5, 0, "terminate", 7) // same-step steal+terminate
+	b.Finish()
+	if got := b.Busy(0); got != 1 {
+		t.Errorf("busy = %d, want 1", got)
+	}
+}
+
+func TestIgnoresUnknownProcsAndKinds(t *testing.T) {
+	b := NewBuilder(1)
+	b.Event(0, 5, "steal", 1) // out of range: ignored
+	b.Event(0, 0, "fork", 1)  // non-transition kind: ignored
+	b.Finish()
+	if b.Busy(0) != 0 {
+		t.Error("unexpected occupancy")
+	}
+}
+
+func TestFinishClosesOpenSegments(t *testing.T) {
+	b := NewBuilder(1)
+	b.Event(0, 0, "steal", 1)
+	b.Event(9, 0, "fork", 1) // advances the clock only
+	b.Finish()
+	if got := b.Busy(0); got != 10 {
+		t.Errorf("busy = %d, want 10", got)
+	}
+}
+
+// TestEndToEndWithMachine wires the builder into a real simulation and
+// sanity-checks the reconstructed occupancy against the metrics.
+func TestEndToEndWithMachine(t *testing.T) {
+	spec := dag.ParFor("loop", 32, func(int) *dag.ThreadSpec {
+		return dag.NewThread("leaf").Work(20).Spec()
+	})
+	const procs = 4
+	b := NewBuilder(procs)
+	cfg := machine.Config{Procs: procs, Seed: 1, Observer: b.Event}
+	m := machine.New(cfg, sched.NewDFDeques(0))
+	met, err := m.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Finish()
+	var busy int64
+	for p := 0; p < procs; p++ {
+		busy += b.Busy(p)
+	}
+	// Reconstructed busy time must cover at least the executed actions
+	// (it may exceed them slightly: a terminate and the next resume can
+	// share a timestep) and never exceed procs × makespan.
+	if busy < met.Actions {
+		t.Errorf("busy %d below actions %d", busy, met.Actions)
+	}
+	if busy > int64(procs)*(met.Steps+1) {
+		t.Errorf("busy %d exceeds machine capacity %d", busy, int64(procs)*met.Steps)
+	}
+	out := b.Render(60)
+	if strings.Count(out, "\n") != procs+1 {
+		t.Errorf("render rows wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,48 @@
+package grt
+
+import "errors"
+
+var errFutureReset = errors.New("grt: Future set twice")
+
+// Future is a write-once synchronization variable mediated by the thread
+// scheduler, in the style of Multilisp futures / Id I-structures — the
+// synchronization class the depth-first scheduling framework was extended
+// to in Blelloch–Gibbons–Matias–Narlikar [4] (§1 of the paper). A thread
+// reading an unset Future suspends and frees its processor; the write
+// wakes every reader through the scheduler's wake path (for DFDeques, a
+// new deque at the reader's priority position in R).
+//
+// Futures take the computation outside the nested-parallel model, so the
+// paper's space bound does not apply; like Mutex, they are executed
+// correctly regardless.
+//
+// The zero value is an unset Future. Set must be called at most once.
+type Future struct {
+	set     bool
+	value   any
+	waiters []*T
+}
+
+// Set writes the future's value and wakes all readers. Calling Set twice
+// is an error, reported through the runtime.
+func (f *Future) Set(t *T, v any) {
+	t.do(event{kind: evFutureSet, fut: f, val: v})
+}
+
+// Get returns the future's value, suspending t until it is set.
+func (f *Future) Get(t *T) any {
+	t.do(event{kind: evFutureGet, fut: f})
+	// Resumption implies the value is set (the worker only continues or
+	// wakes this thread once f.set holds under the scheduler lock).
+	return f.value
+}
+
+// TryGet returns the value without suspending; ok is false if unset.
+func (f *Future) TryGet(t *T) (v any, ok bool) {
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	if !f.set {
+		return nil, false
+	}
+	return f.value, true
+}

@@ -1,0 +1,155 @@
+package grt_test
+
+import (
+	"strings"
+	"testing"
+
+	"dfdeques/internal/grt"
+)
+
+func TestFutureBasicHandoff(t *testing.T) {
+	for _, k := range kinds() {
+		var f grt.Future
+		var got any
+		_, err := grt.Run(grt.Config{Workers: 2, Sched: k, Seed: 1}, func(r *grt.T) {
+			h := r.Fork(func(c *grt.T) {
+				got = f.Get(c) // may suspend until the parent sets it
+			})
+			f.Set(r, 42)
+			r.Join(h)
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if got != 42 {
+			t.Errorf("%v: Get = %v, want 42", k, got)
+		}
+	}
+}
+
+func TestFutureManyReaders(t *testing.T) {
+	var f grt.Future
+	results := make([]any, 16)
+	_, err := grt.Run(grt.Config{Workers: 4, Sched: grt.DFDeques, Seed: 2}, func(r *grt.T) {
+		var hs []*grt.T
+		for i := 0; i < 16; i++ {
+			i := i
+			hs = append(hs, r.Fork(func(c *grt.T) {
+				results[i] = f.Get(c)
+			}))
+		}
+		f.Set(r, "ready")
+		for i := len(hs) - 1; i >= 0; i-- {
+			r.Join(hs[i])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range results {
+		if v != "ready" {
+			t.Errorf("reader %d got %v", i, v)
+		}
+	}
+}
+
+func TestFutureSetBeforeGet(t *testing.T) {
+	var f grt.Future
+	_, err := grt.Run(grt.Config{Workers: 1, Sched: grt.ADF, Seed: 3}, func(r *grt.T) {
+		f.Set(r, 7)
+		if v := f.Get(r); v != 7 {
+			panic("wrong value")
+		}
+		if v, ok := f.TryGet(r); !ok || v != 7 {
+			panic("TryGet failed")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFutureTryGetUnset(t *testing.T) {
+	var f grt.Future
+	_, err := grt.Run(grt.Config{Workers: 1, Sched: grt.FIFO, Seed: 4}, func(r *grt.T) {
+		if _, ok := f.TryGet(r); ok {
+			panic("TryGet on unset future succeeded")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFutureDoubleSetIsError(t *testing.T) {
+	var f grt.Future
+	_, err := grt.Run(grt.Config{Workers: 1, Sched: grt.DFDeques, Seed: 5}, func(r *grt.T) {
+		f.Set(r, 1)
+		f.Set(r, 2)
+	})
+	if err == nil {
+		t.Fatal("expected double-set error")
+	}
+}
+
+func TestFuturePipeline(t *testing.T) {
+	// A chain of stages, each consuming the previous stage's future and
+	// producing its own — classic futures-style dataflow, outside the
+	// pure nested-parallel model but executed correctly (§1's [4]).
+	const stages = 20
+	futs := make([]grt.Future, stages+1)
+	_, err := grt.Run(grt.Config{Workers: 4, Sched: grt.DFDeques, Seed: 6}, func(r *grt.T) {
+		var hs []*grt.T
+		for i := stages; i >= 1; i-- { // fork consumers before the producer sets stage 0
+			i := i
+			hs = append(hs, r.Fork(func(c *grt.T) {
+				v := futs[i-1].Get(c).(int)
+				futs[i].Set(c, v+1)
+			}))
+		}
+		futs[0].Set(r, 0)
+		for i := len(hs) - 1; i >= 0; i-- {
+			r.Join(hs[i])
+		}
+		if v := futs[stages].Get(r).(int); v != stages {
+			panic("pipeline value wrong")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeverSetFutureDeadlockDetected(t *testing.T) {
+	var f grt.Future
+	_, err := grt.Run(grt.Config{Workers: 2, Sched: grt.DFDeques, Seed: 7}, func(r *grt.T) {
+		h := r.Fork(func(c *grt.T) { f.Get(c) })
+		r.Join(h)
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+}
+
+func TestLockCycleDeadlockDetected(t *testing.T) {
+	var a, b grt.Mutex
+	barrier := make(chan struct{})
+	_, err := grt.Run(grt.Config{Workers: 2, Sched: grt.DFDeques, Seed: 8}, func(r *grt.T) {
+		h := r.Fork(func(c *grt.T) {
+			a.Lock(c)
+			<-barrier // real-time sync to force the AB/BA interleaving
+			b.Lock(c)
+			b.Unlock(c)
+			a.Unlock(c)
+		})
+		b.Lock(r)
+		barrier <- struct{}{}
+		a.Lock(r)
+		a.Unlock(r)
+		b.Unlock(r)
+		r.Join(h)
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+}

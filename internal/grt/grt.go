@@ -1,0 +1,337 @@
+// Package grt is a real, concurrent user-level fork-join thread runtime —
+// the Go analogue of the paper's modified Solaris Pthreads library (§5).
+// User threads are goroutines multiplexed onto a fixed set of workers by a
+// pluggable scheduler: DFDeques(K) (the paper's algorithm, §3), ADF(K)
+// (the depth-first baseline), or FIFO (the original library scheduler).
+//
+// As in the paper's implementation, access to the scheduling state — the
+// deque list R, the global queue, thread priorities — is serialized by a
+// single lock (§5: "R is implemented as a linked list of deques protected
+// by a shared scheduler lock"). Threads yield to their worker at exactly
+// the paper's scheduling points: fork, join on a live child, quota-checked
+// allocation, lock block, dummy execution, and termination.
+//
+// Workers hand threads off synchronously: a worker resumes a thread's
+// goroutine and sleeps until the thread reports its next scheduling event,
+// so at most Workers user goroutines execute user code at any instant —
+// the runtime schedules threads, not the Go scheduler.
+package grt
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"dfdeques/internal/core"
+	"dfdeques/internal/om"
+)
+
+// Kind selects the scheduling algorithm.
+type Kind int
+
+const (
+	// DFDeques is algorithm DFDeques(K) (§3.3).
+	DFDeques Kind = iota
+	// ADF is the asynchronous depth-first scheduler with per-thread
+	// memory quota.
+	ADF
+	// FIFO is a single global FIFO run queue; forked children are
+	// enqueued and the parent keeps running (breadth-first).
+	FIFO
+)
+
+func (k Kind) String() string {
+	switch k {
+	case DFDeques:
+		return "DFDeques"
+	case ADF:
+		return "ADF"
+	case FIFO:
+		return "FIFO"
+	}
+	return "Kind?"
+}
+
+// Config configures a runtime.
+type Config struct {
+	// Workers is the number of scheduler workers (virtual processors).
+	Workers int
+	// Sched selects the algorithm.
+	Sched Kind
+	// K is the memory threshold in bytes; 0 means no quota (∞). For
+	// DFDeques it bounds net allocation per steal; for ADF, per thread
+	// dispatch.
+	K int64
+	// Seed drives steal-victim randomness.
+	Seed int64
+}
+
+// Stats reports what a run did.
+type Stats struct {
+	TotalThreads    int64
+	MaxLiveThreads  int64
+	DummyThreads    int64
+	Steals          int64 // successful shared acquisitions
+	FailedSteals    int64
+	LocalDispatches int64 // own-deque dispatches (DFDeques only)
+	Preemptions     int64 // quota preemptions
+	HeapHW          int64 // high-water of Alloc−Free bytes
+}
+
+type evKind uint8
+
+const (
+	evFork evKind = iota
+	evJoin
+	evAlloc
+	evAllocExempt
+	evFree
+	evLock
+	evUnlock
+	evFutureSet
+	evFutureGet
+	evDummy
+	evDone
+)
+
+type event struct {
+	kind  evKind
+	child *T      // evFork
+	n     int64   // evAlloc/evFree bytes
+	mu    *Mutex  // evLock/evUnlock
+	fut   *Future // evFutureSet/evFutureGet
+	val   any     // evFutureSet
+}
+
+// T is a user-level thread handle, passed to every thread body. Methods on
+// T must only be called from within that thread's body.
+type T struct {
+	rt      *Runtime
+	body    func(*T)
+	prio    *om.Record
+	resume  chan struct{}
+	yield   chan event
+	started bool
+	dummy   bool
+
+	// Owned by the thread goroutine:
+	unjoined []*T
+
+	// retryAlloc is set by the worker when a quota veto preempted the
+	// thread's allocation: Alloc must re-attempt after resumption. Written
+	// under rt.mu before the thread is re-published; read by the thread
+	// after its resume (the channel handoff orders the accesses).
+	retryAlloc bool
+
+	// Guarded by rt.mu:
+	done   bool
+	waiter *T
+}
+
+// Runtime executes nested-parallel computations under one scheduler.
+type Runtime struct {
+	cfg Config
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	rng       *rand.Rand
+	prios     om.List
+	pool      *core.Pool[*T] // DFDeques
+	queue     []*T           // FIFO (head at queueHead)
+	queueHead int
+	ready     []*T // ADF: sorted by priority, index 0 highest
+
+	heapLive, heapHW   int64
+	live, maxLive, tot int64
+	dummies            int64
+	steals, failed     int64
+	localDisp          int64
+	preempts           int64
+	idleWaiters        int
+	finished           bool
+	failure            error
+}
+
+// Run executes root as the root thread of a new runtime and blocks until
+// the computation completes. It returns the run's statistics and an error
+// if any thread body panicked or violated the nested-parallel discipline.
+func Run(cfg Config, root func(*T)) (Stats, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	rt := &Runtime{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	rt.cond = sync.NewCond(&rt.mu)
+	if cfg.Sched == DFDeques {
+		rt.pool = core.NewPool(cfg.Workers, func(a, b *T) bool { return om.Less(a.prio, b.prio) }, rt.rng)
+	}
+
+	rootT := rt.newT(root)
+	rt.mu.Lock()
+	rootT.prio = rt.prios.PushBack()
+	rt.tot, rt.live, rt.maxLive = 1, 1, 1
+	rt.enqueueReadyLocked(-1, rootT)
+	rt.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rt.worker(w)
+		}(w)
+	}
+	wg.Wait()
+
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	st := Stats{
+		TotalThreads:    rt.tot,
+		MaxLiveThreads:  rt.maxLive,
+		DummyThreads:    rt.dummies,
+		Steals:          rt.steals,
+		FailedSteals:    rt.failed,
+		LocalDispatches: rt.localDisp,
+		Preemptions:     rt.preempts,
+		HeapHW:          rt.heapHW,
+	}
+	if rt.pool != nil {
+		s, f, l := rt.pool.Stats()
+		st.Steals += s
+		st.FailedSteals += f
+		st.LocalDispatches += l
+	}
+	return st, rt.failure
+}
+
+func (rt *Runtime) newT(body func(*T)) *T {
+	return &T{
+		rt:     rt,
+		body:   body,
+		resume: make(chan struct{}, 1),
+		yield:  make(chan event),
+	}
+}
+
+// step resumes t and waits for its next scheduling event. Only the worker
+// currently responsible for t may call it.
+func (t *T) step() event {
+	if !t.started {
+		t.started = true
+		go t.main()
+	}
+	t.resume <- struct{}{}
+	return <-t.yield
+}
+
+// main is the thread goroutine's body.
+func (t *T) main() {
+	<-t.resume
+	defer func() {
+		if r := recover(); r != nil {
+			t.rt.mu.Lock()
+			if t.rt.failure == nil {
+				t.rt.failure = fmt.Errorf("grt: thread panicked: %v", r)
+			}
+			t.rt.mu.Unlock()
+		}
+		t.yield <- event{kind: evDone}
+	}()
+	t.body(t)
+	if len(t.unjoined) > 0 {
+		panic(fmt.Sprintf("nested-parallel violation: %d forked children not joined", len(t.unjoined)))
+	}
+}
+
+// do yields an event to the current worker and blocks until resumed.
+func (t *T) do(ev event) {
+	t.yield <- ev
+	<-t.resume
+}
+
+// Fork creates a child thread running body. The child preempts the parent
+// under the depth-first schedulers; under FIFO the parent continues. The
+// returned handle must be passed to Join before the parent returns.
+func (t *T) Fork(body func(*T)) *T {
+	return t.fork(body, false)
+}
+
+func (t *T) fork(body func(*T), dummy bool) *T {
+	child := t.rt.newT(body)
+	child.dummy = dummy
+	t.unjoined = append(t.unjoined, child)
+	t.do(event{kind: evFork, child: child})
+	return child
+}
+
+// Join waits for the most recent unjoined child (which must equal h) to
+// terminate. Joins are LIFO, matching the nested-parallel model.
+func (t *T) Join(h *T) {
+	if len(t.unjoined) == 0 || t.unjoined[len(t.unjoined)-1] != h {
+		panic("grt: Join order must be LIFO with the thread's own children")
+	}
+	t.unjoined = t.unjoined[:len(t.unjoined)-1]
+	for {
+		t.rt.mu.Lock()
+		done := h.done
+		t.rt.mu.Unlock()
+		if done {
+			return
+		}
+		t.do(event{kind: evJoin, child: h})
+	}
+}
+
+// ForkJoin forks body and immediately joins it.
+func (t *T) ForkJoin(body func(*T)) {
+	t.Join(t.Fork(body))
+}
+
+// Alloc charges n bytes against the runtime's heap accounting and the
+// scheduler's memory quota. Allocations larger than the memory threshold K
+// first fork the paper's dummy-thread tree (§3.3), delaying the allocation
+// so higher-priority threads can run.
+func (t *T) Alloc(n int64) {
+	if n <= 0 {
+		return
+	}
+	if k := t.rt.cfg.K; k > 0 && n > k {
+		t.forkDummies((n + k - 1) / k)
+		t.do(event{kind: evAllocExempt, n: n})
+		return
+	}
+	for {
+		t.do(event{kind: evAlloc, n: n})
+		if !t.retryAlloc {
+			return
+		}
+		// The worker vetoed the allocation (quota exhausted) and this
+		// thread has just been redispatched with a fresh quota: retry.
+		t.retryAlloc = false
+	}
+}
+
+// Free returns n bytes to the heap accounting (and the quota, which
+// bounds *net* allocation).
+func (t *T) Free(n int64) {
+	if n <= 0 {
+		return
+	}
+	t.do(event{kind: evFree, n: n})
+}
+
+// forkDummies forks a binary tree with n dummy leaves and joins it.
+func (t *T) forkDummies(n int64) {
+	if n == 1 {
+		h := t.fork(func(c *T) {
+			c.do(event{kind: evDummy})
+		}, true)
+		t.Join(h)
+		return
+	}
+	l := n / 2
+	h := t.Fork(func(c *T) {
+		c.forkDummies(l)
+		c.forkDummies(n - l)
+	})
+	t.Join(h)
+}

@@ -1,0 +1,309 @@
+package grt_test
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"dfdeques/internal/grt"
+)
+
+func kinds() []grt.Kind { return []grt.Kind{grt.DFDeques, grt.ADF, grt.FIFO} }
+
+// fib computes Fibonacci with one thread per recursive call, the classic
+// fork-join smoke test. Results flow through real shared memory.
+func fib(t *grt.T, n int, out *int64) {
+	if n < 2 {
+		*out = int64(n)
+		return
+	}
+	var a, b int64
+	h := t.Fork(func(c *grt.T) { fib(c, n-1, &a) })
+	fib(t, n-2, &b)
+	t.Join(h)
+	*out = a + b
+}
+
+func TestFibAllSchedulersAllWorkerCounts(t *testing.T) {
+	const n, want = 15, 610
+	for _, k := range kinds() {
+		for _, workers := range []int{1, 2, 4, 8} {
+			var got int64
+			st, err := grt.Run(grt.Config{Workers: workers, Sched: k, Seed: 7}, func(r *grt.T) {
+				fib(r, n, &got)
+			})
+			if err != nil {
+				t.Fatalf("%v/%d workers: %v", k, workers, err)
+			}
+			if got != want {
+				t.Errorf("%v/%d workers: fib = %d, want %d", k, workers, got, want)
+			}
+			if st.TotalThreads < 100 {
+				t.Errorf("%v/%d: threads = %d, want many", k, workers, st.TotalThreads)
+			}
+		}
+	}
+}
+
+func TestParallelSumTree(t *testing.T) {
+	// Sum 0..1023 with a fork tree; exercises deep nesting.
+	var sum func(t *grt.T, lo, hi int, out *int64)
+	sum = func(t *grt.T, lo, hi int, out *int64) {
+		if hi-lo <= 16 {
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += int64(i)
+			}
+			*out = s
+			return
+		}
+		mid := (lo + hi) / 2
+		var a, b int64
+		h := t.Fork(func(c *grt.T) { sum(c, lo, mid, &a) })
+		sum(t, mid, hi, &b)
+		t.Join(h)
+		*out = a + b
+	}
+	for _, k := range kinds() {
+		var got int64
+		if _, err := grt.Run(grt.Config{Workers: 4, Sched: k, Seed: 3}, func(r *grt.T) {
+			sum(r, 0, 1024, &got)
+		}); err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if got != 1023*1024/2 {
+			t.Errorf("%v: sum = %d", k, got)
+		}
+	}
+}
+
+func TestHeapAccounting(t *testing.T) {
+	for _, k := range kinds() {
+		st, err := grt.Run(grt.Config{Workers: 2, Sched: k, Seed: 1}, func(r *grt.T) {
+			r.Alloc(1000)
+			h := r.Fork(func(c *grt.T) {
+				c.Alloc(500)
+				c.Free(500)
+			})
+			r.Join(h)
+			r.Free(1000)
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if st.HeapHW < 1000 || st.HeapHW > 1500 {
+			t.Errorf("%v: HeapHW = %d, want in [1000, 1500]", k, st.HeapHW)
+		}
+	}
+}
+
+func TestQuotaPreemption(t *testing.T) {
+	st, err := grt.Run(grt.Config{Workers: 2, Sched: grt.DFDeques, K: 100, Seed: 2}, func(r *grt.T) {
+		r.Alloc(60)
+		r.Alloc(60) // exceeds the per-steal quota: must preempt and retry
+		r.Free(120)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Preemptions == 0 {
+		t.Error("expected a quota preemption")
+	}
+}
+
+func TestDummyThreadsForBigAlloc(t *testing.T) {
+	for _, k := range []grt.Kind{grt.DFDeques, grt.ADF} {
+		st, err := grt.Run(grt.Config{Workers: 2, Sched: k, K: 100, Seed: 3}, func(r *grt.T) {
+			r.Alloc(1000) // 10 dummy leaves
+			r.Free(1000)
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if st.DummyThreads != 10 {
+			t.Errorf("%v: dummies = %d, want 10", k, st.DummyThreads)
+		}
+		if st.HeapHW != 1000 {
+			t.Errorf("%v: HeapHW = %d, want 1000", k, st.HeapHW)
+		}
+	}
+}
+
+func TestNetQuota(t *testing.T) {
+	// Alternating alloc/free of 60 bytes never exceeds net 60 under K=100.
+	st, err := grt.Run(grt.Config{Workers: 1, Sched: grt.DFDeques, K: 100, Seed: 4}, func(r *grt.T) {
+		for i := 0; i < 20; i++ {
+			r.Alloc(60)
+			r.Free(60)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Preemptions != 0 {
+		t.Errorf("net-quota run preempted %d times", st.Preemptions)
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	// A counter protected by a grt.Mutex must see every increment. The
+	// increments use a plain int64 read-modify-write, so lost updates
+	// would show if mutual exclusion were broken (and the race detector
+	// would flag unsynchronized access).
+	for _, k := range kinds() {
+		var m grt.Mutex
+		var counter int64
+		_, err := grt.Run(grt.Config{Workers: 4, Sched: k, Seed: 5}, func(r *grt.T) {
+			var rec func(t *grt.T, n int)
+			rec = func(t *grt.T, n int) {
+				if n == 0 {
+					m.Lock(t)
+					counter++
+					m.Unlock(t)
+					return
+				}
+				h := t.Fork(func(c *grt.T) { rec(c, n-1) })
+				rec(t, n-1)
+				t.Join(h)
+			}
+			rec(r, 6) // 64 leaves
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if counter != 64 {
+			t.Errorf("%v: counter = %d, want 64", k, counter)
+		}
+	}
+}
+
+func TestUnlockNotHeldReportsError(t *testing.T) {
+	var m grt.Mutex
+	_, err := grt.Run(grt.Config{Workers: 1, Sched: grt.DFDeques, Seed: 6}, func(r *grt.T) {
+		m.Unlock(r)
+	})
+	if err == nil {
+		t.Fatal("expected error for unlocking a mutex not held")
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	_, err := grt.Run(grt.Config{Workers: 2, Sched: grt.DFDeques, Seed: 7}, func(r *grt.T) {
+		h := r.Fork(func(c *grt.T) { panic("boom") })
+		r.Join(h)
+	})
+	if err == nil {
+		t.Fatal("expected panic to surface as an error")
+	}
+}
+
+func TestUnjoinedForkIsAnError(t *testing.T) {
+	_, err := grt.Run(grt.Config{Workers: 1, Sched: grt.DFDeques, Seed: 8}, func(r *grt.T) {
+		r.Fork(func(c *grt.T) {})
+		// returns without joining: nested-parallel violation
+	})
+	if err == nil {
+		t.Fatal("expected nested-parallel violation error")
+	}
+}
+
+func TestJoinOrderMustBeLIFO(t *testing.T) {
+	_, err := grt.Run(grt.Config{Workers: 1, Sched: grt.DFDeques, Seed: 9}, func(r *grt.T) {
+		h1 := r.Fork(func(c *grt.T) {})
+		h2 := r.Fork(func(c *grt.T) {})
+		r.Join(h1) // wrong: h2 is the most recent
+		r.Join(h2)
+	})
+	if err == nil {
+		t.Fatal("expected LIFO join violation error")
+	}
+}
+
+func TestFIFOCreatesMoreLiveThreads(t *testing.T) {
+	// A wide flat loop: FIFO unfolds it breadth-first while DFDeques
+	// throttles to roughly the worker count.
+	wide := func(r *grt.T) {
+		var rec func(t *grt.T, n int)
+		rec = func(t *grt.T, n int) {
+			if n == 1 {
+				for i := 0; i < 100; i++ {
+					_ = i * i
+				}
+				return
+			}
+			h := t.Fork(func(c *grt.T) { rec(c, n/2) })
+			rec(t, n-n/2)
+			t.Join(h)
+		}
+		rec(r, 256)
+	}
+	run := func(k grt.Kind) int64 {
+		st, err := grt.Run(grt.Config{Workers: 4, Sched: k, Seed: 10}, wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.MaxLiveThreads
+	}
+	fifo := run(grt.FIFO)
+	dfd := run(grt.DFDeques)
+	if fifo < 2*dfd {
+		t.Errorf("FIFO live = %d vs DFDeques = %d: expected breadth-first blowup", fifo, dfd)
+	}
+}
+
+func TestStealsHappenWithMultipleWorkers(t *testing.T) {
+	var spin int64
+	st, err := grt.Run(grt.Config{Workers: 4, Sched: grt.DFDeques, Seed: 11}, func(r *grt.T) {
+		var rec func(t *grt.T, n int)
+		rec = func(t *grt.T, n int) {
+			if n == 0 {
+				// Enough real work that thieves have time to act; the
+				// Gosched gives them CPU time on small machines.
+				for i := 0; i < 2000; i++ {
+					atomic.AddInt64(&spin, 1)
+					if i%250 == 0 {
+						runtime.Gosched()
+					}
+				}
+				return
+			}
+			h := t.Fork(func(c *grt.T) { rec(c, n-1) })
+			rec(t, n-1)
+			t.Join(h)
+		}
+		rec(r, 7)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Steals < 2 {
+		t.Errorf("steals = %d, want ≥ 2 (includes the root acquisition)", st.Steals)
+	}
+}
+
+func TestZeroWorkersDefaultsToOne(t *testing.T) {
+	ran := false
+	if _, err := grt.Run(grt.Config{Sched: grt.FIFO}, func(r *grt.T) { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("root did not run")
+	}
+}
+
+func BenchmarkForkJoinDFD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		grt.Run(grt.Config{Workers: 4, Sched: grt.DFDeques, Seed: 1}, func(r *grt.T) {
+			var rec func(t *grt.T, n int)
+			rec = func(t *grt.T, n int) {
+				if n == 0 {
+					return
+				}
+				h := t.Fork(func(c *grt.T) { rec(c, n-1) })
+				rec(t, n-1)
+				t.Join(h)
+			}
+			rec(r, 8)
+		})
+	}
+}

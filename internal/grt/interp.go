@@ -1,0 +1,93 @@
+package grt
+
+import (
+	"fmt"
+	"sync"
+
+	"dfdeques/internal/dag"
+)
+
+// RunSpec interprets a declarative dag.ThreadSpec program on the real
+// runtime: forks become real thread forks, allocations drive the memory
+// quota, lock instructions use scheduler-mediated Mutexes, and OpWork
+// burns real CPU. This is the bridge that lets one workload definition run
+// on both engines — the simulator measures it under the §4.1 cost model,
+// and this interpreter executes it as genuine concurrency (integration
+// tests cross-check the two).
+//
+// WorkScale sets the spin iterations per unit action (0 = 8).
+func RunSpec(cfg Config, spec *dag.ThreadSpec, workScale int) (Stats, error) {
+	if err := dag.Validate(spec); err != nil {
+		return Stats{}, err
+	}
+	if workScale <= 0 {
+		workScale = 8
+	}
+	in := &interp{scale: workScale, locks: make(map[dag.LockID]*Mutex)}
+	return Run(cfg, func(t *T) { in.thread(t, spec) })
+}
+
+type interp struct {
+	scale int
+	mu    sync.Mutex
+	locks map[dag.LockID]*Mutex
+
+	sink uint64 // defeats dead-code elimination of the work loops
+}
+
+func (in *interp) lock(id dag.LockID) *Mutex {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	m, ok := in.locks[id]
+	if !ok {
+		m = &Mutex{}
+		in.locks[id] = m
+	}
+	return m
+}
+
+func (in *interp) thread(t *T, spec *dag.ThreadSpec) {
+	var joinStack []*T
+	for _, instr := range spec.Instrs {
+		switch instr.Op {
+		case dag.OpWork:
+			in.spin(instr.N)
+		case dag.OpAlloc:
+			t.Alloc(instr.N)
+		case dag.OpFree:
+			t.Free(instr.N)
+		case dag.OpFork:
+			child := instr.Child
+			h := t.Fork(func(c *T) { in.thread(c, child) })
+			joinStack = append(joinStack, h)
+		case dag.OpJoin:
+			h := joinStack[len(joinStack)-1]
+			joinStack = joinStack[:len(joinStack)-1]
+			t.Join(h)
+		case dag.OpAcquire:
+			in.lock(instr.Lock).Lock(t)
+		case dag.OpRelease:
+			in.lock(instr.Lock).Unlock(t)
+		case dag.OpDummy:
+			// Programs do not contain OpDummy (the runtime transformation
+			// inserts dummies itself via Alloc); tolerate it as a no-op.
+		default:
+			panic(fmt.Sprintf("grt: unknown op %v", instr.Op))
+		}
+	}
+}
+
+// spin performs n units of real work.
+func (in *interp) spin(n int64) {
+	var acc uint64 = 0x9E3779B97F4A7C15
+	iters := n * int64(in.scale)
+	for i := int64(0); i < iters; i++ {
+		acc ^= acc << 13
+		acc ^= acc >> 7
+		acc ^= acc << 17
+	}
+	// One racy-but-benign store would trip the race detector; guard it.
+	in.mu.Lock()
+	in.sink += acc
+	in.mu.Unlock()
+}

@@ -1,0 +1,134 @@
+package grt_test
+
+import (
+	"testing"
+
+	"dfdeques/internal/dag"
+	"dfdeques/internal/grt"
+	"dfdeques/internal/machine"
+	"dfdeques/internal/sched"
+	"dfdeques/internal/workload"
+)
+
+// TestRunSpecMatchesSerialMetrics: the real runtime must create exactly
+// the thread population the 1DF measurement predicts, and its heap
+// high-water must lie between S1 (the serial floor) and total allocation.
+func TestRunSpecMatchesSerialMetrics(t *testing.T) {
+	specs := map[string]*dag.ThreadSpec{
+		"parfor": dag.ParFor("loop", 32, func(int) *dag.ThreadSpec {
+			return dag.NewThread("leaf").Alloc(256).Work(5).Free(256).Spec()
+		}),
+		"dnc": dncSpec(5, 1024),
+	}
+	for name, spec := range specs {
+		want := dag.Measure(spec)
+		for _, kind := range []grt.Kind{grt.DFDeques, grt.ADF, grt.FIFO} {
+			st, err := grt.RunSpec(grt.Config{Workers: 4, Sched: kind, Seed: 1}, spec, 2)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, kind, err)
+			}
+			if st.TotalThreads != want.TotalThreads {
+				t.Errorf("%s/%v: threads = %d, want %d", name, kind, st.TotalThreads, want.TotalThreads)
+			}
+			if st.HeapHW < want.HeapHW {
+				t.Errorf("%s/%v: heap HW %d below serial floor %d", name, kind, st.HeapHW, want.HeapHW)
+			}
+			if st.HeapHW > want.TotalAlloc {
+				t.Errorf("%s/%v: heap HW %d above total allocation %d", name, kind, st.HeapHW, want.TotalAlloc)
+			}
+		}
+	}
+}
+
+func dncSpec(levels int, space int64) *dag.ThreadSpec {
+	if levels == 0 {
+		return dag.NewThread("leaf").Alloc(space).Work(3).Free(space).Spec()
+	}
+	l := dncSpec(levels-1, space/2)
+	r := dncSpec(levels-1, space/2)
+	return dag.NewThread("node").
+		Alloc(space).
+		Fork(l).Fork(r).Join().Join().
+		Free(space).
+		Spec()
+}
+
+// TestRunSpecQuotaAgreesWithSimulator: a single-worker DFDeques run of a
+// quota-stressed program must preempt on both engines (the policies are
+// the same algorithm).
+func TestRunSpecQuotaAgreesWithSimulator(t *testing.T) {
+	spec := dag.NewThread("chain").
+		Alloc(60).Alloc(60).Free(120).
+		Spec()
+	st, err := grt.RunSpec(grt.Config{Workers: 1, Sched: grt.DFDeques, K: 100, Seed: 1}, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.Config{Procs: 1, Seed: 1}, sched.NewDFDeques(100))
+	met, err := m.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (st.Preemptions == 0) != (met.Preemptions == 0) {
+		t.Errorf("engines disagree on preemption: grt=%d sim=%d", st.Preemptions, met.Preemptions)
+	}
+	if st.HeapHW != met.HeapHW {
+		t.Errorf("heap HW differs: grt=%d sim=%d", st.HeapHW, met.HeapHW)
+	}
+}
+
+// TestRunSpecDummiesAgree: both engines must fork the same number of
+// dummy threads for a big allocation.
+func TestRunSpecDummiesAgree(t *testing.T) {
+	spec := dag.NewThread("big").Alloc(1000).Work(2).Free(1000).Spec()
+	st, err := grt.RunSpec(grt.Config{Workers: 2, Sched: grt.DFDeques, K: 100, Seed: 2}, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.Config{Procs: 2, Seed: 2}, sched.NewDFDeques(100))
+	met, err := m.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DummyThreads != met.DummyThreads {
+		t.Errorf("dummy threads: grt=%d sim=%d", st.DummyThreads, met.DummyThreads)
+	}
+}
+
+// TestRunSpecWorkloadsSmoke: the paper's benchmarks run on the real
+// runtime too (reduced work scale to keep the test fast).
+func TestRunSpecWorkloadsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, w := range workload.All() {
+		spec := w.Build(workload.Medium)
+		want := dag.Measure(spec)
+		st, err := grt.RunSpec(grt.Config{Workers: 4, Sched: grt.DFDeques, K: 3000, Seed: 3}, spec, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		// Dummy threads are extra; everything else must match.
+		if st.TotalThreads-st.DummyThreads < want.TotalThreads {
+			t.Errorf("%s: threads = %d (%d dummies), want ≥ %d",
+				w.Name, st.TotalThreads, st.DummyThreads, want.TotalThreads)
+		}
+	}
+}
+
+// TestRunSpecLocksWork: lock-using specs hold mutual exclusion on the
+// real runtime.
+func TestRunSpecLocksWork(t *testing.T) {
+	spec := workload.BarnesHutTreeBuild(workload.Medium)
+	if _, err := grt.RunSpec(grt.Config{Workers: 4, Sched: grt.DFDeques, Seed: 4}, spec, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunSpecRejectsInvalid: validation errors surface.
+func TestRunSpecRejectsInvalid(t *testing.T) {
+	bad := &dag.ThreadSpec{Instrs: []dag.Instr{{Op: dag.OpJoin}}}
+	if _, err := grt.RunSpec(grt.Config{Workers: 1, Sched: grt.FIFO}, bad, 1); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

@@ -1,0 +1,33 @@
+package grt
+
+import "errors"
+
+var errUnlockNotHeld = errors.New("grt: Unlock of a mutex the thread does not hold")
+
+// Mutex is a blocking lock mediated by the thread scheduler, like Pthread
+// mutexes in the paper's library (§5): a thread that fails to acquire
+// suspends and its processor picks other work; an unlock hands the mutex
+// to the longest-waiting thread and re-publishes it to the scheduler.
+//
+// Programs using Mutex leave the pure nested-parallel model, so the
+// paper's space bound no longer applies (§3.1) — but the scheduler still
+// executes them correctly, which is what the Fig. 17 experiment exercises.
+//
+// The zero value is an unlocked mutex. Lock and Unlock must be called with
+// the calling thread's *T.
+type Mutex struct {
+	holder  *T
+	waiters []*T
+}
+
+// Lock acquires m, suspending t until it is available.
+func (m *Mutex) Lock(t *T) {
+	t.do(event{kind: evLock, mu: m})
+	// Resumption implies the worker either acquired the lock immediately
+	// or a releasing thread handed it to us.
+}
+
+// Unlock releases m, waking the longest-waiting thread if any.
+func (m *Mutex) Unlock(t *T) {
+	t.do(event{kind: evUnlock, mu: m})
+}

@@ -1,0 +1,360 @@
+package grt
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+
+	"dfdeques/internal/om"
+)
+
+// worker is one virtual processor: it acquires a thread, drives it from
+// scheduling event to scheduling event, and consults the scheduling policy
+// (under the global lock) at each event — the loop of Figure 5.
+func (rt *Runtime) worker(w int) {
+	var (
+		curr   *T
+		quota  int64 // remaining memory quota (DFDeques: per steal; ADF: per dispatch)
+		giveUp bool  // set by evDummy: release the deque at termination
+	)
+	for {
+		if curr == nil {
+			curr = rt.acquire(w, &quota)
+			if curr == nil {
+				return // computation finished
+			}
+		}
+		ev := curr.step()
+
+		rt.mu.Lock()
+		switch ev.kind {
+		case evFork:
+			child := ev.child
+			child.prio = rt.prios.InsertBefore(curr.prio)
+			rt.tot++
+			rt.live++
+			if rt.live > rt.maxLive {
+				rt.maxLive = rt.live
+			}
+			if child.dummy {
+				rt.dummies++
+			}
+			switch rt.cfg.Sched {
+			case DFDeques:
+				rt.pool.PushOwn(w, curr)
+				curr = child
+			case ADF:
+				rt.adfInsert(curr)
+				curr = child
+				quota = rt.cfg.K
+			case FIFO:
+				rt.queue = append(rt.queue, child)
+				// parent continues
+			}
+			rt.cond.Broadcast()
+
+		case evJoin:
+			if ev.child.done {
+				// Lost race resolved: the child finished before we could
+				// register; keep running the parent.
+				break
+			}
+			ev.child.waiter = curr
+			curr = rt.nextAfterBlockLocked(w, &quota)
+
+		case evAlloc:
+			if k := rt.cfg.K; k > 0 && ev.n > quota {
+				// Quota exhausted: preempt without performing the
+				// allocation; it will be retried after a fresh steal.
+				rt.preempts++
+				curr.retryAlloc = true
+				switch rt.cfg.Sched {
+				case DFDeques:
+					rt.pool.PushOwn(w, curr)
+					rt.pool.GiveUp(w)
+				case ADF:
+					rt.adfInsert(curr)
+				case FIFO:
+					rt.queue = append(rt.queue, curr)
+				}
+				rt.cond.Broadcast()
+				curr = nil
+				break
+			}
+			quota -= ev.n
+			rt.charge(ev.n)
+
+		case evAllocExempt:
+			rt.charge(ev.n)
+
+		case evFree:
+			rt.charge(-ev.n)
+			if k := rt.cfg.K; k > 0 {
+				quota += ev.n
+				if quota > k {
+					quota = k
+				}
+			}
+
+		case evLock:
+			m := ev.mu
+			if m.holder == nil {
+				m.holder = curr
+				break // lock acquired; keep running
+			}
+			m.waiters = append(m.waiters, curr)
+			curr = rt.nextAfterBlockLocked(w, &quota)
+
+		case evUnlock:
+			m := ev.mu
+			if m.holder != curr {
+				if rt.failure == nil {
+					rt.failure = errUnlockNotHeld
+				}
+				break
+			}
+			m.holder = nil
+			if len(m.waiters) > 0 {
+				next := m.waiters[0]
+				m.waiters = m.waiters[1:]
+				m.holder = next // hand the lock to the woken thread
+				rt.wakeLocked(next)
+				rt.cond.Broadcast()
+			}
+
+		case evFutureSet:
+			f := ev.fut
+			if f.set {
+				if rt.failure == nil {
+					rt.failure = errFutureReset
+				}
+				break
+			}
+			f.set = true
+			f.value = ev.val
+			if len(f.waiters) > 0 {
+				for _, wt := range f.waiters {
+					rt.wakeLocked(wt)
+				}
+				f.waiters = nil
+				rt.cond.Broadcast()
+			}
+
+		case evFutureGet:
+			f := ev.fut
+			if f.set {
+				break // value available; keep running
+			}
+			f.waiters = append(f.waiters, curr)
+			curr = rt.nextAfterBlockLocked(w, &quota)
+
+		case evDummy:
+			// §3.3: after executing a dummy thread the processor must give
+			// up its deque and steal. The dummy terminates right after
+			// this event; act at evDone.
+			giveUp = true
+
+		case evDone:
+			curr.done = true
+			rt.live--
+			rt.prios.Delete(curr.prio)
+			curr.prio = nil
+			woke := curr.waiter
+			curr.waiter = nil
+			if rt.live == 0 {
+				rt.finished = true
+				rt.cond.Broadcast()
+			}
+			switch {
+			case giveUp && rt.cfg.Sched == DFDeques:
+				giveUp = false
+				if woke != nil {
+					rt.pool.PushOwn(w, woke)
+				}
+				rt.pool.GiveUp(w)
+				rt.cond.Broadcast()
+				curr = nil
+			case woke != nil:
+				// Direct handoff to the woken parent (for nested-parallel
+				// programs the deque is empty here — Lemma 3.1).
+				if rt.cfg.Sched == ADF {
+					quota = rt.cfg.K
+				}
+				if rt.cfg.Sched == FIFO {
+					rt.queue = append(rt.queue, woke)
+					rt.cond.Broadcast()
+					curr = rt.fifoPopLocked()
+				} else {
+					curr = woke
+				}
+			default:
+				giveUp = false
+				curr = rt.nextAfterBlockLocked(w, &quota)
+			}
+		}
+		rt.mu.Unlock()
+	}
+}
+
+// nextAfterBlockLocked picks the worker's next thread after its current
+// one suspended, blocked, or terminated without a wake. Must hold rt.mu.
+func (rt *Runtime) nextAfterBlockLocked(w int, quota *int64) *T {
+	switch rt.cfg.Sched {
+	case DFDeques:
+		if x, ok := rt.pool.PopOwn(w); ok {
+			return x
+		}
+		return nil
+	case ADF:
+		if len(rt.ready) > 0 {
+			*quota = rt.cfg.K
+			rt.steals++
+			return rt.adfPopLocked()
+		}
+		return nil
+	case FIFO:
+		return rt.fifoPopLocked()
+	}
+	return nil
+}
+
+// acquire blocks until it can hand the worker a thread (a steal for
+// DFDeques; a queue take otherwise) or the computation finishes (nil).
+func (rt *Runtime) acquire(w int, quota *int64) *T {
+	spins := 0
+	for {
+		rt.mu.Lock()
+		if rt.finished {
+			rt.mu.Unlock()
+			return nil
+		}
+		switch rt.cfg.Sched {
+		case DFDeques:
+			if x, ok := rt.pool.Steal(w); ok {
+				*quota = rt.cfg.K
+				rt.mu.Unlock()
+				return x
+			}
+			if rt.pool.HasWork() {
+				// Unlucky victim pick; retry outside the lock.
+				rt.mu.Unlock()
+				spins++
+				if spins%64 == 0 {
+					runtime.Gosched()
+				}
+				continue
+			}
+		case ADF:
+			if len(rt.ready) > 0 {
+				*quota = rt.cfg.K
+				rt.steals++
+				x := rt.adfPopLocked()
+				rt.mu.Unlock()
+				return x
+			}
+		case FIFO:
+			if x := rt.fifoPopLocked(); x != nil {
+				rt.mu.Unlock()
+				return x
+			}
+		}
+		// No work anywhere: sleep until something is published. If every
+		// worker is asleep while threads remain live, nothing can ever
+		// publish work again — the program deadlocked (possible only
+		// outside the nested-parallel model, e.g. lock cycles or a Future
+		// nobody sets). Report it instead of hanging; the blocked thread
+		// goroutines are abandoned.
+		rt.idleWaiters++
+		if rt.idleWaiters == rt.cfg.Workers && rt.live > 0 && !rt.finished {
+			if rt.failure == nil {
+				rt.failure = errDeadlock
+			}
+			rt.finished = true
+			rt.cond.Broadcast()
+		}
+		if rt.finished {
+			// Detected just now (or raced with the final broadcast):
+			// don't sleep — there will be no further wake-ups.
+			rt.idleWaiters--
+			rt.mu.Unlock()
+			return nil
+		}
+		rt.cond.Wait()
+		rt.idleWaiters--
+		rt.mu.Unlock()
+	}
+}
+
+var errDeadlock = errors.New("grt: deadlock — all workers idle with live threads blocked")
+
+// enqueueReadyLocked publishes a runnable thread (initial root, lock
+// wake-ups). Must hold rt.mu.
+func (rt *Runtime) enqueueReadyLocked(w int, t *T) {
+	switch rt.cfg.Sched {
+	case DFDeques:
+		if t.prio != nil && rt.pool.Deques() == 0 && rt.tot == 1 {
+			rt.pool.Seed(t)
+		} else {
+			rt.pool.PushWoken(t)
+		}
+	case ADF:
+		rt.adfInsert(t)
+	case FIFO:
+		rt.queue = append(rt.queue, t)
+	}
+	rt.cond.Broadcast()
+}
+
+// wakeLocked publishes a thread woken by a lock release.
+func (rt *Runtime) wakeLocked(t *T) {
+	switch rt.cfg.Sched {
+	case DFDeques:
+		rt.pool.PushWoken(t)
+	case ADF:
+		rt.adfInsert(t)
+	case FIFO:
+		rt.queue = append(rt.queue, t)
+	}
+}
+
+// charge adjusts the heap accounting. Must hold rt.mu.
+func (rt *Runtime) charge(n int64) {
+	rt.heapLive += n
+	if rt.heapLive > rt.heapHW {
+		rt.heapHW = rt.heapLive
+	}
+}
+
+func (rt *Runtime) fifoPopLocked() *T {
+	if rt.queueHead >= len(rt.queue) {
+		return nil
+	}
+	x := rt.queue[rt.queueHead]
+	rt.queue[rt.queueHead] = nil
+	rt.queueHead++
+	if rt.queueHead > 1024 && rt.queueHead*2 >= len(rt.queue) {
+		rt.queue = append(rt.queue[:0], rt.queue[rt.queueHead:]...)
+		rt.queueHead = 0
+	}
+	if x != nil {
+		rt.steals++
+	}
+	return x
+}
+
+func (rt *Runtime) adfInsert(t *T) {
+	i := sort.Search(len(rt.ready), func(i int) bool {
+		return om.Less(t.prio, rt.ready[i].prio)
+	})
+	rt.ready = append(rt.ready, nil)
+	copy(rt.ready[i+1:], rt.ready[i:])
+	rt.ready[i] = t
+}
+
+func (rt *Runtime) adfPopLocked() *T {
+	x := rt.ready[0]
+	copy(rt.ready, rt.ready[1:])
+	rt.ready[len(rt.ready)-1] = nil
+	rt.ready = rt.ready[:len(rt.ready)-1]
+	return x
+}

@@ -1,0 +1,126 @@
+package lab
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quick() Options {
+	o := DefaultOptions()
+	o.Quick = true
+	return o
+}
+
+// cell parses a table cell as a float.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+func TestExperimentsRegistryComplete(t *testing.T) {
+	exps := Experiments()
+	for _, id := range Order() {
+		if _, ok := exps[id]; !ok {
+			t.Errorf("experiment %q in Order but not registered", id)
+		}
+	}
+	if len(exps) != len(Order()) {
+		t.Errorf("registry has %d entries, Order has %d", len(exps), len(Order()))
+	}
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, id := range Order() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			table := Experiments()[id](quick())
+			if len(table.Rows) == 0 {
+				t.Fatalf("%s produced no rows", id)
+			}
+			if table.Title == "" {
+				t.Fatalf("%s has no title", id)
+			}
+			// Every row must match the header arity (Add enforces it, but
+			// confirm the table is renderable).
+			if out := table.String(); len(out) < 20 {
+				t.Fatalf("%s renders to almost nothing: %q", id, out)
+			}
+			if out := table.CSV(); !strings.Contains(out, ",") {
+				t.Fatalf("%s CSV malformed", id)
+			}
+		})
+	}
+}
+
+// TestFig13ShapeQuick: ADF memory must grow much more slowly with p than
+// work stealing's (the figure's headline).
+func TestFig13ShapeQuick(t *testing.T) {
+	tb := Fig13MemVsProcs(quick())
+	first, last := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	adfGrowth := cell(t, last[1]) / cell(t, first[1])
+	wsGrowth := cell(t, last[3]) / cell(t, first[3])
+	if wsGrowth < adfGrowth {
+		t.Errorf("WS memory growth %.2f should exceed ADF growth %.2f", wsGrowth, adfGrowth)
+	}
+}
+
+// TestFig15ShapeQuick: larger K must not slow the program down, and
+// granularity must rise.
+func TestFig15ShapeQuick(t *testing.T) {
+	tb := Fig15KTradeoff(quick())
+	if len(tb.Rows) < 2 {
+		t.Fatal("need at least two K points")
+	}
+	smallK, bigK := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	if cell(t, bigK[1]) > cell(t, smallK[1])*11/10 {
+		t.Errorf("time should fall (or hold) as K grows: %s vs %s", smallK[1], bigK[1])
+	}
+	if cell(t, bigK[3]) <= cell(t, smallK[3]) {
+		t.Errorf("granularity should rise with K: %s vs %s", smallK[3], bigK[3])
+	}
+}
+
+// TestFig16ShapeQuick: DFD granularity must sit between ADF's and WS's and
+// rise with K.
+func TestFig16ShapeQuick(t *testing.T) {
+	tb := Fig16Synthetic(quick())
+	lo, hi := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	wsG, adfG := cell(t, lo[1]), cell(t, lo[2])
+	dfdLo, dfdHi := cell(t, lo[3]), cell(t, hi[3])
+	if !(adfG <= dfdHi && dfdHi <= wsG*1.3) {
+		t.Errorf("DFD granularity %v should lie between ADF %v and WS %v", dfdHi, adfG, wsG)
+	}
+	if dfdHi < dfdLo {
+		t.Errorf("DFD granularity should rise with K: %v then %v", dfdLo, dfdHi)
+	}
+}
+
+// TestThm45ShapeQuick: lower-bound-dag space must grow with p for DFD.
+func TestThm45ShapeQuick(t *testing.T) {
+	tb := Thm45LowerBound(quick())
+	first, last := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	if cell(t, last[2]) <= cell(t, first[2]) {
+		t.Errorf("DFD space should grow with p: %s → %s", first[2], last[2])
+	}
+	// S1 stays constant across p.
+	if cell(t, first[1]) != cell(t, last[1]) {
+		t.Errorf("S1 should not depend on p")
+	}
+}
+
+// TestFig14ShapeQuick: FIFO must not beat the quota schedulers on the
+// allocation-heavy fine-grain benchmark.
+func TestFig14ShapeQuick(t *testing.T) {
+	tb := Fig14HeapHW(quick())
+	for _, row := range tb.Rows {
+		fifo, adf := cell(t, row[2]), cell(t, row[3])
+		if fifo < adf*0.8 {
+			t.Errorf("%s/%s: FIFO heap %.2f unexpectedly below ADF %.2f", row[0], row[1], fifo, adf)
+		}
+	}
+}

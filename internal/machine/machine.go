@@ -1,0 +1,457 @@
+// Package machine is a deterministic, synchronized-timestep multiprocessor
+// simulator implementing the cost model of Narlikar (SPAA '99), §4.1:
+//
+//   - every action (dag node) takes one timestep on one processor;
+//   - idle processors make one steal attempt per timestep; if several
+//     steals target one deque, one succeeds and the rest fail; steals at
+//     empty deques fail;
+//   - a successful steal executes the stolen thread's first action in the
+//     same timestep;
+//   - empty deques are deleted as soon as their owner goes idle.
+//
+// On top of the pure model, optional realism extensions reproduce the
+// effects the paper measures on real hardware (§5): a per-processor LRU
+// cache with a miss penalty (locality → running time), latencies for
+// steals and global-queue operations (scheduling contention), and a
+// per-live-thread stack reservation (the 8 kB Pthread stacks).
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"dfdeques/internal/cache"
+	"dfdeques/internal/dag"
+	"dfdeques/internal/om"
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	Procs int   // number of processors (p ≥ 1)
+	Seed  int64 // seed for all scheduling randomness
+
+	// Cost-model extensions; all zero values give the paper's pure §4.1
+	// model.
+
+	// MissPenalty is the stall, in timesteps, per missed cache line.
+	MissPenalty int64
+	// Cache configures the per-processor data cache; a zero CapacityBytes
+	// disables it.
+	Cache cache.Config
+	// StackBytes charges this many bytes of space per live thread,
+	// modeling the minimum 8 kB Pthread stack of §5.2.
+	StackBytes int64
+	// StealLatency stalls a successful stealer this many timesteps,
+	// modeling the lock-protected deque list R of §5.
+	StealLatency int64
+	// QueueLatency stalls each global-queue operation (FIFO and ADF
+	// dispatch, enqueue, preemption) this many timesteps, modeling
+	// scheduling contention on a shared queue.
+	QueueLatency int64
+	// MemPressureBytes and MemPressurePenalty model the §5.2 observation
+	// that schedulers creating thousands of live threads spend significant
+	// time in stack-allocation system calls and paging: every fork
+	// executed while total live space (heap + stacks) exceeds
+	// MemPressureBytes stalls the forking processor MemPressurePenalty
+	// timesteps. Zero disables the model.
+	MemPressureBytes   int64
+	MemPressurePenalty int64
+	// SpinLocks makes contended OpAcquire spin (burning one action per
+	// timestep) instead of blocking, as Cilk's locks do (Fig. 17).
+	SpinLocks bool
+
+	// CheckInvariants runs the scheduler's invariant checker after every
+	// timestep (Lemma 3.1 for DFDeques). Slow; for tests.
+	CheckInvariants bool
+	// Trace, when non-nil, receives one line per scheduling event
+	// (steal, fork, join-suspend, terminate, preempt, dummy). For
+	// debugging and cmd/dfdtrace; slows simulation considerably.
+	Trace io.Writer
+	// Observer, when non-nil, receives every scheduling event in
+	// structured form: the timestep, the processor, the event kind, and
+	// the thread's creation-ordered ID. Conformance tests use it to audit
+	// whole schedules (e.g. 1DF-order equivalence on one processor).
+	Observer func(step int64, proc int, kind string, threadID int64)
+	// MaxSteps aborts runs longer than this many timesteps (safety net for
+	// scheduling bugs). 0 means 1e9.
+	MaxSteps int64
+	// SampleEvery, when > 0, records the live space (heap +
+	// StackBytes·threads) every that-many timesteps; read the series with
+	// Machine.SpaceProfile. Powers the space-over-time profiles.
+	SampleEvery int64
+	// DisableFastForward turns off the bulk-advance optimization, forcing
+	// one loop iteration per timestep. The results must be identical
+	// either way (property-tested); this exists to test that claim.
+	DisableFastForward bool
+}
+
+// Metrics are the observable results of a run.
+type Metrics struct {
+	Steps   int64 // total timesteps (the computation's running time T_p)
+	Actions int64 // unit actions executed, including dummy and spin actions
+
+	Steals          int64 // successful shared acquisitions (steals / global-queue takes)
+	FailedSteals    int64 // failed steal attempts
+	LocalDispatches int64 // threads taken from the processor's own deque
+	Preemptions     int64 // quota-exhaustion preemptions
+
+	TotalThreads   int64 // dynamic threads created (incl. dummies)
+	MaxLiveThreads int64 // max simultaneously live threads
+	DummyThreads   int64 // dummy threads created by the big-alloc transformation
+
+	HeapHW  int64 // high-water mark of net heap bytes
+	SpaceHW int64 // high-water mark of heap + StackBytes·liveThreads
+
+	CacheHits   int64
+	CacheMisses int64
+	SpinActions int64 // actions burnt spinning on locks
+	StallSteps  int64 // processor-timesteps lost to stalls (miss penalties, latencies)
+	IdleSteps   int64 // processor-timesteps spent idle (failed steals / nothing to do)
+}
+
+// MissRate returns the cache miss rate in percent.
+func (m Metrics) MissRate() float64 {
+	tot := m.CacheHits + m.CacheMisses
+	if tot == 0 {
+		return 0
+	}
+	return 100 * float64(m.CacheMisses) / float64(tot)
+}
+
+// SchedGranularity returns the average number of actions executed per
+// successful steal — the paper's measure of scheduling granularity (§6).
+func (m Metrics) SchedGranularity() float64 {
+	if m.Steals == 0 {
+		return float64(m.Actions)
+	}
+	return float64(m.Actions) / float64(m.Steals)
+}
+
+type proc struct {
+	id    int
+	curr  *Thread
+	stall int64
+	cache *cache.Cache
+}
+
+type lockState struct {
+	holder  *Thread
+	waiters []*Thread
+}
+
+// Machine simulates one run of a computation under one scheduler.
+type Machine struct {
+	Cfg   Config
+	Rand  *rand.Rand
+	Sched Scheduler
+
+	procs []*proc
+	locks map[dag.LockID]*lockState
+	prios om.List
+
+	heapLive     int64
+	liveThreads  int64
+	readyCount   int64
+	runningCount int64
+
+	met        Metrics
+	nextID     int64
+	maxSteps   int64
+	dummyTrees map[int64]*dag.ThreadSpec
+	profile    []int64
+	nextSample int64
+}
+
+// SpaceProfile returns the live-space samples recorded at
+// Config.SampleEvery intervals (nil if sampling was off).
+func (m *Machine) SpaceProfile() []int64 { return m.profile }
+
+// New builds a machine for the given scheduler and configuration. The
+// scheduler instance must not be shared between machines.
+func New(cfg Config, s Scheduler) *Machine {
+	if cfg.Procs < 1 {
+		panic("machine: Procs must be ≥ 1")
+	}
+	m := &Machine{
+		Cfg:   cfg,
+		Rand:  rand.New(rand.NewSource(cfg.Seed)),
+		Sched: s,
+		locks: make(map[dag.LockID]*lockState),
+	}
+	m.maxSteps = cfg.MaxSteps
+	if m.maxSteps == 0 {
+		m.maxSteps = 1e9
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		m.procs = append(m.procs, &proc{id: i, cache: cache.New(cfg.Cache)})
+	}
+	return m
+}
+
+// Run executes the computation rooted at spec to completion and returns
+// the run's metrics. Under a scheduler with a finite memory threshold,
+// allocations larger than the (possibly adaptive) current threshold are
+// rewritten at runtime with the dummy-thread transformation (§3.3: "this
+// transformation takes place at runtime").
+func (m *Machine) Run(spec *dag.ThreadSpec) (Metrics, error) {
+	if err := dag.Validate(spec); err != nil {
+		return Metrics{}, err
+	}
+	root := m.newThread(spec, nil, false)
+	root.Prio = m.prios.PushBack()
+	m.setReady(root)
+	m.Sched.Init(m, root)
+
+	for m.liveThreads > 0 {
+		if m.met.Steps >= m.maxSteps {
+			return m.met, fmt.Errorf("machine: exceeded %d timesteps (scheduling bug or livelock?)", m.maxSteps)
+		}
+		m.met.Steps++
+
+		// Steal phase: idle processors attempt one steal each.
+		var idle []int
+		for _, p := range m.procs {
+			if p.curr == nil && p.stall == 0 {
+				idle = append(idle, p.id)
+			}
+		}
+		if len(idle) > 0 {
+			m.Sched.StealRound(idle)
+		}
+
+		// Execute phase: each processor advances one unit.
+		anyRunning := false
+		for _, p := range m.procs {
+			switch {
+			case p.stall > 0:
+				p.stall--
+				m.met.StallSteps++
+				anyRunning = true
+			case p.curr != nil:
+				m.stepProc(p)
+				anyRunning = true
+			default:
+				m.met.IdleSteps++
+				if len(idle) > 0 {
+					// Was in the steal round but got nothing.
+					m.met.FailedSteals++
+				}
+			}
+		}
+
+		if !anyRunning && m.liveThreads > 0 && m.readyCount == 0 {
+			return m.met, errors.New("machine: deadlock — live threads but none ready or running")
+		}
+
+		if m.Cfg.CheckInvariants {
+			if err := m.Sched.CheckInvariants(); err != nil {
+				return m.met, fmt.Errorf("machine: after step %d: %w", m.met.Steps, err)
+			}
+		}
+
+		if n := m.Cfg.SampleEvery; n > 0 && m.met.Steps >= m.nextSample {
+			// Live space is constant across fast-forwarded stretches, so
+			// one sample per crossed boundary loses nothing.
+			m.profile = append(m.profile, m.heapLive+m.Cfg.StackBytes*m.liveThreads)
+			for m.nextSample <= m.met.Steps {
+				m.nextSample += n
+			}
+		}
+		m.fastForward()
+	}
+	m.aggregateCaches()
+	return m.met, nil
+}
+
+// aggregateCaches folds per-processor cache statistics into the metrics.
+func (m *Machine) aggregateCaches() {
+	m.met.CacheHits, m.met.CacheMisses = 0, 0
+	for _, p := range m.procs {
+		h, mi := p.cache.Stats()
+		m.met.CacheHits += h
+		m.met.CacheMisses += mi
+	}
+}
+
+// fastForward advances time in bulk when every processor is mid-way
+// through a long work instruction or stall, which cannot create scheduling
+// events. It is observationally equivalent to stepping one timestep at a
+// time.
+func (m *Machine) fastForward() {
+	if m.Cfg.DisableFastForward {
+		return
+	}
+	delta := int64(1<<62 - 1)
+	for _, p := range m.procs {
+		var rem int64
+		switch {
+		case p.stall > 0:
+			rem = p.stall
+		case p.curr != nil && p.curr.workLeft > 0:
+			rem = p.curr.workLeft
+		default:
+			return // idle or at an instruction boundary: no fast path
+		}
+		if rem < delta {
+			delta = rem
+		}
+	}
+	delta-- // leave the final unit for the normal per-step path
+	if delta <= 0 {
+		return
+	}
+	m.met.Steps += delta
+	for _, p := range m.procs {
+		if p.stall > 0 {
+			p.stall -= delta
+			m.met.StallSteps += delta
+		} else {
+			p.curr.workLeft -= delta
+			m.met.Actions += delta
+		}
+	}
+}
+
+// Metrics returns the metrics collected so far.
+func (m *Machine) Metrics() Metrics { return m.met }
+
+func (m *Machine) newThread(spec *dag.ThreadSpec, parent *Thread, dummy bool) *Thread {
+	m.nextID++
+	t := &Thread{ID: m.nextID, Spec: spec, Parent: parent, Dummy: dummy}
+	m.liveThreads++
+	m.met.TotalThreads++
+	if dummy {
+		m.met.DummyThreads++
+	}
+	if m.liveThreads > m.met.MaxLiveThreads {
+		m.met.MaxLiveThreads = m.liveThreads
+	}
+	m.noteSpace()
+	return t
+}
+
+func (m *Machine) noteSpace() {
+	if m.heapLive > m.met.HeapHW {
+		m.met.HeapHW = m.heapLive
+	}
+	if s := m.heapLive + m.Cfg.StackBytes*m.liveThreads; s > m.met.SpaceHW {
+		m.met.SpaceHW = s
+	}
+}
+
+// --- state-count bookkeeping -------------------------------------------
+
+func (m *Machine) setReady(t *Thread) {
+	m.adjustCounts(t.State, Ready)
+	t.State = Ready
+}
+
+func (m *Machine) setRunning(t *Thread) {
+	m.adjustCounts(t.State, Running)
+	t.State = Running
+}
+
+func (m *Machine) setSuspended(t *Thread) {
+	m.adjustCounts(t.State, SuspendedJoin)
+	t.State = SuspendedJoin
+}
+
+func (m *Machine) setBlocked(t *Thread) {
+	m.adjustCounts(t.State, BlockedLock)
+	t.State = BlockedLock
+}
+
+func (m *Machine) setDead(t *Thread) {
+	m.adjustCounts(t.State, Dead)
+	t.State = Dead
+	m.liveThreads--
+	m.prios.Delete(t.Prio)
+	t.Prio = nil
+}
+
+func (m *Machine) adjustCounts(from, to State) {
+	if from == Ready {
+		m.readyCount--
+	}
+	if from == Running {
+		m.runningCount--
+	}
+	if to == Ready {
+		m.readyCount++
+	}
+	if to == Running {
+		m.runningCount++
+	}
+}
+
+// --- services for schedulers -------------------------------------------
+
+// Assign gives thread t to processor p during a StealRound. It counts as a
+// successful steal and applies the configured steal latency.
+func (m *Machine) Assign(p int, t *Thread) {
+	pr := m.procs[p]
+	if pr.curr != nil {
+		panic("machine: Assign to a busy processor")
+	}
+	pr.curr = t
+	m.setRunning(t)
+	m.trace(p, "steal", t)
+	m.met.Steals++
+	pr.stall += m.Cfg.StealLatency
+}
+
+// NoteSteal records a successful shared acquisition that happened outside
+// a StealRound (global-queue schedulers dispatch from their shared queue
+// inside event hooks; those dispatches count toward the steal total used
+// for the scheduling-granularity measure).
+func (m *Machine) NoteSteal() { m.met.Steals++ }
+
+// Curr returns processor p's current thread (nil if idle). For invariant
+// checkers and tests.
+func (m *Machine) Curr(p int) *Thread { return m.procs[p].curr }
+
+// Stall adds n timesteps of stall to processor p (schedulers use this to
+// charge queue-contention latencies).
+func (m *Machine) Stall(p int, n int64) {
+	if n > 0 {
+		m.procs[p].stall += n
+	}
+}
+
+// NoteLocalDispatch records that processor p took a thread from its own
+// deque (for the §5.3 granularity ratio).
+func (m *Machine) NoteLocalDispatch() { m.met.LocalDispatches++ }
+
+// NotePreemption records a quota-exhaustion preemption.
+func (m *Machine) NotePreemption() { m.met.Preemptions++ }
+
+// Procs returns the number of processors.
+func (m *Machine) Procs() int { return m.Cfg.Procs }
+
+// ReadyCount returns the number of threads in the Ready state.
+func (m *Machine) ReadyCount() int64 { return m.readyCount }
+
+// HeapLive returns the current net heap allocation in bytes (for the
+// adaptive-threshold controller).
+func (m *Machine) HeapLive() int64 { return m.heapLive }
+
+// trace logs a scheduling event to the trace writer and the observer.
+func (m *Machine) trace(p int, ev string, t *Thread) {
+	if m.Cfg.Trace == nil && m.Cfg.Observer == nil {
+		return
+	}
+	id := int64(-1)
+	label := "-"
+	if t != nil {
+		id = t.ID
+		label = t.Spec.Label
+	}
+	if m.Cfg.Observer != nil {
+		m.Cfg.Observer(m.met.Steps, p, ev, id)
+	}
+	if m.Cfg.Trace != nil {
+		fmt.Fprintf(m.Cfg.Trace, "step=%d proc=%d %-9s thread=%d (%s)\n", m.met.Steps, p, ev, id, label)
+	}
+}

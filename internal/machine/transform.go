@@ -1,0 +1,130 @@
+package machine
+
+import "dfdeques/internal/dag"
+
+// TransformLargeAllocs implements the paper's big-allocation
+// transformation (§3.3, §4.2): every allocation of m > K bytes is preceded
+// by a binary fork tree with ⌈m/K⌉ dummy threads at its leaves. Each dummy
+// thread executes a single no-op, after which the executing processor must
+// give up its deque and steal (OpDummy semantics). Once the whole tree has
+// joined, the allocation proceeds quota-exempt — it has already been
+// delayed by ⌈m/K⌉ "virtual" allocations of K, giving higher-priority
+// threads the chance to be scheduled first.
+//
+// The transformation is applied statically here because allocation sizes
+// in a ThreadSpec are static; the resulting dag is identical to the one
+// the paper's runtime transformation would unfold. Shared sub-specs are
+// rewritten once. Specs without large allocations are returned unchanged
+// (no copying).
+func TransformLargeAllocs(spec *dag.ThreadSpec, k int64) *dag.ThreadSpec {
+	if k <= 0 {
+		return spec
+	}
+	tr := &transformer{k: k, memo: make(map[*dag.ThreadSpec]*dag.ThreadSpec)}
+	return tr.rewrite(spec)
+}
+
+type transformer struct {
+	k     int64
+	memo  map[*dag.ThreadSpec]*dag.ThreadSpec
+	trees map[int64]*dag.ThreadSpec
+}
+
+func (tr *transformer) rewrite(s *dag.ThreadSpec) *dag.ThreadSpec {
+	if out, ok := tr.memo[s]; ok {
+		return out
+	}
+	changed := false
+	var instrs []dag.Instr
+	for _, in := range s.Instrs {
+		switch {
+		case in.Op == dag.OpFork:
+			child := tr.rewrite(in.Child)
+			if child != in.Child {
+				changed = true
+				in.Child = child
+			}
+			instrs = append(instrs, in)
+		case in.Op == dag.OpAlloc && in.N > tr.k && !in.Exempt:
+			changed = true
+			leaves := (in.N + tr.k - 1) / tr.k
+			tree := tr.dummyTree(leaves)
+			instrs = append(instrs,
+				dag.Instr{Op: dag.OpFork, Child: tree, DummyFork: leaves == 1},
+				dag.Instr{Op: dag.OpJoin},
+				dag.Instr{Op: dag.OpAlloc, N: in.N, Exempt: true},
+			)
+		default:
+			instrs = append(instrs, in)
+		}
+	}
+	if !changed {
+		tr.memo[s] = s
+		return s
+	}
+	out := &dag.ThreadSpec{Instrs: instrs, Label: s.Label}
+	tr.memo[s] = out
+	return out
+}
+
+// dummyTree returns a thread spec that is the root of a binary fork tree
+// with n dummy leaves. For n == 1 it is the dummy leaf itself.
+func (tr *transformer) dummyTree(n int64) *dag.ThreadSpec {
+	if tr.trees == nil {
+		tr.trees = make(map[int64]*dag.ThreadSpec)
+	}
+	return dummyTreeCached(tr.trees, n)
+}
+
+// dummyTreeCached builds (and memoizes in cache) the binary fork tree with
+// n dummy leaves. Shared by the static pre-transformer above and the
+// machine's runtime transformation.
+func dummyTreeCached(cache map[int64]*dag.ThreadSpec, n int64) *dag.ThreadSpec {
+	if t, ok := cache[n]; ok {
+		return t
+	}
+	var t *dag.ThreadSpec
+	if n == 1 {
+		t = &dag.ThreadSpec{
+			Instrs: []dag.Instr{{Op: dag.OpDummy}},
+			Label:  "dummy",
+		}
+	} else {
+		left := dummyTreeCached(cache, n/2)
+		right := dummyTreeCached(cache, n-n/2)
+		t = &dag.ThreadSpec{
+			Instrs: []dag.Instr{
+				{Op: dag.OpFork, Child: left, DummyFork: n/2 == 1},
+				{Op: dag.OpFork, Child: right, DummyFork: n-n/2 == 1},
+				{Op: dag.OpJoin},
+				{Op: dag.OpJoin},
+			},
+			Label: "dummy-tree",
+		}
+	}
+	cache[n] = t
+	return t
+}
+
+// spliceDummies rewrites thread t — which is about to execute a big
+// allocation of n > k bytes — so that it first forks and joins a binary
+// tree of ⌈n/k⌉ dummy threads and only then performs the (quota-exempt)
+// allocation. This is the paper's §3.3 transformation applied at runtime,
+// which is what lets an adaptively changing threshold take effect.
+func (m *Machine) spliceDummies(t *Thread, n, k int64) {
+	if m.dummyTrees == nil {
+		m.dummyTrees = make(map[int64]*dag.ThreadSpec)
+	}
+	leaves := (n + k - 1) / k
+	tree := dummyTreeCached(m.dummyTrees, leaves)
+	tail := t.Spec.Instrs[t.PC:] // tail[0] is the OpAlloc being delayed
+	instrs := make([]dag.Instr, 0, len(tail)+2)
+	instrs = append(instrs,
+		dag.Instr{Op: dag.OpFork, Child: tree, DummyFork: leaves == 1},
+		dag.Instr{Op: dag.OpJoin},
+		dag.Instr{Op: dag.OpAlloc, N: n, Exempt: true},
+	)
+	instrs = append(instrs, tail[1:]...)
+	t.Spec = &dag.ThreadSpec{Instrs: instrs, Label: t.Spec.Label}
+	t.PC = 0
+}

@@ -1,0 +1,39 @@
+package om
+
+import "testing"
+
+// FuzzInsertScript drives the order-maintenance list with arbitrary
+// insertion/deletion scripts and verifies the structural invariants after
+// every operation. Each script byte selects an operation and a target.
+func FuzzInsertScript(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{10, 10, 10, 10, 10, 10, 10, 10})
+	f.Add([]byte{255, 0, 255, 0, 255, 0})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 4096 {
+			script = script[:4096]
+		}
+		var l List
+		var recs []*Record
+		for _, b := range script {
+			switch {
+			case len(recs) == 0 || b < 64:
+				recs = append(recs, l.PushBack())
+			case b < 128:
+				recs = append(recs, l.InsertBefore(recs[int(b)%len(recs)]))
+			case b < 192:
+				recs = append(recs, l.InsertAfter(recs[int(b)%len(recs)]))
+			default:
+				i := int(b) % len(recs)
+				l.Delete(recs[i])
+				recs = append(recs[:i], recs[i+1:]...)
+			}
+		}
+		if err := l.check(); err != nil {
+			t.Fatal(err)
+		}
+		if l.Len() != len(recs) {
+			t.Fatalf("Len = %d, want %d", l.Len(), len(recs))
+		}
+	})
+}

@@ -1,0 +1,251 @@
+package om
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyList(t *testing.T) {
+	var l List
+	if l.Len() != 0 {
+		t.Fatalf("Len of empty list = %d, want 0", l.Len())
+	}
+	if l.Front() != nil || l.Back() != nil {
+		t.Fatal("Front/Back of empty list should be nil")
+	}
+}
+
+func TestPushFrontBackOrder(t *testing.T) {
+	var l List
+	a := l.PushBack()
+	b := l.PushBack()
+	c := l.PushFront()
+	// order: c, a, b
+	if !Less(c, a) || !Less(a, b) || !Less(c, b) {
+		t.Fatal("PushFront/PushBack order wrong")
+	}
+	if Less(b, a) || Less(a, c) {
+		t.Fatal("Less not antisymmetric")
+	}
+	if l.Front() != c || l.Back() != b {
+		t.Fatal("Front/Back wrong")
+	}
+	if err := l.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertBeforeAfter(t *testing.T) {
+	var l List
+	mid := l.PushBack()
+	before := l.InsertBefore(mid)
+	after := l.InsertAfter(mid)
+	if !Less(before, mid) || !Less(mid, after) {
+		t.Fatal("InsertBefore/InsertAfter order wrong")
+	}
+	if before.Next() != mid || mid.Next() != after || after.Prev() != mid {
+		t.Fatal("links wrong")
+	}
+	if err := l.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	var l List
+	a := l.PushBack()
+	b := l.InsertAfter(a)
+	c := l.InsertAfter(b)
+	l.Delete(b)
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+	if a.Next() != c || c.Prev() != a {
+		t.Fatal("Delete did not relink")
+	}
+	if err := l.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHotSpotInsertion hammers the pathological fork pattern: repeatedly
+// inserting immediately before the same record, which halves the available
+// tag gap every time and forces relabeling.
+func TestHotSpotInsertion(t *testing.T) {
+	var l List
+	anchor := l.PushBack()
+	recs := []*Record{anchor}
+	for i := 0; i < 200000; i++ {
+		r := l.InsertBefore(anchor)
+		recs = append(recs, r)
+	}
+	if err := l.check(); err != nil {
+		t.Fatal(err)
+	}
+	// Each later-inserted record precedes all earlier-inserted ones.
+	for i := 1; i < len(recs); i += 7919 {
+		if !Less(recs[i], anchor) {
+			t.Fatalf("record %d should precede anchor", i)
+		}
+	}
+	// Each insertion lands immediately before the anchor, i.e. after all
+	// previously inserted records.
+	for i := 2; i < len(recs); i += 4999 {
+		if !Less(recs[i-1], recs[i]) {
+			t.Fatalf("record %d should precede record %d", i-1, i)
+		}
+	}
+}
+
+// TestHotSpotAfter mirrors the hot-spot test on the InsertAfter side.
+func TestHotSpotAfter(t *testing.T) {
+	var l List
+	anchor := l.PushBack()
+	prev := anchor
+	for i := 0; i < 100000; i++ {
+		r := l.InsertAfter(anchor)
+		if !Less(anchor, r) || !Less(r, prev) && prev != anchor {
+			// r sits between anchor and the previously inserted record
+			t.Fatalf("insert %d misordered", i)
+		}
+		prev = r
+	}
+	if err := l.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomAgainstReference performs random insertions and deletions and
+// compares the resulting order with a reference slice implementation.
+func TestRandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var l List
+	var ref []*Record // reference order
+	for step := 0; step < 50000; step++ {
+		switch {
+		case len(ref) == 0 || rng.Intn(10) == 0:
+			r := l.PushBack()
+			ref = append(ref, r)
+		case rng.Intn(10) == 1:
+			i := rng.Intn(len(ref))
+			l.Delete(ref[i])
+			ref = append(ref[:i], ref[i+1:]...)
+		default:
+			i := rng.Intn(len(ref))
+			if rng.Intn(2) == 0 {
+				r := l.InsertBefore(ref[i])
+				ref = append(ref, nil)
+				copy(ref[i+1:], ref[i:])
+				ref[i] = r
+			} else {
+				r := l.InsertAfter(ref[i])
+				ref = append(ref, nil)
+				copy(ref[i+2:], ref[i+1:])
+				ref[i+1] = r
+			}
+		}
+	}
+	if err := l.check(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", l.Len(), len(ref))
+	}
+	// Order must match the reference: ref is sorted under Less.
+	if !sort.SliceIsSorted(ref, func(i, j int) bool { return Less(ref[i], ref[j]) }) {
+		t.Fatal("list order diverged from reference")
+	}
+	// Walk must visit exactly the reference sequence.
+	i := 0
+	for r := l.Front(); r != nil; r = r.Next() {
+		if ref[i] != r {
+			t.Fatalf("walk mismatch at %d", i)
+		}
+		i++
+	}
+	if i != len(ref) {
+		t.Fatalf("walk visited %d records, want %d", i, len(ref))
+	}
+}
+
+// TestQuickTransitivity property-checks that Less is a strict total order
+// over records created by an arbitrary insertion script.
+func TestQuickTransitivity(t *testing.T) {
+	f := func(script []uint8) bool {
+		var l List
+		var recs []*Record
+		for _, b := range script {
+			if len(recs) == 0 {
+				recs = append(recs, l.PushBack())
+				continue
+			}
+			i := int(b) % len(recs)
+			if b%2 == 0 {
+				recs = append(recs, l.InsertBefore(recs[i]))
+			} else {
+				recs = append(recs, l.InsertAfter(recs[i]))
+			}
+		}
+		if l.check() != nil {
+			return false
+		}
+		// Strict total order: exactly one of Less(a,b), Less(b,a) for a≠b,
+		// and transitivity via tag comparison holds by construction; check
+		// a random triple sample.
+		rng := rand.New(rand.NewSource(int64(len(recs))))
+		for k := 0; k < 50 && len(recs) >= 3; k++ {
+			a, b, c := recs[rng.Intn(len(recs))], recs[rng.Intn(len(recs))], recs[rng.Intn(len(recs))]
+			if a != b && Less(a, b) == Less(b, a) {
+				return false
+			}
+			if Less(a, b) && Less(b, c) && !Less(a, c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossListPanics(t *testing.T) {
+	var l1, l2 List
+	a := l1.PushBack()
+	b := l2.PushBack()
+	mustPanic(t, func() { Less(a, b) })
+	mustPanic(t, func() { l1.InsertAfter(b) })
+	mustPanic(t, func() { l1.InsertBefore(b) })
+	mustPanic(t, func() { l1.Delete(b) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func BenchmarkHotSpotInsert(b *testing.B) {
+	var l List
+	anchor := l.PushBack()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.InsertBefore(anchor)
+	}
+}
+
+func BenchmarkRandomInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var l List
+	recs := []*Record{l.PushBack()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs = append(recs, l.InsertAfter(recs[rng.Intn(len(recs))]))
+	}
+}

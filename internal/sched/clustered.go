@@ -1,0 +1,291 @@
+package sched
+
+import (
+	"fmt"
+
+	"dfdeques/internal/deque"
+	"dfdeques/internal/machine"
+)
+
+// Clustered is the multi-level scheduling strategy the paper sketches for
+// clusters of SMPs (§7: "the DFDeques algorithm could be deployed within a
+// single SMP, while some scheme based on data affinity is used across
+// SMPs"): processors are partitioned into groups (SMP nodes), each group
+// runs its own DFDeques(K) instance with a private ordered deque list, and
+// an idle processor steals within its own group first — crossing to
+// another group (a remote-memory operation) only after repeated local
+// failures, and paying CrossLatency extra timesteps when it does.
+//
+// Cross-group steals take the *bottom of the leftmost victim-group deque*:
+// the coarsest, highest-priority work available remotely, maximizing the
+// work moved per remote operation.
+type Clustered struct {
+	K int64
+	// Groups is the number of SMP nodes; processors are split evenly.
+	Groups int
+	// CrossLatency is the extra stall for a successful cross-group steal
+	// (remote memory). Default 0.
+	CrossLatency int64
+	// LocalRetries is how many consecutive failed local attempts a
+	// processor makes before trying a remote group (default 4).
+	LocalRetries int
+
+	m      *machine.Machine
+	groups []*dfdGroup
+	member []int // processor → group
+	local  []int // processor → index within its group
+	fails  []int // consecutive failed local steals per processor
+	quota  []int64
+	dummy  []bool
+
+	crossSteals     int64
+	stolenThisRound map[*deque.Deque[*machine.Thread]]bool
+}
+
+// dfdGroup is one SMP node's DFDeques state.
+type dfdGroup struct {
+	r   deque.List[*machine.Thread]
+	own map[int]*deque.Deque[*machine.Thread] // local proc index → deque
+	n   int                                   // processors in this group
+}
+
+// NewClustered builds a clustered scheduler with the given memory
+// threshold and group count.
+func NewClustered(k int64, groups int) *Clustered {
+	if groups < 1 {
+		groups = 1
+	}
+	return &Clustered{K: k, Groups: groups, LocalRetries: 4}
+}
+
+// Name implements machine.Scheduler.
+func (s *Clustered) Name() string { return "DFD-cluster" }
+
+// MemThreshold implements machine.Scheduler.
+func (s *Clustered) MemThreshold() int64 { return s.K }
+
+// CrossSteals reports how many steals crossed group boundaries.
+func (s *Clustered) CrossSteals() int64 { return s.crossSteals }
+
+// Init implements machine.Scheduler.
+func (s *Clustered) Init(m *machine.Machine, root *machine.Thread) {
+	s.m = m
+	p := m.Procs()
+	if s.Groups > p {
+		s.Groups = p
+	}
+	if s.LocalRetries <= 0 {
+		s.LocalRetries = 4
+	}
+	s.groups = make([]*dfdGroup, s.Groups)
+	for g := range s.groups {
+		s.groups[g] = &dfdGroup{own: make(map[int]*deque.Deque[*machine.Thread])}
+	}
+	s.member = make([]int, p)
+	s.local = make([]int, p)
+	s.fails = make([]int, p)
+	s.quota = make([]int64, p)
+	s.dummy = make([]bool, p)
+	for i := 0; i < p; i++ {
+		g := i * s.Groups / p
+		s.member[i] = g
+		s.local[i] = s.groups[g].n
+		s.groups[g].n++
+	}
+	s.stolenThisRound = make(map[*deque.Deque[*machine.Thread]]bool, p)
+	d := s.groups[0].r.PushLeft()
+	d.PushTop(root)
+}
+
+// StealRound implements machine.Scheduler.
+func (s *Clustered) StealRound(idle []int) {
+	clear(s.stolenThisRound)
+	for _, p := range idle {
+		s.quota[p] = s.K
+		s.dummy[p] = false
+		g := s.groups[s.member[p]]
+		if s.fails[p] < s.LocalRetries || s.Groups == 1 {
+			if s.stealWithin(p, g, 0) {
+				s.fails[p] = 0
+			} else {
+				s.fails[p]++
+			}
+			continue
+		}
+		// Too many local failures: go remote. Pick a random other group
+		// and take its leftmost stealable deque's bottom thread.
+		vg := s.m.Rand.Intn(s.Groups - 1)
+		if vg >= s.member[p] {
+			vg++
+		}
+		if s.stealWithin(p, s.groups[vg], s.CrossLatency) {
+			s.crossSteals++
+			s.fails[p] = 0
+		} else {
+			s.fails[p]++
+		}
+	}
+}
+
+// stealWithin makes one DFDeques steal attempt inside group g for
+// processor p, installing the new deque in g's list. extra is added
+// latency (cross-group).
+func (s *Clustered) stealWithin(p int, g *dfdGroup, extra int64) bool {
+	window := g.n
+	if window < 1 {
+		window = 1
+	}
+	c := s.m.Rand.Intn(window)
+	if c >= g.r.Len() {
+		return false
+	}
+	victim := g.r.Kth(c)
+	if victim.Empty() || s.stolenThisRound[victim] {
+		return false
+	}
+	s.stolenThisRound[victim] = true
+	t, _ := victim.PopBottom()
+	home := s.groups[s.member[p]]
+	var nd *deque.Deque[*machine.Thread]
+	if home == g {
+		nd = g.r.InsertRight(victim)
+	} else {
+		// The thread migrates to the thief's node: its new deque goes to
+		// the left end of the thief's group list (it is the
+		// highest-priority work that group now holds).
+		nd = home.r.PushLeft()
+	}
+	nd.Owner = p
+	home.own[s.local[p]] = nd
+	if victim.Empty() && victim.Owner == -1 {
+		g.r.Delete(victim)
+	}
+	s.m.Assign(p, t)
+	s.m.Stall(p, extra)
+	return true
+}
+
+// OnFork implements machine.Scheduler.
+func (s *Clustered) OnFork(p int, parent, child *machine.Thread) *machine.Thread {
+	s.ownDeque(p).PushTop(parent)
+	return child
+}
+
+// OnJoinSuspend implements machine.Scheduler.
+func (s *Clustered) OnJoinSuspend(p int, t *machine.Thread) *machine.Thread {
+	return s.popOwnOrGiveUp(p)
+}
+
+// OnBlocked implements machine.Scheduler.
+func (s *Clustered) OnBlocked(p int, t *machine.Thread) *machine.Thread {
+	return s.popOwnOrGiveUp(p)
+}
+
+// OnTerminate implements machine.Scheduler.
+func (s *Clustered) OnTerminate(p int, t, woke *machine.Thread) *machine.Thread {
+	if s.dummy[p] {
+		s.dummy[p] = false
+		if woke != nil {
+			s.ownDeque(p).PushTop(woke)
+		}
+		s.giveUp(p)
+		return nil
+	}
+	if woke != nil {
+		return woke
+	}
+	return s.popOwnOrGiveUp(p)
+}
+
+// OnWake implements machine.Scheduler: the woken thread joins the waker's
+// group at the left end (highest priority there).
+func (s *Clustered) OnWake(p int, t *machine.Thread) {
+	nd := s.groups[s.member[p]].r.PushLeft()
+	nd.PushTop(t)
+}
+
+// ChargeAlloc implements machine.Scheduler.
+func (s *Clustered) ChargeAlloc(p int, t *machine.Thread, n int64) bool {
+	if s.K == 0 {
+		return true
+	}
+	if n <= s.quota[p] {
+		s.quota[p] -= n
+		return true
+	}
+	return false
+}
+
+// CreditFree implements machine.Scheduler.
+func (s *Clustered) CreditFree(p int, t *machine.Thread, n int64) {
+	if s.K == 0 {
+		return
+	}
+	s.quota[p] += n
+	if s.quota[p] > s.K {
+		s.quota[p] = s.K
+	}
+}
+
+// OnPreempt implements machine.Scheduler.
+func (s *Clustered) OnPreempt(p int, t *machine.Thread) {
+	s.ownDeque(p).PushTop(t)
+	s.giveUp(p)
+}
+
+// OnDummy implements machine.Scheduler.
+func (s *Clustered) OnDummy(p int) { s.dummy[p] = true }
+
+// CheckInvariants implements machine.Scheduler: each group's deque list
+// must satisfy Lemma 3.1 clause (1) (cross-group migration intentionally
+// relaxes the global clause (3)).
+func (s *Clustered) CheckInvariants() error {
+	for gi, g := range s.groups {
+		for i := 0; i < g.r.Len(); i++ {
+			items := g.r.Kth(i).Items()
+			for j := 1; j < len(items); j++ {
+				if !items[j].HigherPriority(items[j-1]) {
+					return fmt.Errorf("clustered: group %d deque %d unsorted", gi, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Clustered) ownDeque(p int) *deque.Deque[*machine.Thread] {
+	d := s.groups[s.member[p]].own[s.local[p]]
+	if d == nil {
+		panic("sched: clustered processor running without a deque")
+	}
+	return d
+}
+
+func (s *Clustered) popOwnOrGiveUp(p int) *machine.Thread {
+	g := s.groups[s.member[p]]
+	d := g.own[s.local[p]]
+	if d == nil {
+		return nil
+	}
+	if t, ok := d.PopTop(); ok {
+		s.m.NoteLocalDispatch()
+		return t
+	}
+	g.r.Delete(d)
+	delete(g.own, s.local[p])
+	return nil
+}
+
+func (s *Clustered) giveUp(p int) {
+	g := s.groups[s.member[p]]
+	d := g.own[s.local[p]]
+	if d == nil {
+		return
+	}
+	if d.Empty() {
+		g.r.Delete(d)
+	} else {
+		d.Owner = -1
+	}
+	delete(g.own, s.local[p])
+}

@@ -1,0 +1,122 @@
+package sched_test
+
+import (
+	"testing"
+
+	"dfdeques/internal/dag"
+	"dfdeques/internal/machine"
+	"dfdeques/internal/sched"
+	"dfdeques/internal/workload"
+)
+
+func TestClusteredRunsToCompletion(t *testing.T) {
+	spec := dncDag(8, 2048, 16)
+	want := dag.Measure(spec)
+	for _, groups := range []int{1, 2, 4} {
+		s := sched.NewClustered(0, groups)
+		m := machine.New(machine.Config{Procs: 8, Seed: 1}, s)
+		met, err := m.Run(spec)
+		if err != nil {
+			t.Fatalf("groups=%d: %v", groups, err)
+		}
+		if met.Actions != want.W {
+			t.Errorf("groups=%d: actions = %d, want %d", groups, met.Actions, want.W)
+		}
+	}
+}
+
+func TestClusteredSingleGroupBehavesLikeDFD(t *testing.T) {
+	spec := dncDag(8, 4096, 16)
+	cl := sched.NewClustered(2048, 1)
+	mc := machine.New(machine.Config{Procs: 4, Seed: 2}, cl)
+	metC, err := mc.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := sched.NewDFDeques(2048)
+	md := machine.New(machine.Config{Procs: 4, Seed: 2}, df)
+	metD, err := md.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not schedule-identical (failure bookkeeping differs slightly) but
+	// statistically the same algorithm: time and space within 25%.
+	ratio := float64(metC.Steps) / float64(metD.Steps)
+	if ratio < 0.75 || ratio > 1.33 {
+		t.Errorf("1-group clustered time ratio vs DFD = %.2f", ratio)
+	}
+	sr := float64(metC.HeapHW) / float64(metD.HeapHW)
+	if sr < 0.5 || sr > 2 {
+		t.Errorf("1-group clustered space ratio vs DFD = %.2f", sr)
+	}
+}
+
+func TestClusteredCrossStealsHappenAndAreRarer(t *testing.T) {
+	// Small K forces frequent deque give-ups, so steady-state stealing
+	// dominates the initial cross-group work migration.
+	spec := dncDag(10, 8192, 8)
+	s := sched.NewClustered(1024, 4)
+	m := machine.New(machine.Config{Procs: 8, Seed: 3}, s)
+	met, err := m.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CrossSteals() == 0 {
+		t.Error("expected some cross-group steals (only group 0 holds the root)")
+	}
+	if s.CrossSteals() >= met.Steals {
+		t.Errorf("cross steals %d should be a strict subset of all steals %d", s.CrossSteals(), met.Steals)
+	}
+	// Affinity: most steals should stay local once work has spread.
+	if s.CrossSteals()*2 > met.Steals {
+		t.Errorf("cross steals %d / %d — affinity not effective", s.CrossSteals(), met.Steals)
+	}
+}
+
+func TestClusteredCrossLatencySlowsRun(t *testing.T) {
+	spec := dncDag(8, 0, 64)
+	run := func(lat int64) int64 {
+		s := sched.NewClustered(0, 4)
+		s.CrossLatency = lat
+		m := machine.New(machine.Config{Procs: 8, Seed: 4}, s)
+		met, err := m.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return met.Steps
+	}
+	fast, slow := run(0), run(200)
+	if slow <= fast {
+		t.Errorf("cross latency should slow the run: %d vs %d", slow, fast)
+	}
+}
+
+func TestClusteredInvariants(t *testing.T) {
+	spec := dncDag(7, 4096, 16)
+	s := sched.NewClustered(1024, 2)
+	m := machine.New(machine.Config{Procs: 8, Seed: 5, CheckInvariants: true}, s)
+	if _, err := m.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusteredOnRealBenchmarks(t *testing.T) {
+	for _, w := range []string{"Dense MM", "Sparse MVM"} {
+		wl, _ := workload.ByName(w)
+		spec := wl.Build(workload.Medium)
+		s := sched.NewClustered(3000, 2)
+		m := machine.New(machine.Config{Procs: 8, Seed: 6}, s)
+		if _, err := m.Run(spec); err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+	}
+}
+
+func TestClusteredGroupsClampedToProcs(t *testing.T) {
+	spec := dncDag(5, 0, 8)
+	s := sched.NewClustered(0, 64) // more groups than processors
+	m := machine.New(machine.Config{Procs: 4, Seed: 7}, s)
+	if _, err := m.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+}

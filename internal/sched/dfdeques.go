@@ -1,0 +1,364 @@
+// Package sched implements the four thread schedulers the paper studies,
+// as policies for the machine simulator:
+//
+//   - DFDeques(K): the paper's contribution (§3) — globally ordered deques,
+//     per-steal memory quota K, steal-from-bottom among the leftmost p.
+//   - WS: the provably space-efficient work stealer of Blumofe & Leiserson
+//     ("Cilk" in the paper's figures), which DFDeques(∞) degenerates to.
+//   - ADF(K): the asynchronous depth-first scheduler of Narlikar &
+//     Blelloch — a globally ordered ready queue with a per-thread quota.
+//   - FIFO: the Solaris Pthreads library's original scheduler — one global
+//     FIFO run queue, forked children enqueued, parents keep running.
+package sched
+
+import (
+	"fmt"
+
+	"dfdeques/internal/deque"
+	"dfdeques/internal/machine"
+)
+
+// DFDeques is algorithm DFDeques(K) of §3.3. K is the memory threshold in
+// bytes; K = 0 means infinity, which makes the algorithm equivalent to the
+// WS work stealer for nested-parallel programs (§3.3).
+type DFDeques struct {
+	K int64
+
+	// StealFromTop is an ablation switch: thieves pop the victim deque's
+	// top (its newest, finest thread) instead of the bottom. The paper
+	// argues the bottom thread is "typically the coarsest thread in the
+	// queue" (§1) and that stealing it is what buys DFDeques its large
+	// scheduling granularity; this switch measures that claim.
+	StealFromTop bool
+
+	// FullWindow is an ablation switch: steal victims are sampled from
+	// all deques in R instead of the leftmost p. The leftmost-p window is
+	// what keeps stolen threads high-priority (close to the 1DF order)
+	// and makes the Theorem 4.4 space bound go through; sampling the
+	// whole list admits lower-priority (more premature) threads.
+	FullWindow bool
+
+	// TargetSpace, when non-zero, enables the adaptive controller the
+	// paper sketches as future work (§7: "it may be possible for the
+	// system to keep statistics to dynamically set K to an appropriate
+	// value during the execution"). The scheduler doubles K while the
+	// live heap stays under TargetSpace/2 and halves it when the live
+	// heap exceeds TargetSpace, clamping to [MinK, MaxK]. The K field is
+	// the starting value.
+	TargetSpace int64
+	// MinK and MaxK clamp the adaptive controller (defaults 64 bytes and
+	// 16 MB).
+	MinK, MaxK int64
+
+	m     *machine.Machine
+	r     deque.List[*machine.Thread] // the globally ordered list R
+	own   []*deque.Deque[*machine.Thread]
+	quota []int64
+	dummy []bool // processor executed a dummy action; force give-up at termination
+
+	stolenThisRound map[*deque.Deque[*machine.Thread]]bool
+	maxR            int   // high-water of len(R), for tests
+	adaptTick       int64 // damping counter for the adaptive controller
+}
+
+// MaxDeques returns the largest number of deques simultaneously present in
+// R during the run. With K = ∞ it never exceeds the processor count —
+// the structural sense in which DFDeques(∞) is the WS work stealer (§3.3).
+func (s *DFDeques) MaxDeques() int { return s.maxR }
+
+func (s *DFDeques) noteRLen() {
+	if n := s.r.Len(); n > s.maxR {
+		s.maxR = n
+	}
+}
+
+// NewDFDeques returns a DFDeques scheduler with memory threshold k bytes
+// (0 = infinity).
+func NewDFDeques(k int64) *DFDeques { return &DFDeques{K: k} }
+
+// Name implements machine.Scheduler.
+func (s *DFDeques) Name() string {
+	if s.K == 0 {
+		return "DFD-inf"
+	}
+	return "DFD"
+}
+
+// MemThreshold implements machine.Scheduler.
+func (s *DFDeques) MemThreshold() int64 { return s.K }
+
+// Init implements machine.Scheduler.
+func (s *DFDeques) Init(m *machine.Machine, root *machine.Thread) {
+	s.m = m
+	p := m.Procs()
+	s.own = make([]*deque.Deque[*machine.Thread], p)
+	s.quota = make([]int64, p)
+	s.dummy = make([]bool, p)
+	s.stolenThisRound = make(map[*deque.Deque[*machine.Thread]]bool, p)
+	d := s.r.PushLeft()
+	d.PushTop(root)
+	s.noteRLen()
+}
+
+// StealRound implements machine.Scheduler: each idle processor makes one
+// steal attempt targeting the bottom of a deque chosen uniformly at random
+// among the leftmost p deques of R. At most one steal per deque succeeds
+// per timestep (§4.1); the winner's new deque is placed immediately to the
+// right of the victim, and the victim is deleted if the steal emptied it
+// while unowned.
+func (s *DFDeques) StealRound(idle []int) {
+	clear(s.stolenThisRound)
+	s.adaptK()
+	for _, p := range idle {
+		s.quota[p] = s.K
+		s.dummy[p] = false
+		window := s.m.Procs()
+		if s.FullWindow && s.r.Len() > window {
+			window = s.r.Len()
+		}
+		c := s.m.Rand.Intn(window)
+		if c >= s.r.Len() {
+			continue // non-existent deque: the attempt fails
+		}
+		victim := s.r.Kth(c)
+		if victim.Empty() || s.stolenThisRound[victim] {
+			continue
+		}
+		s.stolenThisRound[victim] = true
+		var t *machine.Thread
+		var nd *deque.Deque[*machine.Thread]
+		if s.StealFromTop {
+			// Ablation: take the newest (highest-priority) thread; the new
+			// deque goes to the victim's left to keep R roughly ordered.
+			t, _ = victim.PopTop()
+			if pos := victim.Pos(); pos == 0 {
+				nd = s.r.PushLeft()
+			} else {
+				nd = s.r.InsertRight(s.r.Kth(pos - 1))
+			}
+		} else {
+			t, _ = victim.PopBottom()
+			nd = s.r.InsertRight(victim)
+		}
+		nd.Owner = p
+		s.own[p] = nd
+		if victim.Empty() && victim.Owner == -1 {
+			s.r.Delete(victim)
+		}
+		s.noteRLen()
+		s.m.Assign(p, t)
+	}
+}
+
+// adaptK runs the §7 adaptive-threshold controller. Adjustments are damped
+// to one doubling/halving per 64 steal rounds so the threshold tracks the
+// live heap instead of slamming between its clamps.
+func (s *DFDeques) adaptK() {
+	if s.TargetSpace <= 0 || s.K == 0 {
+		return
+	}
+	s.adaptTick++
+	if s.adaptTick%64 != 0 {
+		return
+	}
+	minK, maxK := s.MinK, s.MaxK
+	if minK <= 0 {
+		minK = 64
+	}
+	if maxK <= 0 {
+		maxK = 16 << 20
+	}
+	live := s.m.HeapLive()
+	switch {
+	case live > s.TargetSpace && s.K > minK:
+		s.K /= 2
+		if s.K < minK {
+			s.K = minK
+		}
+	case live < s.TargetSpace/2 && s.K < maxK:
+		s.K *= 2
+		if s.K > maxK {
+			s.K = maxK
+		}
+	}
+}
+
+// OnFork implements machine.Scheduler: the parent is pushed on top of the
+// processor's deque and the child preempts it (depth-first order).
+func (s *DFDeques) OnFork(p int, parent, child *machine.Thread) *machine.Thread {
+	s.own[p].PushTop(parent)
+	return child
+}
+
+// OnJoinSuspend implements machine.Scheduler.
+func (s *DFDeques) OnJoinSuspend(p int, t *machine.Thread) *machine.Thread {
+	return s.popOwnOrGiveUp(p)
+}
+
+// OnBlocked implements machine.Scheduler.
+func (s *DFDeques) OnBlocked(p int, t *machine.Thread) *machine.Thread {
+	return s.popOwnOrGiveUp(p)
+}
+
+// OnTerminate implements machine.Scheduler: if the dying thread woke its
+// suspended parent, the processor executes the parent next (for
+// nested-parallel programs its deque is empty at that point — Lemma 3.1).
+// After a dummy action, the processor instead gives up its deque and
+// steals (§3.3).
+func (s *DFDeques) OnTerminate(p int, t, woke *machine.Thread) *machine.Thread {
+	if s.dummy[p] {
+		s.dummy[p] = false
+		if woke != nil {
+			s.own[p].PushTop(woke)
+		}
+		s.giveUp(p)
+		return nil
+	}
+	if woke != nil {
+		return woke
+	}
+	return s.popOwnOrGiveUp(p)
+}
+
+// OnWake implements machine.Scheduler: a thread woken by a lock release is
+// placed in a new deque inserted at its priority position in R (§5's
+// extension for blocking synchronization; outside the nested-parallel
+// model).
+func (s *DFDeques) OnWake(p int, t *machine.Thread) {
+	insertAt := s.r.Len() // default: right end
+	for i := 0; i < s.r.Len(); i++ {
+		d := s.r.Kth(i)
+		top, ok := d.PeekTop()
+		if !ok {
+			continue // empty owned deque: no priority information
+		}
+		if t.HigherPriority(top) {
+			insertAt = i
+			break
+		}
+	}
+	var nd *deque.Deque[*machine.Thread]
+	if insertAt == 0 {
+		nd = s.r.PushLeft()
+	} else {
+		nd = s.r.InsertRight(s.r.Kth(insertAt - 1))
+	}
+	nd.PushTop(t)
+	s.noteRLen()
+}
+
+// ChargeAlloc implements machine.Scheduler: K bounds the net bytes a
+// processor may allocate between consecutive steals.
+func (s *DFDeques) ChargeAlloc(p int, t *machine.Thread, n int64) bool {
+	if s.K == 0 {
+		return true
+	}
+	if n <= s.quota[p] {
+		s.quota[p] -= n
+		return true
+	}
+	return false
+}
+
+// CreditFree implements machine.Scheduler (net allocation: frees restore
+// quota up to K).
+func (s *DFDeques) CreditFree(p int, t *machine.Thread, n int64) {
+	if s.K == 0 {
+		return
+	}
+	s.quota[p] += n
+	if s.quota[p] > s.K {
+		s.quota[p] = s.K
+	}
+}
+
+// OnPreempt implements machine.Scheduler: the preempted thread is pushed
+// back on top of the processor's deque, which is then given up (left in R,
+// unowned) — the processor will steal with a fresh quota.
+func (s *DFDeques) OnPreempt(p int, t *machine.Thread) {
+	s.own[p].PushTop(t)
+	s.giveUp(p)
+}
+
+// OnDummy implements machine.Scheduler.
+func (s *DFDeques) OnDummy(p int) { s.dummy[p] = true }
+
+// popOwnOrGiveUp pops the top of the processor's own deque; if the deque
+// is empty it is deleted from R and the processor goes idle.
+func (s *DFDeques) popOwnOrGiveUp(p int) *machine.Thread {
+	d := s.own[p]
+	if d == nil {
+		return nil
+	}
+	if t, ok := d.PopTop(); ok {
+		s.m.NoteLocalDispatch()
+		return t
+	}
+	s.r.Delete(d)
+	s.own[p] = nil
+	return nil
+}
+
+// giveUp releases ownership of the processor's deque without popping. An
+// empty deque is deleted (the cost model requires empty deques in R to be
+// owned by a busy processor).
+func (s *DFDeques) giveUp(p int) {
+	d := s.own[p]
+	if d == nil {
+		return
+	}
+	if d.Empty() {
+		s.r.Delete(d)
+	} else {
+		d.Owner = -1
+	}
+	s.own[p] = nil
+}
+
+// CheckInvariants verifies Lemma 3.1:
+//  1. threads in each deque are in decreasing priority order from top to
+//     bottom;
+//  2. a thread executing on a processor has higher priority than all
+//     threads in the processor's deque;
+//  3. threads in any deque have higher priority than threads in all deques
+//     to its right in R.
+//
+// These hold for nested-parallel programs; programs using locks (OnWake)
+// are outside the lemma's scope and must not enable invariant checking.
+func (s *DFDeques) CheckInvariants() error {
+	for i := 0; i < s.r.Len(); i++ {
+		d := s.r.Kth(i)
+		items := d.Items() // bottom → top
+		for j := 1; j < len(items); j++ {
+			if !items[j].HigherPriority(items[j-1]) {
+				return fmt.Errorf("lemma 3.1(1): deque %d not priority-sorted (items %d,%d)", i, j-1, j)
+			}
+		}
+	}
+	for p := 0; p < s.m.Procs(); p++ {
+		curr := s.m.Curr(p)
+		d := s.own[p]
+		if curr == nil || d == nil {
+			continue
+		}
+		if top, ok := d.PeekTop(); ok && !curr.HigherPriority(top) {
+			return fmt.Errorf("lemma 3.1(2): proc %d runs a thread with lower priority than its deque top", p)
+		}
+	}
+	var prevBottom *machine.Thread
+	for i := 0; i < s.r.Len(); i++ {
+		d := s.r.Kth(i)
+		top, ok := d.PeekTop()
+		if !ok {
+			if d.Owner == -1 {
+				return fmt.Errorf("empty deque %d in R is unowned", i)
+			}
+			continue
+		}
+		if prevBottom != nil && !prevBottom.HigherPriority(top) {
+			return fmt.Errorf("lemma 3.1(3): deque %d not lower-priority than its left neighbor", i)
+		}
+		prevBottom, _ = d.PeekBottom()
+	}
+	return nil
+}

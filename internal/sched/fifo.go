@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"dfdeques/internal/machine"
+)
+
+// FIFO models the original Solaris Pthreads library scheduler the paper
+// compares against (§5): a single global FIFO run queue. A forked child is
+// appended to the tail and the parent keeps running, so the computation
+// unfolds breadth-first — which is what blows up the number of
+// simultaneously live threads (Fig. 11) and destroys locality (Fig. 1).
+type FIFO struct {
+	m     *machine.Machine
+	queue []*machine.Thread
+	head  int
+}
+
+// NewFIFO returns a FIFO scheduler.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements machine.Scheduler.
+func (s *FIFO) Name() string { return "FIFO" }
+
+// MemThreshold implements machine.Scheduler: no quota.
+func (s *FIFO) MemThreshold() int64 { return 0 }
+
+// Init implements machine.Scheduler.
+func (s *FIFO) Init(m *machine.Machine, root *machine.Thread) {
+	s.m = m
+	s.enqueue(root)
+}
+
+// StealRound implements machine.Scheduler: idle processors take from the
+// queue head, serialized on the queue lock.
+func (s *FIFO) StealRound(idle []int) {
+	for i, p := range idle {
+		t := s.dequeue()
+		if t == nil {
+			return
+		}
+		s.m.Assign(p, t)
+		s.m.Stall(p, s.m.Cfg.QueueLatency*int64(i))
+	}
+}
+
+// OnFork implements machine.Scheduler: the child is appended to the run
+// queue; the parent continues (no child preemption — breadth-first).
+func (s *FIFO) OnFork(p int, parent, child *machine.Thread) *machine.Thread {
+	s.enqueue(child)
+	s.m.Stall(p, s.m.Cfg.QueueLatency)
+	return parent
+}
+
+// OnJoinSuspend implements machine.Scheduler.
+func (s *FIFO) OnJoinSuspend(p int, t *machine.Thread) *machine.Thread {
+	return s.dispatch(p)
+}
+
+// OnBlocked implements machine.Scheduler.
+func (s *FIFO) OnBlocked(p int, t *machine.Thread) *machine.Thread {
+	return s.dispatch(p)
+}
+
+// OnTerminate implements machine.Scheduler: a woken parent goes to the
+// back of the queue like any other runnable thread; the processor takes
+// the queue head.
+func (s *FIFO) OnTerminate(p int, t, woke *machine.Thread) *machine.Thread {
+	if woke != nil {
+		s.enqueue(woke)
+		s.m.Stall(p, s.m.Cfg.QueueLatency)
+	}
+	return s.dispatch(p)
+}
+
+// OnWake implements machine.Scheduler.
+func (s *FIFO) OnWake(p int, t *machine.Thread) {
+	s.enqueue(t)
+	s.m.Stall(p, s.m.Cfg.QueueLatency)
+}
+
+// ChargeAlloc implements machine.Scheduler: never vetoes.
+func (s *FIFO) ChargeAlloc(p int, t *machine.Thread, n int64) bool { return true }
+
+// CreditFree implements machine.Scheduler.
+func (s *FIFO) CreditFree(p int, t *machine.Thread, n int64) {}
+
+// OnPreempt implements machine.Scheduler (unreachable: no quota).
+func (s *FIFO) OnPreempt(p int, t *machine.Thread) {
+	panic("sched: FIFO cannot preempt")
+}
+
+// OnDummy implements machine.Scheduler (unreachable: no quota).
+func (s *FIFO) OnDummy(p int) {}
+
+// CheckInvariants implements machine.Scheduler: nothing to check.
+func (s *FIFO) CheckInvariants() error { return nil }
+
+func (s *FIFO) enqueue(t *machine.Thread) {
+	s.queue = append(s.queue, t)
+}
+
+func (s *FIFO) dequeue() *machine.Thread {
+	if s.head >= len(s.queue) {
+		return nil
+	}
+	t := s.queue[s.head]
+	s.queue[s.head] = nil
+	s.head++
+	if s.head > 1024 && s.head*2 >= len(s.queue) {
+		// Compact the consumed prefix.
+		s.queue = append(s.queue[:0], s.queue[s.head:]...)
+		s.head = 0
+	}
+	return t
+}
+
+func (s *FIFO) dispatch(p int) *machine.Thread {
+	t := s.dequeue()
+	if t == nil {
+		return nil
+	}
+	s.m.NoteSteal()
+	s.m.Stall(p, s.m.Cfg.QueueLatency)
+	return t
+}

@@ -1,0 +1,390 @@
+package sched_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dfdeques/internal/dag"
+	"dfdeques/internal/machine"
+	"dfdeques/internal/sched"
+)
+
+// dncDag builds a divide-and-conquer dag in the style of the paper's §6
+// synthetic benchmark: `levels` levels of binary recursion; each node
+// allocates `space` bytes, does `work` actions, recurses, frees, with
+// space and work decreasing geometrically (factor 2) down the tree.
+func dncDag(levels int, space, work int64) *dag.ThreadSpec {
+	if levels == 0 {
+		return dag.NewThread("leaf").Alloc(space).Work(work + 1).Free(space).Spec()
+	}
+	l := dncDag(levels-1, space/2, work/2)
+	r := dncDag(levels-1, space/2, work/2)
+	return dag.NewThread("node").
+		Alloc(space).Work(work + 1).
+		Fork(l).Fork(r).Join().Join().
+		Free(space).Spec()
+}
+
+// irregularDag builds a randomized nested-parallel dag for property tests.
+func irregularDag(rng *rand.Rand, depth int) *dag.ThreadSpec {
+	b := dag.NewThread("n")
+	if rng.Intn(3) == 0 {
+		sz := int64(rng.Intn(200))
+		b.Alloc(sz).Work(int64(rng.Intn(5) + 1)).Free(sz)
+	}
+	if depth > 0 {
+		n := rng.Intn(3)
+		for i := 0; i < n; i++ {
+			child := irregularDag(rng, depth-1)
+			if rng.Intn(2) == 0 {
+				b.ForkJoin(child)
+			} else {
+				b.Fork(child).Work(int64(rng.Intn(4) + 1)).Join()
+			}
+		}
+	}
+	b.Work(int64(rng.Intn(6) + 1))
+	return b.Spec()
+}
+
+func run(t *testing.T, s machine.Scheduler, spec *dag.ThreadSpec, cfg machine.Config) machine.Metrics {
+	t.Helper()
+	m := machine.New(cfg, s)
+	met, err := m.Run(spec)
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+	return met
+}
+
+// TestLemma31InvariantsRandomDags runs DFDeques with full invariant
+// checking over a battery of random nested-parallel dags, processor
+// counts, memory thresholds, and seeds.
+func TestLemma31InvariantsRandomDags(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		spec := irregularDag(rng, 5)
+		p := 1 + rng.Intn(8)
+		k := int64(50)
+		if trial%2 == 0 {
+			k = 1000
+		}
+		s := sched.NewDFDeques(k)
+		cfg := machine.Config{Procs: p, Seed: int64(trial), CheckInvariants: true}
+		m := machine.New(cfg, s)
+		if _, err := m.Run(spec); err != nil {
+			t.Fatalf("trial %d (p=%d K=%d): %v", trial, p, k, err)
+		}
+	}
+}
+
+// TestLemma31InvariantsDnc checks the invariants on the structured d&c dag
+// with small K, where preemptions and dummy threads exercise every code
+// path.
+func TestLemma31InvariantsDnc(t *testing.T) {
+	spec := dncDag(7, 4096, 64)
+	for _, p := range []int{1, 2, 4, 8} {
+		for _, k := range []int64{64, 512, 8192, 0} {
+			s := sched.NewDFDeques(k)
+			cfg := machine.Config{Procs: p, Seed: 42, CheckInvariants: true}
+			m := machine.New(cfg, s)
+			if _, err := m.Run(spec); err != nil {
+				t.Fatalf("p=%d K=%d: %v", p, k, err)
+			}
+		}
+	}
+}
+
+// TestWSInvariants runs the WS checker over the same battery.
+func TestWSInvariants(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		spec := irregularDag(rng, 5)
+		s := sched.NewWS()
+		cfg := machine.Config{Procs: 1 + rng.Intn(8), Seed: int64(trial), CheckInvariants: true}
+		m := machine.New(cfg, s)
+		if _, err := m.Run(spec); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestADFInvariants runs the ADF ready-queue order checker.
+func TestADFInvariants(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(200 + trial)))
+		spec := irregularDag(rng, 5)
+		s := sched.NewADF(100)
+		cfg := machine.Config{Procs: 1 + rng.Intn(8), Seed: int64(trial), CheckInvariants: true}
+		m := machine.New(cfg, s)
+		if _, err := m.Run(spec); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestSpaceBoundDFDeques verifies Theorem 4.4: expected space is
+// S1 + O(min(K,S1)·p·D). We check each run against the bound with a
+// generous constant, averaging over seeds to approximate expectation.
+func TestSpaceBoundDFDeques(t *testing.T) {
+	spec := dncDag(8, 8192, 32)
+	sm := dag.Measure(spec)
+	for _, p := range []int{2, 4, 8} {
+		for _, k := range []int64{256, 2048, 16384} {
+			var total int64
+			const seeds = 5
+			for seed := int64(0); seed < seeds; seed++ {
+				met := run(t, sched.NewDFDeques(k), spec, machine.Config{Procs: p, Seed: seed})
+				total += met.HeapHW
+			}
+			avg := total / seeds
+			minKS1 := min(k, sm.HeapHW)
+			// Transformed dag depth grows by at most a constant factor.
+			bound := sm.HeapHW + 8*minKS1*int64(p)*sm.D
+			if avg > bound {
+				t.Errorf("p=%d K=%d: avg space %d exceeds Thm 4.4 bound %d (S1=%d D=%d)",
+					p, k, avg, bound, sm.HeapHW, sm.D)
+			}
+		}
+	}
+}
+
+// TestSpaceBoundADF verifies the depth-first scheduler's S1 + O(K·p·D)
+// bound on the same workload.
+func TestSpaceBoundADF(t *testing.T) {
+	spec := dncDag(8, 8192, 32)
+	sm := dag.Measure(spec)
+	for _, p := range []int{2, 8} {
+		met := run(t, sched.NewADF(512), spec, machine.Config{Procs: p, Seed: 1})
+		bound := sm.HeapHW + 8*512*int64(p)*sm.D
+		if met.HeapHW > bound {
+			t.Errorf("p=%d: ADF space %d exceeds bound %d", p, met.HeapHW, bound)
+		}
+	}
+}
+
+// TestTimeBoundDFDeques verifies Theorem 4.8: expected time is
+// O(W/p + SA/(p·K) + D) under the pure cost model.
+func TestTimeBoundDFDeques(t *testing.T) {
+	spec := dncDag(8, 4096, 64)
+	sm := dag.Measure(spec)
+	for _, p := range []int{1, 2, 4, 8} {
+		for _, k := range []int64{512, 4096, 0} {
+			var total int64
+			const seeds = 5
+			for seed := int64(0); seed < seeds; seed++ {
+				met := run(t, sched.NewDFDeques(k), spec, machine.Config{Procs: p, Seed: seed})
+				total += met.Steps
+			}
+			avg := total / seeds
+			kk := k
+			if kk == 0 {
+				kk = 1 << 60
+			}
+			bound := 8 * (sm.W/int64(p) + sm.TotalAlloc/(int64(p)*kk) + sm.D)
+			if avg > bound {
+				t.Errorf("p=%d K=%d: avg time %d exceeds Thm 4.8 bound %d", p, k, avg, bound)
+			}
+		}
+	}
+}
+
+// TestGreedyLowerBounds: no scheduler can beat max(W/p, D).
+func TestGreedyLowerBounds(t *testing.T) {
+	spec := dncDag(6, 0, 128)
+	sm := dag.Measure(spec)
+	for _, name := range []string{"DFD", "WS", "ADF", "FIFO"} {
+		var s machine.Scheduler
+		switch name {
+		case "DFD":
+			s = sched.NewDFDeques(1024)
+		case "WS":
+			s = sched.NewWS()
+		case "ADF":
+			s = sched.NewADF(1024)
+		case "FIFO":
+			s = sched.NewFIFO()
+		}
+		met := run(t, s, spec, machine.Config{Procs: 4, Seed: 9})
+		if met.Steps < sm.W/4 || met.Steps < sm.D {
+			t.Errorf("%s: time %d beats greedy lower bound max(%d, %d)", name, met.Steps, sm.W/4, sm.D)
+		}
+	}
+}
+
+// TestDFDInfNeverExceedsPDeques: the structural half of the §3.3 claim
+// that DFDeques(∞) is the WS work stealer — R never holds more than p
+// deques when the quota never expires.
+func TestDFDInfNeverExceedsPDeques(t *testing.T) {
+	spec := dncDag(8, 1024, 16)
+	for _, p := range []int{1, 2, 4, 8} {
+		s := sched.NewDFDeques(0)
+		run(t, s, spec, machine.Config{Procs: p, Seed: 3})
+		if s.MaxDeques() > p {
+			t.Errorf("p=%d: DFD(∞) had %d deques in R", p, s.MaxDeques())
+		}
+	}
+}
+
+// TestDFDSmallKExceedsPDeques: with a small quota the number of deques
+// must be able to exceed p (that is what distinguishes the algorithm from
+// work stealing).
+func TestDFDSmallKExceedsPDeques(t *testing.T) {
+	spec := dncDag(8, 8192, 4)
+	s := sched.NewDFDeques(64)
+	run(t, s, spec, machine.Config{Procs: 4, Seed: 3})
+	if s.MaxDeques() <= 4 {
+		t.Errorf("DFD(64) never exceeded p deques (max %d); quota give-up path untested", s.MaxDeques())
+	}
+}
+
+// TestDFDInfMatchesWSStatistically: DFDeques(∞) and WS should behave
+// alike on time and space (same algorithm, different code paths).
+func TestDFDInfMatchesWSStatistically(t *testing.T) {
+	spec := dncDag(9, 2048, 32)
+	var dfdSteps, wsSteps, dfdSpace, wsSpace int64
+	const seeds = 10
+	for seed := int64(0); seed < seeds; seed++ {
+		a := run(t, sched.NewDFDeques(0), spec, machine.Config{Procs: 4, Seed: seed})
+		b := run(t, sched.NewWS(), spec, machine.Config{Procs: 4, Seed: seed})
+		dfdSteps += a.Steps
+		wsSteps += b.Steps
+		dfdSpace += a.HeapHW
+		wsSpace += b.HeapHW
+	}
+	ratio := func(x, y int64) float64 { return float64(x) / float64(y) }
+	if r := ratio(dfdSteps, wsSteps); r < 0.8 || r > 1.25 {
+		t.Errorf("DFD(∞)/WS mean time ratio = %.2f, want ≈ 1", r)
+	}
+	if r := ratio(dfdSpace, wsSpace); r < 0.5 || r > 2 {
+		t.Errorf("DFD(∞)/WS mean space ratio = %.2f, want ≈ 1", r)
+	}
+}
+
+// TestSpaceOrdering reproduces the paper's central qualitative claim
+// (§1, §7): on allocation-heavy fine-grained d&c programs,
+// space(ADF) ≤ space(DFD(K)) ≤ space(DFD(∞) ≈ WS).
+func TestSpaceOrdering(t *testing.T) {
+	// Many parallel branches each allocating and holding memory across
+	// work: the workload family where work stealing's p·S1 behaviour
+	// shows (each stolen branch holds its allocation concurrently).
+	leaf := func(int) *dag.ThreadSpec {
+		return dag.NewThread("leaf").Alloc(10000).Work(50).Free(10000).Spec()
+	}
+	spec := dag.ParFor("hold", 64, leaf)
+	const seeds = 5
+	avg := func(mk func() machine.Scheduler) int64 {
+		var tot int64
+		for seed := int64(0); seed < seeds; seed++ {
+			tot += run(t, mk(), spec, machine.Config{Procs: 8, Seed: seed}).HeapHW
+		}
+		return tot / seeds
+	}
+	adf := avg(func() machine.Scheduler { return sched.NewADF(1000) })
+	dfd := avg(func() machine.Scheduler { return sched.NewDFDeques(1000) })
+	ws := avg(func() machine.Scheduler { return sched.NewWS() })
+	if adf > dfd*12/10 {
+		t.Errorf("ADF space %d should be ≤≈ DFD %d", adf, dfd)
+	}
+	if dfd >= ws {
+		t.Errorf("DFD(1000) space %d should be < WS %d", dfd, ws)
+	}
+}
+
+// TestGranularityOrdering reproduces Fig. 16's qualitative shape:
+// scheduling granularity grows with K, and WS has the largest granularity
+// while ADF has the smallest.
+func TestGranularityOrdering(t *testing.T) {
+	spec := dncDag(10, 16384, 8)
+	const seeds = 5
+	gran := func(mk func() machine.Scheduler) float64 {
+		var tot float64
+		for seed := int64(0); seed < seeds; seed++ {
+			tot += run(t, mk(), spec, machine.Config{Procs: 8, Seed: seed}).SchedGranularity()
+		}
+		return tot / seeds
+	}
+	adf := gran(func() machine.Scheduler { return sched.NewADF(1024) })
+	small := gran(func() machine.Scheduler { return sched.NewDFDeques(1024) })
+	large := gran(func() machine.Scheduler { return sched.NewDFDeques(65536) })
+	ws := gran(func() machine.Scheduler { return sched.NewWS() })
+	if !(small < large) {
+		t.Errorf("granularity should grow with K: DFD(1k)=%.1f DFD(64k)=%.1f", small, large)
+	}
+	if !(adf <= small*11/10) {
+		t.Errorf("ADF granularity %.1f should be ≤ DFD(1k) %.1f", adf, small)
+	}
+	if !(large <= ws*13/10) {
+		t.Errorf("DFD(64k) granularity %.1f should be ≤≈ WS %.1f", large, ws)
+	}
+}
+
+// TestKTradeoffMonotonic reproduces Fig. 15's shape on the simulator:
+// larger K ⇒ space up (weakly), steals down.
+func TestKTradeoffMonotonic(t *testing.T) {
+	spec := dncDag(10, 16384, 8)
+	type pt struct {
+		space  int64
+		steals int64
+	}
+	var pts []pt
+	for _, k := range []int64{256, 2048, 16384, 131072} {
+		var sp, st int64
+		const seeds = 5
+		for seed := int64(0); seed < seeds; seed++ {
+			met := run(t, sched.NewDFDeques(k), spec, machine.Config{Procs: 8, Seed: seed})
+			sp += met.HeapHW
+			st += met.Steals
+		}
+		pts = append(pts, pt{sp / seeds, st / seeds})
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].steals > pts[i-1].steals*12/10 {
+			t.Errorf("steals should fall as K grows: %+v", pts)
+		}
+	}
+	if pts[0].space > pts[len(pts)-1].space {
+		// First point (smallest K) should not need more space than last.
+		t.Errorf("space should grow (weakly) with K: %+v", pts)
+	}
+}
+
+// TestDummyThreadsDelayBigAllocs: with small K, a program whose parallel
+// branches differ in priority must see its big allocation delayed, giving
+// DFD(K) strictly less space than DFD(∞) on this family.
+func TestDummyThreadsDelayBigAllocs(t *testing.T) {
+	// Many parallel branches, each allocating a sizable chunk and holding
+	// it across some work.
+	leaf := func(int) *dag.ThreadSpec {
+		return dag.NewThread("leaf").Alloc(10000).Work(50).Free(10000).Spec()
+	}
+	spec := dag.ParFor("big", 64, leaf)
+	const seeds = 5
+	var withK, noK int64
+	for seed := int64(0); seed < seeds; seed++ {
+		withK += run(t, sched.NewDFDeques(1000), spec, machine.Config{Procs: 8, Seed: seed}).HeapHW
+		noK += run(t, sched.NewDFDeques(0), spec, machine.Config{Procs: 8, Seed: seed}).HeapHW
+	}
+	if withK >= noK {
+		t.Errorf("DFD(1000) avg space %d should be < DFD(∞) %d", withK/seeds, noK/seeds)
+	}
+}
+
+// TestSchedulerNames pins the report names used by the lab drivers.
+func TestSchedulerNames(t *testing.T) {
+	if sched.NewDFDeques(100).Name() != "DFD" {
+		t.Error("DFD name")
+	}
+	if sched.NewDFDeques(0).Name() != "DFD-inf" {
+		t.Error("DFD-inf name")
+	}
+	if sched.NewWS().Name() != "WS" {
+		t.Error("WS name")
+	}
+	if sched.NewADF(1).Name() != "ADF" {
+		t.Error("ADF name")
+	}
+	if sched.NewFIFO().Name() != "FIFO" {
+		t.Error("FIFO name")
+	}
+}

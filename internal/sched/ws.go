@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"dfdeques/internal/deque"
+	"dfdeques/internal/machine"
+)
+
+// WS is the space-efficient work-stealing scheduler of Blumofe & Leiserson
+// [9], the paper's "Cilk" reference point: one deque per processor, the
+// owner pushes and pops at the top, and an idle processor steals the
+// bottom (oldest) thread of a uniformly random victim. It imposes no
+// memory quota, so its space grows like p·S1 (Corollary 4.6 shows the
+// matching lower bound on our Thm 4.5 dag family).
+type WS struct {
+	m  *machine.Machine
+	dq []*deque.Deque[*machine.Thread]
+
+	stolenThisRound map[int]bool
+}
+
+// NewWS returns a work-stealing scheduler.
+func NewWS() *WS { return &WS{} }
+
+// Name implements machine.Scheduler.
+func (s *WS) Name() string { return "WS" }
+
+// MemThreshold implements machine.Scheduler: no quota.
+func (s *WS) MemThreshold() int64 { return 0 }
+
+// Init implements machine.Scheduler: the root thread starts in processor
+// 0's deque.
+func (s *WS) Init(m *machine.Machine, root *machine.Thread) {
+	s.m = m
+	s.dq = make([]*deque.Deque[*machine.Thread], m.Procs())
+	for i := range s.dq {
+		s.dq[i] = deque.NewDeque[*machine.Thread]()
+		s.dq[i].Owner = i
+	}
+	s.dq[0].PushTop(root)
+	s.stolenThisRound = make(map[int]bool, m.Procs())
+}
+
+// StealRound implements machine.Scheduler. An idle processor whose own
+// deque is non-empty (possible only through lock wake-ups or the initial
+// root placement) pops it locally; otherwise it steals the bottom thread
+// of a uniformly random victim, with at most one successful steal per
+// victim deque per timestep.
+func (s *WS) StealRound(idle []int) {
+	clear(s.stolenThisRound)
+	for _, p := range idle {
+		if t, ok := s.dq[p].PopTop(); ok {
+			s.m.Assign(p, t)
+			continue
+		}
+		v := s.m.Rand.Intn(s.m.Procs())
+		if v == p || s.stolenThisRound[v] {
+			continue
+		}
+		t, ok := s.dq[v].PopBottom()
+		if !ok {
+			continue
+		}
+		s.stolenThisRound[v] = true
+		s.m.Assign(p, t)
+	}
+}
+
+// OnFork implements machine.Scheduler: push the parent, run the child.
+func (s *WS) OnFork(p int, parent, child *machine.Thread) *machine.Thread {
+	s.dq[p].PushTop(parent)
+	return child
+}
+
+// OnJoinSuspend implements machine.Scheduler.
+func (s *WS) OnJoinSuspend(p int, t *machine.Thread) *machine.Thread {
+	return s.popOwn(p)
+}
+
+// OnBlocked implements machine.Scheduler.
+func (s *WS) OnBlocked(p int, t *machine.Thread) *machine.Thread {
+	return s.popOwn(p)
+}
+
+// OnTerminate implements machine.Scheduler: a woken parent is executed
+// immediately (footnote 5 of the paper: for nested-parallel programs the
+// processor's deque is empty at this point).
+func (s *WS) OnTerminate(p int, t, woke *machine.Thread) *machine.Thread {
+	if woke != nil {
+		return woke
+	}
+	return s.popOwn(p)
+}
+
+// OnWake implements machine.Scheduler: the woken thread is pushed on the
+// releasing processor's own deque.
+func (s *WS) OnWake(p int, t *machine.Thread) {
+	s.dq[p].PushTop(t)
+}
+
+// ChargeAlloc implements machine.Scheduler: never vetoes.
+func (s *WS) ChargeAlloc(p int, t *machine.Thread, n int64) bool { return true }
+
+// CreditFree implements machine.Scheduler.
+func (s *WS) CreditFree(p int, t *machine.Thread, n int64) {}
+
+// OnPreempt implements machine.Scheduler (unreachable: no quota).
+func (s *WS) OnPreempt(p int, t *machine.Thread) {
+	panic("sched: WS cannot preempt")
+}
+
+// OnDummy implements machine.Scheduler (no-op: WS never sees dummies).
+func (s *WS) OnDummy(p int) {}
+
+// CheckInvariants implements machine.Scheduler: each deque must be
+// priority-sorted top-to-bottom (the WS analogue of Lemma 3.1(1–2)).
+func (s *WS) CheckInvariants() error {
+	for _, d := range s.dq {
+		items := d.Items()
+		for j := 1; j < len(items); j++ {
+			if !items[j].HigherPriority(items[j-1]) {
+				return errDequeOrder
+			}
+		}
+	}
+	return nil
+}
+
+func (s *WS) popOwn(p int) *machine.Thread {
+	if t, ok := s.dq[p].PopTop(); ok {
+		s.m.NoteLocalDispatch()
+		return t
+	}
+	return nil
+}

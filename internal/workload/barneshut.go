@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"math/rand"
+
+	"dfdeques/internal/dag"
+)
+
+// BarnesHut models the paper's Barnes-Hut N-body benchmark (§5.1: 100 k
+// particles, Plummer model). Two phases run in sequence:
+//
+//  1. Tree build: parallel insertion of particle chunks into a shared
+//     octree whose cells are protected by mutexes (§5: "the tree-building
+//     phase uses mutexes to protect modifications to the tree's cells").
+//     Contention is real: chunks race for the same top-level cells.
+//  2. Force computation: a parallel loop over particle chunks; per-chunk
+//     work is highly skewed (Plummer clustering: central particles traverse
+//     far more of the tree) and touches the shared cell blocks.
+//
+// BarnesHutTreeBuild exposes phase 1 alone — the Fig. 17 experiment, where
+// blocking locks (Pthreads-based schedulers) are compared against spinning
+// (Cilk).
+func BarnesHut(g Grain) *dag.ThreadSpec {
+	build := barnesHutTreeBuild(g, 0x8A12)
+	force := barnesHutForce(g, 0x8A13)
+	return dag.NewThread("barnes-hut").
+		ForkJoin(build).
+		ForkJoin(force).
+		Spec()
+}
+
+// BarnesHutTreeBuild is the lock-heavy tree-construction phase by itself
+// (Fig. 17).
+func BarnesHutTreeBuild(g Grain) *dag.ThreadSpec {
+	return barnesHutTreeBuild(g, 0x8A12)
+}
+
+const (
+	bhParticles = 8192 // scaled from 10⁵ / 10⁶
+	bhLocks     = 64   // lockable top-level tree cells
+	bhBlocks    = 128  // tree cell data blocks
+)
+
+func barnesHutTreeBuild(g Grain, seed int64) *dag.ThreadSpec {
+	chunk := 128
+	if g == Fine {
+		chunk = 32
+	}
+	leaves := bhParticles / chunk
+	rng := newRng(seed)
+	bl := &blocks{}
+	cells := make([]dag.BlockID, bhBlocks)
+	for i := range cells {
+		cells[i] = bl.get()
+	}
+	leaf := func(i int) *dag.ThreadSpec {
+		b := dag.NewThread("bh-insert")
+		// Insert the chunk's particles: each insertion locks a cell,
+		// updates it, and unlocks. Plummer clustering: most insertions
+		// target the few central cells.
+		inserts := chunk / 8
+		for j := 0; j < inserts; j++ {
+			var cell int
+			if rng.Intn(4) != 0 {
+				cell = rng.Intn(bhLocks / 8) // central, contended
+			} else {
+				cell = rng.Intn(bhLocks)
+			}
+			b.Acquire(dag.LockID(cell+1)).
+				WorkOn(6, cells[cell], 512).
+				Release(dag.LockID(cell + 1))
+		}
+		return b.Spec()
+	}
+	return dag.ParFor("bh-build", leaves, leaf)
+}
+
+func barnesHutForce(g Grain, seed int64) *dag.ThreadSpec {
+	chunk := 128
+	if g == Fine {
+		chunk = 32
+	}
+	leaves := bhParticles / chunk
+	rng := newRng(seed)
+	bl := &blocks{}
+	cells := make([]dag.BlockID, bhBlocks)
+	for i := range cells {
+		cells[i] = bl.get()
+	}
+	// Skewed per-chunk traversal costs (Plummer-like tail).
+	costs := make([]int64, leaves)
+	for i := range costs {
+		c := int64(20 + rng.Intn(40))
+		if rng.Intn(8) == 0 {
+			c *= 6 // dense-region chunk
+		}
+		costs[i] = c * int64(chunk) / 4
+	}
+	leaf := func(i int) *dag.ThreadSpec {
+		b := dag.NewThread("bh-force")
+		// Traverse: mostly the chunk's own region of the tree, plus the
+		// heavily shared top cells.
+		own := cells[i*bhBlocks/leaves]
+		b.WorkOn(costs[i]/2+1, own, 2048)
+		b.WorkOn(costs[i]/4+1, cells[0], 2048) // root cells: shared by all
+		b.WorkOn(costs[i]/4+1, cells[rngPick(rng, bhBlocks)], 1024)
+		return b.Spec()
+	}
+	return dag.ParFor("bh-force", leaves, leaf)
+}
+
+func rngPick(rng *rand.Rand, n int) int { return rng.Intn(n) }

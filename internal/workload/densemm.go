@@ -1,0 +1,103 @@
+package workload
+
+import "dfdeques/internal/dag"
+
+// DenseMM models the paper's blocked recursive dense matrix multiply
+// (§5.1, and the subject of Figs. 13 and 15): C = A·B by quadrant
+// decomposition. Each internal node allocates an n×n temporary T, computes
+// the four products that target C and the four that target T in parallel
+// (eight recursive multiplies expressed as a binary fork tree), adds T
+// into C, and frees T. The temporaries are what make the benchmark
+// memory-hungry: every concurrently executing internal node holds one, so
+// space grows with the scheduler's willingness to run siblings in
+// parallel.
+//
+// Leaf multiplies do n³-proportional work touching one block each of A, B
+// and C. Medium grain stops recursion at 32×32 blocks; fine grain at
+// 16×16, multiplying the thread count by 8 (Fig. 11: 4687 → 37491
+// threads; ours is scaled down).
+func DenseMM(g Grain) *dag.ThreadSpec {
+	const n = 128 // matrix dimension (scaled down from 1026)
+	leafN := 32
+	if g == Fine {
+		leafN = 16
+	}
+	b := &mmBuilder{leafN: leafN, bl: &blocks{}}
+	return b.multiply(0, 0, 0, 0, 0, 0, n)
+}
+
+type mmBuilder struct {
+	leafN int
+	bl    *blocks
+	// block caches: one BlockID per (matrix, leaf tile) so threads that
+	// reuse a tile share cache lines.
+	tiles map[[3]int]dag.BlockID
+}
+
+// tile returns the BlockID of the leafN×leafN tile of matrix m (0=A, 1=B,
+// 2=C) containing element (r, c).
+func (b *mmBuilder) tile(m, r, c int) dag.BlockID {
+	if b.tiles == nil {
+		b.tiles = make(map[[3]int]dag.BlockID)
+	}
+	key := [3]int{m, r / b.leafN, c / b.leafN}
+	id, ok := b.tiles[key]
+	if !ok {
+		id = b.bl.get()
+		b.tiles[key] = id
+	}
+	return id
+}
+
+// multiply builds the thread computing C[cr:cr+n, cc:cc+n] +=
+// A[ar:..,ac:..]·B[br:..,bc:..].
+func (b *mmBuilder) multiply(ar, ac, br, bc, cr, cc, n int) *dag.ThreadSpec {
+	if n <= b.leafN {
+		tb := int32(n * n * 8)
+		work := int64(n) * int64(n) * int64(n) / 16 // scaled n³
+		if work < 1 {
+			work = 1
+		}
+		return dag.NewThread("mm-leaf").
+			WorkOn(work/3+1, b.tile(0, ar, ac), tb).
+			WorkOn(work/3+1, b.tile(1, br, bc), tb).
+			WorkOn(work/3+1, b.tile(2, cr, cc), tb).
+			Spec()
+	}
+	h := n / 2
+	tmp := int64(n) * int64(n) * 8 // temporary T, n×n doubles
+
+	// The eight recursive products: four accumulate into C's quadrants,
+	// four into T's quadrants (which alias C's tiles for locality
+	// purposes; the temp bytes are what matter for space).
+	prods := []*dag.ThreadSpec{
+		b.multiply(ar, ac, br, bc, cr, cc, h),
+		b.multiply(ar, ac, br, bc+h, cr, cc+h, h),
+		b.multiply(ar+h, ac, br, bc, cr+h, cc, h),
+		b.multiply(ar+h, ac, br, bc+h, cr+h, cc+h, h),
+		b.multiply(ar, ac+h, br+h, bc, cr, cc, h),
+		b.multiply(ar, ac+h, br+h, bc+h, cr, cc+h, h),
+		b.multiply(ar+h, ac+h, br+h, bc, cr+h, cc, h),
+		b.multiply(ar+h, ac+h, br+h, bc+h, cr+h, cc+h, h),
+	}
+	// Binary fork tree over the eight products.
+	eight := dag.ParFor("mm-products", 8, func(i int) *dag.ThreadSpec { return prods[i] })
+
+	addWork := int64(n) * int64(n) / 16
+	if addWork < 1 {
+		addWork = 1
+	}
+	return dag.NewThread("mm-node").
+		Alloc(tmp).
+		ForkJoin(eight).
+		WorkOn(addWork, b.tile(2, cr, cc), int32(min64(tmp, 1<<20))).
+		Free(tmp).
+		Spec()
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"math/rand"
+
+	"dfdeques/internal/dag"
+)
+
+// DecisionTree models the paper's decision-tree builder (§5.1: 133,999
+// instances): recursive top-down induction. A node scanning n instances
+// does O(n) split-evaluation work, allocates partition buffers
+// proportional to n, forks the two child inductions in parallel, joins,
+// and frees the buffers. Splits are data-dependent and skewed, so the
+// recursion is unbalanced — the benchmark's irregularity. The live
+// partition buffers along a root-to-leaf path make it the third heap-heavy
+// benchmark of Fig. 14.
+//
+// Medium grain stops at 512-instance leaves; fine at 128 (Fig. 11:
+// 3059 → 6995 threads; the paper's fine/medium ratio is small because the
+// tree is shallow and skewed, which this reproduces).
+func DecisionTree(g Grain) *dag.ThreadSpec {
+	const instances = 16384 // scaled from 133,999
+	minSplit := 512
+	if g == Fine {
+		minSplit = 128
+	}
+	b := &dtreeBuilder{rng: newRng(0xD7), bl: &blocks{}, minSplit: minSplit}
+	return b.node(instances)
+}
+
+type dtreeBuilder struct {
+	rng      *rand.Rand
+	bl       *blocks
+	minSplit int
+}
+
+func (b *dtreeBuilder) node(n int) *dag.ThreadSpec {
+	data := b.bl.get()
+	scan := int64(n) / 2 // split evaluation: a few passes over n instances
+	if n <= b.minSplit {
+		return dag.NewThread("dtree-leaf").
+			WorkOn(scan+1, data, int32(min64(int64(n)*16, 1<<20))).
+			Spec()
+	}
+	// Data-dependent skewed split: between 15% and 85%.
+	frac := 0.15 + 0.7*b.rng.Float64()
+	nl := int(float64(n) * frac)
+	if nl < 1 {
+		nl = 1
+	}
+	if nl >= n {
+		nl = n - 1
+	}
+	left := b.node(nl)
+	right := b.node(n - nl)
+	buf := int64(n) * 16 // partition buffers
+	t := dag.NewThread("dtree-node")
+	// Split evaluation over large nodes is itself a parallel loop over
+	// instance chunks (attribute/gain evaluation parallelizes trivially);
+	// small nodes scan serially.
+	if n >= 8*b.minSplit {
+		chunkScan := b.scanPar(n, scan, data)
+		t.ForkJoin(chunkScan)
+	} else {
+		t.WorkOn(scan+1, data, int32(min64(buf, 1<<20)))
+	}
+	return t.
+		Alloc(buf).
+		Fork(left).Fork(right).Join().Join().
+		Free(buf).
+		Spec()
+}
+
+// scanPar builds the parallel split-evaluation loop for an n-instance
+// node: 8 chunks, each scanning its shard of the node's data.
+func (b *dtreeBuilder) scanPar(n int, scan int64, data dag.BlockID) *dag.ThreadSpec {
+	shard := int32(min64(int64(n)*2, 1<<18))
+	return dag.ParFor("dtree-scan", 8, func(int) *dag.ThreadSpec {
+		return dag.NewThread("dtree-scan-chunk").
+			WorkOn(scan/8+1, data, shard).
+			Spec()
+	})
+}

@@ -1,0 +1,86 @@
+package workload
+
+import "dfdeques/internal/dag"
+
+// FFT models the paper's FFTW benchmark (§5.1): a recursive
+// Cooley–Tukey decomposition. Each internal node allocates a twiddle /
+// transpose buffer, runs its two half-size sub-transforms in parallel,
+// performs an O(n) combine pass over its segment of the signal, and frees
+// the buffer. Sub-transforms of the same segment touch the same data
+// blocks, so parent/child threads share cache state.
+//
+// Medium grain stops recursion at 512-point leaves; fine at 128 (Fig. 11:
+// 177 → 1777 threads, scaled here).
+func FFT(g Grain) *dag.ThreadSpec {
+	const n = 1 << 14 // 16384-point transform (scaled from 2²²)
+	leafN := 512
+	if g == Fine {
+		leafN = 128
+	}
+	b := &fftBuilder{leafN: leafN, bl: &blocks{}}
+	return b.transform(0, n)
+}
+
+type fftBuilder struct {
+	leafN int
+	bl    *blocks
+	segs  map[[2]int]dag.BlockID
+}
+
+// seg returns the BlockID for the signal segment [off, off+n).
+func (b *fftBuilder) seg(off, n int) dag.BlockID {
+	if b.segs == nil {
+		b.segs = make(map[[2]int]dag.BlockID)
+	}
+	key := [2]int{off, n}
+	id, ok := b.segs[key]
+	if !ok {
+		id = b.bl.get()
+		b.segs[key] = id
+	}
+	return id
+}
+
+func (b *fftBuilder) transform(off, n int) *dag.ThreadSpec {
+	if n <= b.leafN {
+		// Leaf transform: n·log₂(n)/4 actions over its segment.
+		work := int64(n) * int64(log2(n)) / 4
+		return dag.NewThread("fft-leaf").
+			WorkOn(work+1, b.seg(off, n), int32(n*16)).
+			Spec()
+	}
+	h := n / 2
+	// Mostly in-place: per-node scratch is a small twiddle/permute buffer,
+	// not a full copy (FFTW is not one of the paper's heap-heavy
+	// benchmarks, Fig. 14).
+	buf := int64(n) / 8
+	left := b.transform(off, h)
+	right := b.transform(off+h, h)
+	combine := int64(n) / 4
+	t := dag.NewThread("fft-node").
+		Alloc(buf).
+		Fork(left).Fork(right).Join().Join()
+	// The O(n) butterfly combine over this segment is itself a parallel
+	// loop when the segment is large.
+	if n >= 8*b.leafN {
+		seg := b.seg(off, n)
+		chunks := dag.ParFor("fft-combine", 4, func(int) *dag.ThreadSpec {
+			return dag.NewThread("fft-combine-chunk").
+				WorkOn(combine/4+1, seg, int32(min64(int64(n)*4, 1<<20))).
+				Spec()
+		})
+		t.ForkJoin(chunks)
+	} else {
+		t.WorkOn(combine+1, b.seg(off, n), int32(min64(int64(n)*16, 1<<20)))
+	}
+	return t.Free(buf).Spec()
+}
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"math/rand"
+
+	"dfdeques/internal/dag"
+)
+
+// FMM models the paper's Fast Multipole Method benchmark (§5.1: N = 10⁵
+// points, 5 multipole terms). The computation is a quadtree pass:
+//
+//   - each cell allocates its multipole-expansion coefficients, which stay
+//     live while the subtree beneath it is processed (this nesting is what
+//     makes FMM the second-largest heap user in Fig. 14);
+//   - internal cells recurse over their four children in parallel, then
+//     translate the children's expansions upward (O(m²) work per child);
+//   - leaf cells compute particle–particle and particle–expansion
+//     interactions, with particle counts drawn from a skewed distribution
+//     (clustered bodies), touching their own block and their neighbors'.
+//
+// Medium grain recurses to depth 5 (1024 leaf cells + interior ≈ 1.4 k
+// threads); fine grain to depth 6 (≈ 5.5 k), mirroring Fig. 11's
+// 4500 → 36676 jump in scaled form.
+func FMM(g Grain) *dag.ThreadSpec {
+	const (
+		mTerms = 5
+		// Per-cell expansion storage: multipole + local expansions for the
+		// cell and translation scratch (6 complex arrays of m² terms).
+		coeffBytes = 6 * mTerms * mTerms * 16
+	)
+	depth := 5
+	if g == Fine {
+		depth = 6
+	}
+	b := &fmmBuilder{
+		rng:        newRng(0xF44),
+		bl:         &blocks{},
+		coeffBytes: coeffBytes,
+		m2:         mTerms * mTerms,
+	}
+	return b.cell(depth, 1.0)
+}
+
+type fmmBuilder struct {
+	rng        *rand.Rand
+	bl         *blocks
+	coeffBytes int64
+	m2         int
+	prevLeaf   dag.BlockID // previous leaf's block, for neighbor sharing
+}
+
+// cell builds the thread processing one quadtree cell. weight is the
+// fraction of all particles inside this cell; the skew comes from
+// unbalanced splits.
+func (b *fmmBuilder) cell(depth int, weight float64) *dag.ThreadSpec {
+	if depth == 0 {
+		// Leaf: direct interactions, proportional to particles² within
+		// the cell plus the multipole evaluations against 27-ish
+		// interaction-list cells.
+		own := b.bl.get()
+		particles := 1 + int64(weight*4096*(0.5+b.rng.Float64()))
+		direct := particles * particles / 8
+		if direct > 4000 {
+			direct = 4000
+		}
+		listEval := int64(b.m2) * 4
+		// The leaf holds a particle/force buffer across its interaction
+		// computation.
+		partBuf := particles * 32
+		t := dag.NewThread("fmm-leaf").
+			Alloc(partBuf).
+			WorkOn(direct+1, own, 2048)
+		if b.prevLeaf != 0 {
+			t.WorkOn(listEval, b.prevLeaf, 1024) // neighbor's expansion
+		} else {
+			t.Work(listEval)
+		}
+		t.Free(partBuf)
+		b.prevLeaf = own
+		return t.Spec()
+	}
+	// Skewed 4-way split of this cell's particles.
+	w := make([]float64, 4)
+	var sum float64
+	for i := range w {
+		w[i] = 0.1 + b.rng.Float64()
+		sum += w[i]
+	}
+	children := make([]*dag.ThreadSpec, 4)
+	for i := range children {
+		children[i] = b.cell(depth-1, weight*w[i]/sum)
+	}
+	four := dag.ParFor("fmm-children", 4, func(i int) *dag.ThreadSpec { return children[i] })
+
+	own := b.bl.get()
+	translate := int64(4 * b.m2) // upward translation of 4 child expansions
+	return dag.NewThread("fmm-cell").
+		Alloc(b.coeffBytes).
+		ForkJoin(four).
+		WorkOn(translate, own, int32(b.coeffBytes)).
+		Free(b.coeffBytes).
+		Spec()
+}

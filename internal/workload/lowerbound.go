@@ -1,0 +1,74 @@
+package workload
+
+import "dfdeques/internal/dag"
+
+// LowerBoundConfig parameterizes the Theorem 4.5 / Figure 10 dag family,
+// on which DFDeques(K) needs Ω(S1 + min(K,S1)·p·D) space in expectation —
+// showing the Theorem 4.4 upper bound is tight. With K = ∞ the same
+// family exhibits the work-stealing blow-up of Corollary 4.6.
+type LowerBoundConfig struct {
+	P int   // processors the dag is built for (must be ≥ 2)
+	D int   // spine length d of each subgraph G; the dag depth is Θ(D)
+	A int64 // bytes per black node (+A); the adversarial choice is
+	// A = min(K, S1), which makes every allocation drain a whole
+	// steal's quota
+}
+
+// S1 returns the family's serial space requirement: in the 1DF order the
+// subgraphs execute one after another, and each G accumulates its D
+// allocations of A before freeing them, so S1 = D·A.
+func (c LowerBoundConfig) S1() int64 { return int64(c.D) * c.A }
+
+// LowerBound builds the Figure 10 dag:
+//
+//   - a binary fork tree whose leaves root k = p/2 subgraphs u₁ … u_k;
+//   - the leftmost subgraph G0 is a serial chain that allocates S1 = D·A,
+//     works for ~2D steps, and frees — it pins the critical path so the
+//     other subgraphs' allocations can pile up while it runs;
+//   - each remaining subgraph G is a spine of D (allocate A, fork a
+//     one-action child) steps whose frees all happen at the very end
+//     (depth 2D+1, as in Fig. 10(c)). Under DFDeques(A·≈K) every +A
+//     drains the processor's quota, so each black node costs a fresh
+//     steal; with k−1 spines constantly stealable, Θ(p) black nodes
+//     execute per timestep and Θ(A·p·D) bytes accumulate live. A serial
+//     execution instead sees one spine at a time: S1 = D·A.
+func LowerBound(cfg LowerBoundConfig) *dag.ThreadSpec {
+	if cfg.P < 2 {
+		cfg.P = 2
+	}
+	k := cfg.P / 2
+	if k < 1 {
+		k = 1
+	}
+	subs := make([]*dag.ThreadSpec, k)
+	subs[0] = lbG0(cfg)
+	for i := 1; i < k; i++ {
+		subs[i] = lbG(cfg)
+	}
+	return dag.ParFor("lower-bound", k, func(i int) *dag.ThreadSpec { return subs[i] })
+}
+
+// lbG0 is the serial-chain subgraph that carries the serial space
+// requirement and paces the execution.
+func lbG0(cfg LowerBoundConfig) *dag.ThreadSpec {
+	return dag.NewThread("lb-G0").
+		Alloc(cfg.S1()).
+		Work(int64(2*cfg.D) + 1).
+		Free(cfg.S1()).
+		Spec()
+}
+
+// lbG is the allocation spine: D black nodes (+A each), one trivial forked
+// child per black node (so the spine re-enters its deque after every
+// step), joins, and the deferred deallocation.
+func lbG(cfg LowerBoundConfig) *dag.ThreadSpec {
+	tiny := dag.NewThread("lb-tiny").Work(1).Spec()
+	b := dag.NewThread("lb-G")
+	for i := 0; i < cfg.D; i++ {
+		b.Alloc(cfg.A).Fork(tiny)
+	}
+	for i := 0; i < cfg.D; i++ {
+		b.Join()
+	}
+	return b.Free(cfg.S1()).Spec()
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"math/rand"
+
+	"dfdeques/internal/dag"
+)
+
+// Quicksort builds the paper's §2.1 motivating example: a
+// divide-and-conquer sort where a new thread is forked for each recursive
+// call and "a thread shares data with all its descendent threads" — the
+// locality premise behind scheduling dag-neighbors on one processor.
+//
+// Structure per node over n keys: an O(n) partition pass over the node's
+// key range, temporary split buffers held across the recursion (NESL-style
+// non-in-place partition, which is what made quicksort a space stress in
+// the depth-first scheduler papers), two recursive children with a
+// data-dependent pivot skew, and the free. Not part of the Fig. 1 seven —
+// used by tests, benches, and examples.
+func Quicksort(g Grain) *dag.ThreadSpec {
+	const keys = 1 << 14
+	leaf := 512
+	if g == Fine {
+		leaf = 128
+	}
+	b := &qsBuilder{rng: newRng(0x9507), bl: &blocks{}, leaf: leaf}
+	return b.sort(keys)
+}
+
+type qsBuilder struct {
+	rng  *rand.Rand
+	bl   *blocks
+	leaf int
+}
+
+func (b *qsBuilder) sort(n int) *dag.ThreadSpec {
+	blk := b.bl.get()
+	if n <= b.leaf {
+		// Serial sort of the leaf range: ~n·log₂(n)/2 actions.
+		work := int64(n) * int64(log2(n)) / 2
+		return dag.NewThread("qs-leaf").
+			WorkOn(work+1, blk, int32(n*8)).
+			Spec()
+	}
+	// Data-dependent pivot: between 25% and 75% of the keys go left.
+	frac := 0.25 + 0.5*b.rng.Float64()
+	nl := int(float64(n) * frac)
+	if nl < 1 {
+		nl = 1
+	}
+	if nl >= n {
+		nl = n - 1
+	}
+	left := b.sort(nl)
+	right := b.sort(n - nl)
+	buf := int64(n) * 8 // split buffers live across the recursion
+	t := dag.NewThread("qs-node")
+	// The O(n) partition pass parallelizes over chunks at large nodes
+	// (NESL-style flattened partition); small nodes partition serially.
+	if n >= 8*b.leaf {
+		tb := int32(min64(int64(n)*2, 1<<20))
+		part := dag.ParFor("qs-part", 8, func(int) *dag.ThreadSpec {
+			return dag.NewThread("qs-part-chunk").
+				WorkOn(int64(n)/16+1, blk, tb).
+				Spec()
+		})
+		t.ForkJoin(part)
+	} else {
+		t.WorkOn(int64(n)/2+1, blk, int32(min64(int64(n)*8, 1<<20)))
+	}
+	return t.
+		Alloc(buf).
+		Fork(left).Fork(right).Join().Join().
+		Free(buf).
+		Spec()
+}

@@ -1,0 +1,61 @@
+package workload
+
+import "dfdeques/internal/dag"
+
+// SparseMVM models the paper's sparse matrix–vector multiply (adapted
+// there from Spark98, §5.1): a parallel loop over row blocks of an
+// irregular sparse matrix, y = A·x. Row populations are irregular
+// (exponential-ish tail), so leaf work varies widely — the load-balancing
+// stress the paper uses it for. Each leaf touches its own row-block data
+// plus a few blocks of the shared x vector.
+//
+// No heap allocation. Medium grain: 32 rows per thread; fine: 8 (Fig. 11:
+// 1263 → 5103 threads, scaled here).
+func SparseMVM(g Grain) *dag.ThreadSpec {
+	const (
+		rows       = 4096 // scaled from 30 k rows / 151 k nonzeros
+		meanNNZ    = 5
+		xBlocks    = 32
+		blockBytes = 2048
+	)
+	rowsPerLeaf := 32
+	if g == Fine {
+		rowsPerLeaf = 8
+	}
+	leaves := rows / rowsPerLeaf
+
+	rng := newRng(0x5bA45e)
+	bl := &blocks{}
+	xs := make([]dag.BlockID, xBlocks)
+	for i := range xs {
+		xs[i] = bl.get()
+	}
+
+	// Pre-draw per-leaf nonzero counts so the dag is independent of
+	// builder call order.
+	nnz := make([]int64, leaves)
+	for i := range nnz {
+		// Sum of rowsPerLeaf geometric-ish draws.
+		var s int64
+		for r := 0; r < rowsPerLeaf; r++ {
+			d := int64(1)
+			for rng.Intn(meanNNZ+1) != 0 {
+				d++
+			}
+			s += d
+		}
+		nnz[i] = s
+	}
+
+	leaf := func(i int) *dag.ThreadSpec {
+		rowBlk := bl.get() // this leaf's slice of A and y
+		work := 3 * nnz[i]
+		b := dag.NewThread("spmv-rows").
+			WorkOn(work/2+1, rowBlk, blockBytes)
+		// Gather from two x blocks: one structured (band), one scattered.
+		b.WorkOn(work/4+1, xs[i*xBlocks/leaves], blockBytes)
+		b.WorkOn(work/4+1, xs[rng.Intn(xBlocks)], blockBytes)
+		return b.Spec()
+	}
+	return dag.ParFor("spmv", leaves, leaf)
+}

@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"math/rand"
+
+	"dfdeques/internal/dag"
+)
+
+// SyntheticConfig parameterizes the §6 simulator benchmark: a
+// divide-and-conquer computation in which both the memory requirement and
+// the thread granularity decrease geometrically (factor 2) down the
+// recursion tree, and the per-thread space and time requirements at each
+// level are "selected uniformly at random with the specified mean"
+// (footnote 16).
+type SyntheticConfig struct {
+	Levels    int   // recursion levels (Fig. 16 uses 15)
+	RootSpace int64 // mean bytes allocated by the root thread
+	RootWork  int64 // mean work actions of the root thread
+	Seed      int64
+}
+
+// DefaultSynthetic matches the Fig. 16 experiment shape: 15 levels,
+// geometric decay by 2. The root allocation is sized so the figure's
+// 1–160 kB threshold sweep spans "delays nearly every allocation" to
+// "delays almost none".
+func DefaultSynthetic() SyntheticConfig {
+	return SyntheticConfig{Levels: 15, RootSpace: 256 << 10, RootWork: 1 << 12, Seed: 0x516}
+}
+
+// Synthetic builds the §6 benchmark dag.
+func Synthetic(cfg SyntheticConfig) *dag.ThreadSpec {
+	rng := newRng(cfg.Seed)
+	return synthNode(rng, cfg.Levels, cfg.RootSpace, cfg.RootWork)
+}
+
+func synthNode(rng *rand.Rand, level int, meanSpace, meanWork int64) *dag.ThreadSpec {
+	space := uniformAround(rng, meanSpace)
+	work := uniformAround(rng, meanWork)
+	if level == 0 {
+		return dag.NewThread("synth-leaf").
+			Alloc(space).Work(work + 1).Free(space).
+			Spec()
+	}
+	left := synthNode(rng, level-1, meanSpace/2, meanWork/2)
+	right := synthNode(rng, level-1, meanSpace/2, meanWork/2)
+	return dag.NewThread("synth-node").
+		Alloc(space).Work(work + 1).
+		Fork(left).Fork(right).Join().Join().
+		Free(space).
+		Spec()
+}
+
+// uniformAround draws uniformly from [mean/2, 3·mean/2], preserving the
+// mean as §6 specifies.
+func uniformAround(rng *rand.Rand, mean int64) int64 {
+	if mean <= 1 {
+		return mean
+	}
+	return mean/2 + rng.Int63n(mean+1)
+}

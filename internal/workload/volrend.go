@@ -1,0 +1,58 @@
+package workload
+
+import "dfdeques/internal/dag"
+
+// VolRend models the paper's volume-rendering benchmark (adapted there
+// from the SPLASH-2 volrend kernel, §5.1): a parallel loop over groups of
+// image rays, each group cast through a shared volume. Ray groups that are
+// adjacent in the image access overlapping volume regions, which is the
+// locality the schedulers do or do not exploit.
+//
+// Structure: ParFor over image tiles; tile i touches a window of volume
+// blocks centered on i's projection. No heap allocation (matches the
+// paper: volrend is not in the Fig. 14 heap table). Medium grain: 16×16
+// pixel tiles; fine grain: 4×4 (×8 thread count, as in Fig. 11's jump from
+// 1427 to 4499 threads).
+func VolRend(g Grain) *dag.ThreadSpec {
+	const (
+		imgPixels    = 64 * 64 // image size (scaled down from 256²)
+		volumeBlocks = 96      // shared volume, in 4 kB blocks
+		workPerPixel = 24      // shading + compositing actions per ray
+		blockBytes   = 4096
+	)
+	pixelsPerTile := 256 // medium: 16×16
+	if g == Fine {
+		pixelsPerTile = 16 // fine: 4×4
+	}
+	tiles := imgPixels / pixelsPerTile
+
+	bl := &blocks{}
+	rng := newRng(0x70175)
+	volume := make([]dag.BlockID, volumeBlocks)
+	for i := range volume {
+		volume[i] = bl.get()
+	}
+
+	leaf := func(i int) *dag.ThreadSpec {
+		// Tile i's rays pass through a 3-block window of the volume
+		// centered on the tile's projection; neighboring tiles overlap in
+		// two of the three blocks. Ray costs are irregular (opacity early
+		// termination): ±50% jitter per tile.
+		center := i * volumeBlocks / tiles
+		b := dag.NewThread("volrend-tile")
+		per := int64(workPerPixel*pixelsPerTile/3) / 2
+		per += rng.Int63n(per + 1)
+		for off := -1; off <= 1; off++ {
+			v := center + off
+			if v < 0 {
+				v = 0
+			}
+			if v >= volumeBlocks {
+				v = volumeBlocks - 1
+			}
+			b.WorkOn(per, volume[v], blockBytes)
+		}
+		return b.Spec()
+	}
+	return dag.ParFor("volrend", tiles, leaf)
+}

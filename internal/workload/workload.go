@@ -1,0 +1,85 @@
+// Package workload builds the nested-parallel computations used by the
+// paper's evaluation (§5.1, §6, Thm 4.5) as dag.ThreadSpec trees.
+//
+// The paper's seven benchmarks are C Pthreads programs; we reproduce their
+// *structure* — recursion shape, allocation profile, work distribution,
+// data-sharing (locality) pattern, and the medium/fine thread-granularity
+// split of §5.1 — as synthetic dags sized for the machine simulator. Each
+// builder documents the correspondence. DESIGN.md §3 records the
+// substitution rationale.
+package workload
+
+import (
+	"math/rand"
+
+	"dfdeques/internal/dag"
+)
+
+// Grain selects the thread granularity of a benchmark (§5.1): Medium is
+// the granularity at which depth-first schedulers perform well; Fine is
+// roughly 8× finer, where scheduling overheads and locality dominate and
+// the schedulers separate.
+type Grain int
+
+const (
+	// Medium thread granularity (§5.1 "medium-grained").
+	Medium Grain = iota
+	// Fine thread granularity (§5.1 "fine-grained").
+	Fine
+)
+
+func (g Grain) String() string {
+	if g == Medium {
+		return "medium"
+	}
+	return "fine"
+}
+
+// Workload is a named benchmark builder.
+type Workload struct {
+	// Name as it appears in the paper's tables.
+	Name string
+	// HeapHeavy marks the three benchmarks that allocate significant heap
+	// memory (Fig. 14: dense MM, FMM, decision tree).
+	HeapHeavy bool
+	// HasLocks marks benchmarks using mutexes (Barnes-Hut tree build).
+	HasLocks bool
+	// Build constructs the computation at the given granularity.
+	Build func(g Grain) *dag.ThreadSpec
+}
+
+// All returns the seven paper benchmarks in Fig. 1/11 order.
+func All() []Workload {
+	return []Workload{
+		{Name: "Vol. Rend.", Build: VolRend},
+		{Name: "Dense MM", HeapHeavy: true, Build: DenseMM},
+		{Name: "Sparse MVM", Build: SparseMVM},
+		{Name: "FFTW", Build: FFT},
+		{Name: "FMM", HeapHeavy: true, Build: FMM},
+		{Name: "Barnes Hut", HasLocks: true, Build: BarnesHut},
+		{Name: "Decision Tr.", HeapHeavy: true, Build: DecisionTree},
+	}
+}
+
+// ByName returns the workload with the given name, or false.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// blocks hands out BlockIDs for a build, so distinct data regions map to
+// distinct cache blocks.
+type blocks struct{ next dag.BlockID }
+
+func (b *blocks) get() dag.BlockID {
+	b.next++
+	return b.next
+}
+
+// rng returns the deterministic per-build random source all irregular
+// workloads use; every build of the same workload yields the same dag.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
