@@ -18,7 +18,14 @@
 //	-grain G      medium | fine (default fine)
 //	-seed S       randomness seed (default 1)
 //	-realism      enable the §5 cost-model extensions (cache, latencies)
-//	-check        verify Lemma 3.1 invariants every timestep
+//	-check        verify Lemma 3.1 invariants per timestep
+//	-real         run on the real runtime (goroutine workers) instead of
+//	              the simulator; prints grt.Stats with the contention
+//	              counters. WS and DFD-inf map to DFDeques with K=∞.
+//	-workers N    real mode: worker count (default: -procs)
+//	-coarselock   real mode: use the single global scheduler lock (§5
+//	              verbatim) instead of the fine-grained engine
+//	-measure      real mode: time lock holds and steal waits
 package main
 
 import (
@@ -28,8 +35,10 @@ import (
 
 	"dfdeques/internal/cache"
 	"dfdeques/internal/dag"
+	"dfdeques/internal/grt"
 	"dfdeques/internal/machine"
 	"dfdeques/internal/sched"
+	"dfdeques/internal/stats"
 	"dfdeques/internal/workload"
 )
 
@@ -42,6 +51,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	realism := flag.Bool("realism", false, "enable §5 cost-model extensions")
 	check := flag.Bool("check", false, "check Lemma 3.1 invariants per timestep")
+	real := flag.Bool("real", false, "run on the real runtime instead of the simulator")
+	workers := flag.Int("workers", 0, "real mode: workers (default -procs)")
+	coarse := flag.Bool("coarselock", false, "real mode: single global scheduler lock")
+	measure := flag.Bool("measure", false, "real mode: time lock holds and steal waits")
 	flag.Parse()
 
 	g := workload.Fine
@@ -62,6 +75,11 @@ func main() {
 			os.Exit(2)
 		}
 		spec = w.Build(g)
+	}
+
+	if *real {
+		runReal(spec, *schedName, *procs, *workers, *k, *seed, *coarse, *measure, g, *bench)
+		return
 	}
 
 	var s machine.Scheduler
@@ -124,4 +142,59 @@ func max(a, b float64) float64 {
 		return a
 	}
 	return b
+}
+
+// runReal executes the workload on the real goroutine-backed runtime and
+// prints its stats, including the contention counters.
+func runReal(spec *dag.ThreadSpec, schedName string, procs, workers int, k, seed int64, coarse, measure bool, g workload.Grain, bench string) {
+	var kind grt.Kind
+	switch schedName {
+	case "DFD":
+		kind = grt.DFDeques
+	case "DFD-inf", "WS":
+		kind, k = grt.DFDeques, 0 // DFDeques(∞) ≡ work stealing
+	case "ADF":
+		kind = grt.ADF
+	case "FIFO":
+		kind = grt.FIFO
+	default:
+		fmt.Fprintf(os.Stderr, "dfdsim: unknown scheduler %q\n", schedName)
+		os.Exit(2)
+	}
+	if workers <= 0 {
+		workers = procs
+	}
+
+	sm := dag.Measure(spec)
+	fmt.Printf("benchmark: %s (%s grain)  W=%d D=%d S1=%d threads=%d\n",
+		bench, g, sm.W, sm.D, sm.HeapHW, sm.TotalThreads)
+
+	cfg := grt.Config{
+		Workers: workers, Sched: kind, K: k, Seed: seed,
+		CoarseLock: coarse, MeasureContention: measure,
+	}
+	st, err := grt.RunSpec(cfg, spec, 1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dfdsim: %v\n", err)
+		os.Exit(1)
+	}
+	engine := "fine-grained"
+	if coarse {
+		engine = "coarse (global lock)"
+	}
+	fmt.Printf("runtime:   %v  workers=%d  K=%d  seed=%d  engine=%s\n\n",
+		kind, workers, k, seed, engine)
+	fmt.Printf("total threads:       %d (%d dummy)\n", st.TotalThreads, st.DummyThreads)
+	fmt.Printf("max live threads:    %d\n", st.MaxLiveThreads)
+	fmt.Printf("heap high-water:     %d bytes (%.2f × S1)\n",
+		st.HeapHW, float64(st.HeapHW)/max(1, float64(sm.HeapHW)))
+	fmt.Printf("heap final balance:  %d bytes\n", st.HeapLive)
+	fmt.Printf("steals / failed:     %d / %d\n", st.Steals, st.FailedSteals)
+	fmt.Printf("own-deque dispatch:  %d\n", st.LocalDispatches)
+	fmt.Printf("preemptions:         %d\n", st.Preemptions)
+	fmt.Printf("sched lock acquires: %d\n", st.SchedLockOps)
+	if measure {
+		fmt.Printf("sched lock held:     %s\n", stats.Ns(st.SchedLockNs))
+		fmt.Printf("steal wait:          %s\n", stats.Ns(st.StealWaitNs))
+	}
 }

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"dfdeques/internal/deque"
+)
+
+// SharedPool is the concurrency-safe counterpart of Pool: the same
+// DFDeques ready pool (the ordered deque list R plus the owner/thief
+// protocol of §3.2–3.3), but synchronized fine-grained instead of behind
+// one caller-supplied scheduler lock.
+//
+// Synchronization design (see DESIGN.md §5, "beyond the paper"):
+//
+//   - Every deque carries its own lock (deque.Deque.Mu). The owner's hot
+//     path — PushOwn on fork, PopOwn on block — takes only that lock, so
+//     forks and joins on different workers never contend with each other
+//     or with the rest of the runtime.
+//   - R's spine (membership and left-to-right order) is guarded by an
+//     RWMutex. Only operations that change membership take it exclusively:
+//     Steal (pop-bottom + insert-right must be one linearization point, or
+//     two thieves hitting one victim could insert their deques in inverted
+//     priority order), deque deletion, and the woken-thread insert. The
+//     read side covers cheap observations.
+//   - A pool-wide atomic counter of ready threads makes HasWork lock-free,
+//     so idle workers can poll for work without touching any lock.
+//
+// Lock order, here and in internal/grt: R spine → deque.Mu → (the
+// runtime's priority-list lock, taken inside the less callback). All pool
+// methods are safe for concurrent use; methods taking a worker index w
+// must only be called by worker w.
+type SharedPool[T any] struct {
+	p    int
+	less func(a, b T) bool
+
+	listMu sync.RWMutex
+	r      deque.List[T]
+	own    []atomic.Pointer[deque.Deque[T]] // own[w] written only by worker w
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	ready   atomic.Int64 // stealable threads across all deques in R
+	maxR    atomic.Int64
+	steals  atomic.Int64
+	failed  atomic.Int64
+	local   atomic.Int64
+	listOps atomic.Int64 // exclusive acquisitions of the R spine lock
+}
+
+// NewSharedPool builds a concurrent pool for p workers; the parameters
+// mirror NewPool. less may acquire the caller's priority lock (it is
+// invoked with the spine and at most one deque lock held, never more).
+func NewSharedPool[T any](p int, less func(a, b T) bool, rng *rand.Rand) *SharedPool[T] {
+	if p < 1 {
+		panic("core: pool needs at least one worker")
+	}
+	return &SharedPool[T]{
+		p:    p,
+		less: less,
+		own:  make([]atomic.Pointer[deque.Deque[T]], p),
+		rng:  rng,
+	}
+}
+
+// lockList acquires the spine exclusively, counting the acquisition for
+// the contention stats.
+func (pl *SharedPool[T]) lockList() {
+	pl.listMu.Lock()
+	pl.listOps.Add(1)
+}
+
+// Seed places the root thread into a fresh, unowned deque at the left end
+// of R, ready to be stolen by the first idle worker.
+func (pl *SharedPool[T]) Seed(root T) {
+	pl.lockList()
+	d := pl.r.PushLeft()
+	d.Mu.Lock()
+	d.PushTop(root)
+	d.Mu.Unlock()
+	pl.noteR()
+	pl.listMu.Unlock()
+	pl.ready.Add(1)
+}
+
+// PushOwn pushes x onto worker w's deque top (the fork and preemption
+// path). It touches only the deque's own lock. The worker must own a
+// deque.
+func (pl *SharedPool[T]) PushOwn(w int, x T) {
+	d := pl.own[w].Load()
+	if d == nil {
+		panic("core: PushOwn without an owned deque")
+	}
+	d.Mu.Lock()
+	d.PushTop(x)
+	d.Mu.Unlock()
+	pl.ready.Add(1)
+}
+
+// PopOwn pops the top of w's deque. The non-empty case takes only the
+// deque's lock; when the deque turns out empty it is deleted from R under
+// the spine lock (only the owner adds items, so emptiness is stable once
+// the owner observes it) and ok is false — the worker must steal next.
+func (pl *SharedPool[T]) PopOwn(w int) (x T, ok bool) {
+	d := pl.own[w].Load()
+	if d == nil {
+		return x, false
+	}
+	d.Mu.Lock()
+	x, ok = d.PopTop()
+	d.Mu.Unlock()
+	if ok {
+		pl.ready.Add(-1)
+		pl.local.Add(1)
+		return x, true
+	}
+	pl.lockList()
+	d.Mu.Lock()
+	if d.InList() { // a thief may have deleted it after draining it
+		pl.r.Delete(d)
+	}
+	d.Mu.Unlock()
+	pl.listMu.Unlock()
+	pl.own[w].Store(nil)
+	return x, false
+}
+
+// GiveUp releases ownership of w's deque without popping (the
+// quota-exhaustion and dummy-thread paths): the deque stays in R, unowned
+// and stealable. An empty deque is deleted instead.
+func (pl *SharedPool[T]) GiveUp(w int) {
+	d := pl.own[w].Load()
+	if d == nil {
+		return
+	}
+	pl.lockList()
+	d.Mu.Lock()
+	if d.Empty() {
+		if d.InList() {
+			pl.r.Delete(d)
+		}
+	} else {
+		d.Owner = -1
+	}
+	d.Mu.Unlock()
+	pl.listMu.Unlock()
+	pl.own[w].Store(nil)
+}
+
+// Steal performs one steal attempt for worker w: pick a uniformly random
+// deque among the leftmost p in R, pop its bottom thread, and become
+// owner of a new deque placed immediately to the victim's right. The
+// whole attempt holds the spine lock exclusively — pop-bottom and
+// insert-right form the steal's single linearization point, which is what
+// keeps Lemma 3.1's left-to-right order intact when two thieves race on
+// one victim — but it never blocks owners running on their own deques.
+// ok is false if the attempt failed (nonexistent or empty victim). The
+// worker must not own a deque.
+func (pl *SharedPool[T]) Steal(w int) (x T, ok bool) {
+	if pl.own[w].Load() != nil {
+		panic("core: Steal while owning a deque")
+	}
+	pl.rngMu.Lock()
+	c := pl.rng.Intn(pl.p)
+	pl.rngMu.Unlock()
+	pl.lockList()
+	if c >= pl.r.Len() {
+		pl.listMu.Unlock()
+		pl.failed.Add(1)
+		return x, false
+	}
+	victim := pl.r.Kth(c)
+	victim.Mu.Lock()
+	x, ok = victim.PopBottom()
+	if !ok {
+		victim.Mu.Unlock()
+		pl.listMu.Unlock()
+		pl.failed.Add(1)
+		return x, false
+	}
+	pl.ready.Add(-1)
+	nd := pl.r.InsertRight(victim)
+	nd.Owner = w
+	if victim.Empty() && victim.Owner == -1 {
+		pl.r.Delete(victim)
+	}
+	victim.Mu.Unlock()
+	pl.noteR()
+	pl.listMu.Unlock()
+	pl.own[w].Store(nd)
+	pl.steals.Add(1)
+	return x, true
+}
+
+// PushWoken places a thread woken by a blocking synchronization into a
+// new deque at its priority position in R (§5's extension beyond the
+// nested-parallel model). It scans R under the spine lock, peeking each
+// deque's top under that deque's lock.
+func (pl *SharedPool[T]) PushWoken(x T) {
+	pl.lockList()
+	insertAt := pl.r.Len()
+	for i := 0; i < pl.r.Len(); i++ {
+		d := pl.r.Kth(i)
+		d.Mu.Lock()
+		top, ok := d.PeekTop()
+		d.Mu.Unlock()
+		if !ok {
+			continue
+		}
+		if pl.less(x, top) {
+			insertAt = i
+			break
+		}
+	}
+	var nd *deque.Deque[T]
+	if insertAt == 0 {
+		nd = pl.r.PushLeft()
+	} else {
+		nd = pl.r.InsertRight(pl.r.Kth(insertAt - 1))
+	}
+	nd.Mu.Lock()
+	nd.PushTop(x)
+	nd.Mu.Unlock()
+	pl.noteR()
+	pl.listMu.Unlock()
+	pl.ready.Add(1)
+}
+
+// HasWork reports whether any deque in R holds a stealable thread. It is
+// a single atomic load — idle workers poll it without taking any lock.
+func (pl *SharedPool[T]) HasWork() bool { return pl.ready.Load() > 0 }
+
+// Owns reports whether worker w currently owns a deque.
+func (pl *SharedPool[T]) Owns(w int) bool { return pl.own[w].Load() != nil }
+
+// Deques returns the current number of deques in R.
+func (pl *SharedPool[T]) Deques() int {
+	pl.listMu.RLock()
+	defer pl.listMu.RUnlock()
+	return pl.r.Len()
+}
+
+// MaxDeques returns the high-water mark of len(R).
+func (pl *SharedPool[T]) MaxDeques() int { return int(pl.maxR.Load()) }
+
+// Stats returns (successful steals, failed steal attempts, local
+// dispatches).
+func (pl *SharedPool[T]) Stats() (steals, failed, local int64) {
+	return pl.steals.Load(), pl.failed.Load(), pl.local.Load()
+}
+
+// ListLockOps returns the number of exclusive spine-lock acquisitions —
+// the fine-grained analogue of the coarse runtime's scheduler-lock count.
+func (pl *SharedPool[T]) ListLockOps() int64 { return pl.listOps.Load() }
+
+// noteR records the R-length high-water mark. Must hold the spine lock.
+func (pl *SharedPool[T]) noteR() {
+	n := int64(pl.r.Len())
+	for {
+		old := pl.maxR.Load()
+		if n <= old || pl.maxR.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// CheckInvariants verifies the Lemma 3.1 ordering over the pool's deques,
+// exactly as Pool.CheckInvariants does. It freezes the pool by holding
+// the spine lock for the whole scan, so it is meant for tests and
+// quiescent moments, not steady-state use.
+func (pl *SharedPool[T]) CheckInvariants(curr func(w int) (T, bool)) error {
+	pl.lockList()
+	defer pl.listMu.Unlock()
+	// The spine lock freezes membership but not contents — owners push
+	// and pop under only their deque's lock — so freeze every deque too.
+	// Spine → deque is the normal order, and no pool path holds a deque
+	// lock while waiting for the spine, so this cannot deadlock.
+	for i := 0; i < pl.r.Len(); i++ {
+		pl.r.Kth(i).Mu.Lock()
+	}
+	defer func() {
+		for i := 0; i < pl.r.Len(); i++ {
+			pl.r.Kth(i).Mu.Unlock()
+		}
+	}()
+	shadow := Pool[T]{p: pl.p, less: pl.less}
+	shadow.own = make([]*deque.Deque[T], pl.p)
+	for w := range shadow.own {
+		// Skip a deque already deleted from R (a worker between its
+		// empty-pop delete and clearing its own pointer): it is not
+		// frozen by the loop above and no longer participates in R's
+		// ordering.
+		if d := pl.own[w].Load(); d != nil && d.InList() {
+			shadow.own[w] = d
+		}
+	}
+	shadow.r = pl.r
+	return shadow.CheckInvariants(curr)
+}

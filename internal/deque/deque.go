@@ -13,15 +13,33 @@
 //     a victim among the leftmost p deques.
 package deque
 
+import (
+	"sync"
+	"sync/atomic"
+)
+
 // Deque is a doubly-ended queue. The zero value is an empty deque, but
 // deques that participate in a List must be created by List.InsertRight or
 // List.PushLeft so their position bookkeeping is initialized.
+//
+// A Deque is not safe for concurrent use by itself. Concurrent schedulers
+// (core.SharedPool) serialize item operations through Mu; single-threaded
+// engines (the simulator, the coarse-locked runtime) ignore it. SizeHint
+// is the one operation that is always safe without Mu.
 type Deque[T any] struct {
 	items []T // items[0] is the bottom, items[len-1] is the top
 
 	// Owner is scheduler bookkeeping: the processor that currently owns
 	// this deque, or -1 if unowned. The deque itself never reads it.
+	// Concurrent schedulers must read and write it under Mu.
 	Owner int
+
+	// Mu serializes item operations when the deque is shared between an
+	// owner and thieves. The deque itself never locks it; callers that
+	// share a deque across goroutines must.
+	Mu sync.Mutex
+
+	size atomic.Int64 // mirrors len(items) for lock-free observation
 
 	list *List[T]
 	pos  int // index within list.deques, maintained by List
@@ -38,8 +56,17 @@ func (d *Deque[T]) Len() int { return len(d.items) }
 // Empty reports whether the deque holds no items.
 func (d *Deque[T]) Empty() bool { return len(d.items) == 0 }
 
+// SizeHint reports the number of items without requiring Mu. The value is
+// a consistent snapshot, but by the time the caller acts on it a
+// concurrent owner or thief may have changed it — use it for heuristics
+// (has-work checks, victim filtering), never for correctness.
+func (d *Deque[T]) SizeHint() int { return int(d.size.Load()) }
+
 // PushTop pushes an item onto the top of the deque (owner operation).
-func (d *Deque[T]) PushTop(x T) { d.items = append(d.items, x) }
+func (d *Deque[T]) PushTop(x T) {
+	d.items = append(d.items, x)
+	d.size.Store(int64(len(d.items)))
+}
 
 // PopTop removes and returns the top item (owner operation). The second
 // result is false if the deque is empty.
@@ -52,6 +79,7 @@ func (d *Deque[T]) PopTop() (T, bool) {
 	x := d.items[n-1]
 	d.items[n-1] = zero
 	d.items = d.items[:n-1]
+	d.size.Store(int64(len(d.items)))
 	return x, true
 }
 
@@ -74,6 +102,7 @@ func (d *Deque[T]) PopBottom() (T, bool) {
 	x := d.items[0]
 	d.items[0] = zero
 	d.items = d.items[1:]
+	d.size.Store(int64(len(d.items)))
 	return x, true
 }
 

@@ -1,0 +1,264 @@
+package deque_test
+
+// FuzzDequeConcurrent drives a Deque/List pair through random
+// interleavings of the operations the DFDeques scheduler performs —
+// owner PushTop/PopTop, thief PopBottom with InsertRight, give-up and
+// Delete — while an oracle (a simple total order standing in for the
+// om-list) checks the Lemma 3.1 priority-ordering invariant after every
+// single step: reading R left to right and each deque top to bottom
+// yields strictly decreasing priorities.
+//
+// The fuzzer follows the scheduler's protocol (it is not freeform: a
+// freeform op sequence can trivially break Lemma 3.1, which is a
+// property of the protocol, not of the data structure alone). What it
+// randomizes is the interleaving — which worker acts, which victim a
+// thief picks, when deques are given up — which is exactly the freedom
+// the concurrent runtime has.
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dfdeques/internal/deque"
+)
+
+// item is a scheduled "thread" with an identity; its priority is its
+// position in the fuzzer's total order.
+type item struct{ id int }
+
+// fuzzOracle is the priority oracle: order[0] is the highest priority.
+type fuzzOracle struct {
+	order  []*item
+	nextID int
+}
+
+func (o *fuzzOracle) idx(x *item) int {
+	for i, y := range o.order {
+		if y == x {
+			return i
+		}
+	}
+	return -1
+}
+
+// insertBefore creates a new item with priority immediately above
+// target — the 1DF rule for a forked child.
+func (o *fuzzOracle) insertBefore(target *item) *item {
+	x := &item{id: o.nextID}
+	o.nextID++
+	i := o.idx(target)
+	o.order = append(o.order, nil)
+	copy(o.order[i+1:], o.order[i:])
+	o.order[i] = x
+	return x
+}
+
+func (o *fuzzOracle) remove(x *item) {
+	i := o.idx(x)
+	copy(o.order[i:], o.order[i+1:])
+	o.order[len(o.order)-1] = nil
+	o.order = o.order[:len(o.order)-1]
+}
+
+func FuzzDequeConcurrent(f *testing.F) {
+	f.Add([]byte{2, 0, 0, 1, 0, 2, 1, 3, 1, 1, 0, 2, 2, 0})
+	f.Add([]byte{4, 0, 0, 0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 1, 0, 1, 1, 2, 1, 3, 1})
+	f.Add([]byte{3, 2, 5, 0, 0, 0, 0, 3, 0, 2, 1, 2, 2, 0, 1, 1, 2, 3, 3})
+	f.Add([]byte{1, 0, 0, 0, 0, 1, 0, 1, 0, 1, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		p := 1 + int(data[0]%4) // workers
+		data = data[1:]
+		if len(data) > 512 {
+			data = data[:512]
+		}
+
+		oracle := &fuzzOracle{}
+		r := &deque.List[*item]{}
+		curr := make([]*item, p)              // running thread per worker
+		own := make([]*deque.Deque[*item], p) // owned deque per worker
+
+		// Seed: worker 0 runs the root thread from a fresh leftmost deque.
+		root := &item{id: -1}
+		oracle.order = []*item{root}
+		own[0] = r.PushLeft()
+		own[0].Owner = 0
+		curr[0] = root
+
+		check := func(step int, op string) {
+			// Structural bookkeeping: positions and membership.
+			for i := 0; i < r.Len(); i++ {
+				d := r.Kth(i)
+				if !d.InList() || d.Pos() != i {
+					t.Fatalf("step %d (%s): deque at index %d has InList=%v Pos=%d",
+						step, op, i, d.InList(), d.Pos())
+				}
+				if d.Len() != d.SizeHint() {
+					t.Fatalf("step %d (%s): Len %d != SizeHint %d",
+						step, op, d.Len(), d.SizeHint())
+				}
+			}
+			// Lemma 3.1: left-to-right, top-to-bottom is strictly
+			// decreasing priority (strictly increasing oracle index).
+			last := -1
+			for i := 0; i < r.Len(); i++ {
+				items := r.Kth(i).Items() // bottom → top
+				for j := len(items) - 1; j >= 0; j-- {
+					idx := oracle.idx(items[j])
+					if idx < 0 {
+						t.Fatalf("step %d (%s): deque holds removed item %d",
+							step, op, items[j].id)
+					}
+					if idx <= last {
+						t.Fatalf("step %d (%s): priority order violated at deque %d: index %d after %d",
+							step, op, i, idx, last)
+					}
+					last = idx
+				}
+			}
+			// A running thread outranks everything in its own deque.
+			for w := 0; w < p; w++ {
+				if curr[w] == nil {
+					continue
+				}
+				if top, ok := own[w].PeekTop(); ok {
+					if oracle.idx(curr[w]) >= oracle.idx(top) {
+						t.Fatalf("step %d (%s): worker %d's thread %d does not outrank its deque top %d",
+							step, op, w, curr[w].id, top.id)
+					}
+				}
+			}
+		}
+		check(0, "seed")
+
+		for step := 0; step+1 < len(data); step += 2 {
+			w := int(data[step+1]) % p
+			switch data[step] % 4 {
+			case 0: // fork: push continuation, run the child
+				if curr[w] == nil {
+					continue
+				}
+				child := oracle.insertBefore(curr[w])
+				own[w].PushTop(curr[w])
+				curr[w] = child
+				check(step, "fork")
+
+			case 1: // terminate: pop own top; empty deque leaves R
+				if curr[w] == nil {
+					continue
+				}
+				oracle.remove(curr[w])
+				if x, ok := own[w].PopTop(); ok {
+					curr[w] = x
+				} else {
+					r.Delete(own[w])
+					own[w], curr[w] = nil, nil
+				}
+				check(step, "terminate")
+
+			case 2: // steal: PopBottom a leftmost-p victim, InsertRight
+				if curr[w] != nil || r.Len() == 0 {
+					continue
+				}
+				win := r.Len()
+				if p < win {
+					win = p
+				}
+				victim := r.Kth((int(data[step+1]) / p) % win)
+				x, ok := victim.PopBottom()
+				if !ok {
+					// Empty victim: delete it if abandoned, else retry later.
+					if victim.Owner < 0 {
+						r.Delete(victim)
+					}
+					check(step, "steal-miss")
+					continue
+				}
+				nd := r.InsertRight(victim)
+				nd.Owner = w
+				own[w], curr[w] = nd, x
+				if victim.Empty() && victim.Owner < 0 {
+					r.Delete(victim)
+				}
+				check(step, "steal")
+
+			case 3: // give up (§3.3 dummy path): thread ends, deque released
+				if curr[w] == nil {
+					continue
+				}
+				oracle.remove(curr[w])
+				if own[w].Empty() {
+					r.Delete(own[w])
+				} else {
+					own[w].Owner = -1
+				}
+				own[w], curr[w] = nil, nil
+				check(step, "giveup")
+			}
+		}
+	})
+}
+
+// TestDequeConcurrentHammer shares one deque between an owner and three
+// thieves through Deque.Mu — the arrangement core.SharedPool uses — and
+// checks conservation: every pushed item is popped by exactly one side
+// or left in the deque. Run under -race this also certifies that Mu
+// covers all of the deque's mutable state.
+func TestDequeConcurrentHammer(t *testing.T) {
+	const pushes = 2000
+	d := deque.NewDeque[int]()
+	var popped, stolen atomic.Int64
+	done := make(chan struct{})
+	stop := make(chan struct{})
+
+	go func() { // owner: mostly pushes, sometimes pops its own top
+		defer close(done)
+		rng := rand.New(rand.NewSource(1))
+		for n := 0; n < pushes; {
+			d.Mu.Lock()
+			if rng.Intn(3) > 0 {
+				d.PushTop(n)
+				n++
+			} else if _, ok := d.PopTop(); ok {
+				popped.Add(1)
+			}
+			d.Mu.Unlock()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ { // thieves: pop bottoms until told to stop
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d.Mu.Lock()
+				if _, ok := d.PopBottom(); ok {
+					stolen.Add(1)
+				}
+				d.Mu.Unlock()
+			}
+		}()
+	}
+	<-done
+	close(stop)
+	wg.Wait()
+
+	if got := popped.Load() + stolen.Load() + int64(d.Len()); got != pushes {
+		t.Errorf("items not conserved: popped %d + stolen %d + left %d = %d, want %d",
+			popped.Load(), stolen.Load(), d.Len(), got, pushes)
+	}
+	if d.SizeHint() != d.Len() {
+		t.Errorf("SizeHint %d out of sync with Len %d", d.SizeHint(), d.Len())
+	}
+}

@@ -1,0 +1,135 @@
+package grt_test
+
+// Differential tests between the two synchronization engines: the same
+// seeded workload runs under CoarseLock (the paper's single scheduler
+// lock) and under the fine-grained default, and everything that is a
+// workload invariant — computed results, work W, serial space S1, thread
+// and dummy populations, a balanced heap — must agree exactly. Schedule-
+// dependent quantities (steals, preemptions, heap high-water) may differ;
+// invariants may not.
+
+import (
+	"testing"
+
+	"dfdeques/internal/dag"
+	"dfdeques/internal/grt"
+	"dfdeques/internal/workload"
+)
+
+// TestDifferentialSpecInvariants runs declarative workloads on both
+// engines under every scheduler and compares the invariant stats, pinning
+// both against the engine-independent 1DF measurement (W, S1).
+func TestDifferentialSpecInvariants(t *testing.T) {
+	specs := map[string]*dag.ThreadSpec{
+		"parfor": dag.ParFor("loop", 24, func(int) *dag.ThreadSpec {
+			return dag.NewThread("leaf").Alloc(300).Work(4).Free(300).Spec()
+		}),
+		"dnc":      dncSpec(4, 2048),
+		"treelock": workload.BarnesHutTreeBuild(workload.Medium),
+	}
+	for name, spec := range specs {
+		want := dag.Measure(spec) // W and S1: properties of the dag, not the engine
+		for _, kind := range kinds() {
+			cfg := grt.Config{Workers: 4, Sched: kind, K: 600, Seed: 42}
+
+			cfg.CoarseLock = true
+			coarse, err := grt.RunSpec(cfg, spec, 1)
+			if err != nil {
+				t.Fatalf("%s/%v coarse: %v", name, kind, err)
+			}
+			cfg.CoarseLock = false
+			fine, err := grt.RunSpec(cfg, spec, 1)
+			if err != nil {
+				t.Fatalf("%s/%v fine: %v", name, kind, err)
+			}
+
+			if coarse.TotalThreads != fine.TotalThreads {
+				t.Errorf("%s/%v: total threads differ: coarse=%d fine=%d",
+					name, kind, coarse.TotalThreads, fine.TotalThreads)
+			}
+			if coarse.DummyThreads != fine.DummyThreads {
+				t.Errorf("%s/%v: dummy threads differ: coarse=%d fine=%d",
+					name, kind, coarse.DummyThreads, fine.DummyThreads)
+			}
+			if coarse.HeapLive != 0 || fine.HeapLive != 0 {
+				t.Errorf("%s/%v: heap not balanced: coarse=%d fine=%d",
+					name, kind, coarse.HeapLive, fine.HeapLive)
+			}
+			for _, st := range []grt.Stats{coarse, fine} {
+				// ≥, not ==: the §3.3 dummy tree has non-dummy internal
+				// nodes when an allocation exceeds K.
+				if st.TotalThreads-st.DummyThreads < want.TotalThreads {
+					t.Errorf("%s/%v: real threads = %d, 1DF measure says %d",
+						name, kind, st.TotalThreads-st.DummyThreads, want.TotalThreads)
+				}
+				if st.HeapHW < want.HeapHW {
+					t.Errorf("%s/%v: heap HW %d below serial floor S1=%d",
+						name, kind, st.HeapHW, want.HeapHW)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialComputedResults runs a real computation (not a spec) on
+// both engines and demands the exact same answer.
+func TestDifferentialComputedResults(t *testing.T) {
+	sum := func(coarse bool, kind grt.Kind) int64 {
+		var rec func(t *grt.T, lo, hi int64, out *int64)
+		rec = func(t *grt.T, lo, hi int64, out *int64) {
+			if hi-lo <= 8 {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += i * i
+				}
+				*out = s
+				return
+			}
+			mid := (lo + hi) / 2
+			var a, b int64
+			h := t.Fork(func(c *grt.T) { rec(c, lo, mid, &a) })
+			rec(t, mid, hi, &b)
+			t.Join(h)
+			*out = a + b
+		}
+		var got int64
+		_, err := grt.Run(grt.Config{Workers: 4, Sched: kind, Seed: 7, CoarseLock: coarse},
+			func(r *grt.T) { rec(r, 0, 512, &got) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	for _, kind := range kinds() {
+		c, f := sum(true, kind), sum(false, kind)
+		if c != f {
+			t.Errorf("%v: coarse=%d fine=%d", kind, c, f)
+		}
+	}
+}
+
+// TestDifferentialSingleWorkerDeterminism: with one worker there is no
+// scheduling nondeterminism at all, so even the schedule-dependent stats
+// must agree between the two engines.
+func TestDifferentialSingleWorkerDeterminism(t *testing.T) {
+	spec := dncSpec(5, 4096)
+	for _, kind := range kinds() {
+		cfg := grt.Config{Workers: 1, Sched: kind, K: 1000, Seed: 5}
+		cfg.CoarseLock = true
+		coarse, err := grt.RunSpec(cfg, spec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.CoarseLock = false
+		fine, err := grt.RunSpec(cfg, spec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if coarse.TotalThreads != fine.TotalThreads ||
+			coarse.DummyThreads != fine.DummyThreads ||
+			coarse.HeapHW != fine.HeapHW ||
+			coarse.Preemptions != fine.Preemptions {
+			t.Errorf("%v: single-worker runs diverge:\ncoarse %+v\nfine   %+v", kind, coarse, fine)
+		}
+	}
+}

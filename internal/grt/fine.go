@@ -1,0 +1,407 @@
+package grt
+
+import (
+	"runtime"
+	"time"
+)
+
+// This file is the fine-grained scheduler engine — the default mode, and
+// the "beyond the paper" half of the runtime (the paper's single-lock
+// protocol lives in worker.go behind Config.CoarseLock).
+//
+// Locking map (acquisition order left to right; every lock is a leaf to
+// everything on its right, and rt.mu is only used to park idle workers):
+//
+//	rt.mu  →  rt.qmu  →  rt.prioMu
+//	spool spine  →  deque.Mu  →  rt.prioMu
+//
+// Per scheduling event the fine engine takes only what the event needs:
+//
+//	fork        own-deque lock (or qmu) + prioMu; no global lock
+//	join        the child's stateMu; then own-deque lock if blocking
+//	alloc/free  nothing — heap and quota accounting are atomic
+//	lock/future the Mutex's/Future's own lock
+//	steal       the spool spine lock (steals contend only with steals
+//	            and membership changes, never with running workers)
+
+// qlock witnesses that the run-queue state (queue, queueHead, ready) is
+// locked: via rt.qmu in fine-grained mode, or via the global scheduler
+// lock in coarse mode (whose glock converts with gl.queue()). Queue
+// helpers take a qlock so a call without the guarding lock fails to
+// compile.
+type qlock struct{}
+
+// queue converts the global-lock witness: under CoarseLock, rt.mu guards
+// the queue state too.
+func (glock) queue() qlock { return qlock{} }
+
+// lockQueue acquires the fine-grained run-queue lock (FIFO and ADF).
+func (rt *Runtime) lockQueue() qlock {
+	rt.qmu.Lock()
+	rt.lockOps.Add(1)
+	return qlock{}
+}
+
+func (rt *Runtime) unlockQueue(qlock) {
+	rt.qmu.Unlock()
+}
+
+// seedFine publishes the root thread before the workers start.
+func (rt *Runtime) seedFine(t *T) {
+	switch rt.cfg.Sched {
+	case DFDeques:
+		rt.spool.Seed(t)
+	case ADF:
+		q := rt.lockQueue()
+		rt.adfInsert(q, t)
+		rt.unlockQueue(q)
+	case FIFO:
+		q := rt.lockQueue()
+		rt.queue = append(rt.queue, t)
+		rt.unlockQueue(q)
+	}
+}
+
+// wakeFine publishes a thread woken by a lock release or future write.
+func (rt *Runtime) wakeFine(t *T) {
+	switch rt.cfg.Sched {
+	case DFDeques:
+		rt.spool.PushWoken(t)
+	case ADF:
+		q := rt.lockQueue()
+		rt.adfInsert(q, t)
+		rt.unlockQueue(q)
+	case FIFO:
+		q := rt.lockQueue()
+		rt.queue = append(rt.queue, t)
+		rt.unlockQueue(q)
+	}
+}
+
+// wakeIdlers wakes parked workers after new work was published. The
+// atomic pre-check keeps the publish path lock-free whenever every worker
+// is busy — the common case, and the difference between this engine and
+// the coarse one's broadcast on every fork.
+func (rt *Runtime) wakeIdlers() {
+	if rt.idlers.Load() == 0 {
+		return
+	}
+	rt.mu.Lock()
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+}
+
+// finishRun marks the computation complete and releases every worker.
+func (rt *Runtime) finishRun() {
+	rt.finished.Store(true)
+	rt.mu.Lock()
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+}
+
+// hasReady reports whether any runnable thread is published anywhere.
+func (rt *Runtime) hasReady() bool {
+	switch rt.cfg.Sched {
+	case DFDeques:
+		return rt.spool.HasWork()
+	case ADF:
+		q := rt.lockQueue()
+		n := len(rt.ready)
+		rt.unlockQueue(q)
+		return n > 0
+	case FIFO:
+		q := rt.lockQueue()
+		n := len(rt.queue) - rt.queueHead
+		rt.unlockQueue(q)
+		return n > 0
+	}
+	return false
+}
+
+// workerFine is the fine-grained counterpart of workerCoarse: the same
+// Figure 5 scheduling loop and the same event semantics, but each event
+// takes only the locks it needs instead of the one global lock.
+func (rt *Runtime) workerFine(w int) {
+	var (
+		curr   *T
+		quota  int64 // remaining memory quota (DFDeques: per steal; ADF: per dispatch)
+		giveUp bool  // set by evDummy: release the deque at termination
+	)
+	for {
+		if curr == nil {
+			curr = rt.acquireFine(w, &quota)
+			if curr == nil {
+				return // computation finished
+			}
+		}
+		ev := curr.step()
+
+		switch ev.kind {
+		case evFork:
+			child := ev.child
+			rt.noteFork(curr, child)
+			switch rt.cfg.Sched {
+			case DFDeques:
+				rt.spool.PushOwn(w, curr)
+				curr = child
+			case ADF:
+				q := rt.lockQueue()
+				rt.adfInsert(q, curr)
+				rt.unlockQueue(q)
+				curr = child
+				quota = rt.cfg.K
+			case FIFO:
+				q := rt.lockQueue()
+				rt.queue = append(rt.queue, child)
+				rt.unlockQueue(q)
+				// parent continues
+			}
+			rt.wakeIdlers()
+
+		case evJoin:
+			if ev.child.registerWaiter(curr) {
+				// Lost race resolved: the child finished before we could
+				// register; keep running the parent.
+				break
+			}
+			curr = rt.nextAfterBlockFine(w, &quota)
+
+		case evAlloc:
+			if k := rt.cfg.K; k > 0 && rt.cfg.Sched != FIFO && ev.n > quota {
+				// Quota exhausted: preempt without performing the
+				// allocation; it will be retried after a fresh steal.
+				// FIFO is exempt — see workerCoarse: nothing replenishes
+				// a FIFO quota, so a veto would requeue forever.
+				rt.preempts.Add(1)
+				curr.retryAlloc = true
+				switch rt.cfg.Sched {
+				case DFDeques:
+					rt.spool.PushOwn(w, curr)
+					rt.spool.GiveUp(w)
+				case ADF:
+					q := rt.lockQueue()
+					rt.adfInsert(q, curr)
+					rt.unlockQueue(q)
+				case FIFO:
+					q := rt.lockQueue()
+					rt.queue = append(rt.queue, curr)
+					rt.unlockQueue(q)
+				}
+				rt.wakeIdlers()
+				curr = nil
+				break
+			}
+			quota -= ev.n
+			rt.charge(ev.n)
+
+		case evAllocExempt:
+			rt.charge(ev.n)
+
+		case evFree:
+			rt.charge(-ev.n)
+			if k := rt.cfg.K; k > 0 {
+				quota += ev.n
+				if quota > k {
+					quota = k
+				}
+			}
+
+		case evLock:
+			if ev.mu.acquire(curr) {
+				break // lock acquired; keep running
+			}
+			curr = rt.nextAfterBlockFine(w, &quota)
+
+		case evUnlock:
+			next, err := ev.mu.release(curr)
+			if err != nil {
+				rt.setFailure(err)
+				break
+			}
+			if next != nil {
+				rt.wakeFine(next)
+				rt.wakeIdlers()
+			}
+
+		case evFutureSet:
+			woken, err := ev.fut.put(ev.val)
+			if err != nil {
+				rt.setFailure(err)
+				break
+			}
+			for _, wt := range woken {
+				rt.wakeFine(wt)
+			}
+			if len(woken) > 0 {
+				rt.wakeIdlers()
+			}
+
+		case evFutureGet:
+			if ev.fut.getOrWait(curr) {
+				break // value available; keep running
+			}
+			curr = rt.nextAfterBlockFine(w, &quota)
+
+		case evDummy:
+			// §3.3: after executing a dummy thread the processor must give
+			// up its deque and steal. The dummy terminates right after
+			// this event; act at evDone.
+			giveUp = true
+
+		case evDone:
+			rt.prioDelete(curr.prio)
+			curr.prio = nil
+			woke := curr.finish()
+			if rt.live.Add(-1) == 0 {
+				rt.finishRun()
+			}
+			switch {
+			case giveUp && rt.cfg.Sched == DFDeques:
+				giveUp = false
+				if woke != nil {
+					rt.spool.PushOwn(w, woke)
+				}
+				rt.spool.GiveUp(w)
+				rt.wakeIdlers()
+				curr = nil
+			case woke != nil:
+				// Direct handoff to the woken parent (for nested-parallel
+				// programs the deque is empty here — Lemma 3.1).
+				if rt.cfg.Sched == ADF {
+					quota = rt.cfg.K
+				}
+				if rt.cfg.Sched == FIFO {
+					q := rt.lockQueue()
+					rt.queue = append(rt.queue, woke)
+					curr = rt.fifoPop(q)
+					rt.unlockQueue(q)
+				} else {
+					curr = woke
+				}
+			default:
+				giveUp = false
+				curr = rt.nextAfterBlockFine(w, &quota)
+			}
+		}
+	}
+}
+
+// nextAfterBlockFine picks the worker's next thread after its current one
+// suspended, blocked, or terminated without a wake.
+func (rt *Runtime) nextAfterBlockFine(w int, quota *int64) *T {
+	switch rt.cfg.Sched {
+	case DFDeques:
+		if x, ok := rt.spool.PopOwn(w); ok {
+			return x
+		}
+		return nil
+	case ADF:
+		q := rt.lockQueue()
+		if len(rt.ready) == 0 {
+			rt.unlockQueue(q)
+			return nil
+		}
+		x := rt.adfPop(q)
+		rt.unlockQueue(q)
+		*quota = rt.cfg.K
+		rt.steals.Add(1)
+		return x
+	case FIFO:
+		q := rt.lockQueue()
+		x := rt.fifoPop(q)
+		rt.unlockQueue(q)
+		return x
+	}
+	return nil
+}
+
+// acquireFine blocks until it can hand the worker a thread (a steal for
+// DFDeques; a queue take otherwise) or the computation finishes (nil).
+// Work polling is lock-free (atomic ready counters); rt.mu and the cond
+// are only touched to park when there is provably nothing to do.
+func (rt *Runtime) acquireFine(w int, quota *int64) *T {
+	var start time.Time
+	if rt.cfg.MeasureContention {
+		start = time.Now()
+	}
+	got := func(x *T) *T {
+		if !start.IsZero() {
+			rt.stealWaitNs.Add(time.Since(start).Nanoseconds())
+		}
+		return x
+	}
+	spins := 0
+	for {
+		if rt.finished.Load() {
+			return nil
+		}
+		switch rt.cfg.Sched {
+		case DFDeques:
+			if x, ok := rt.spool.Steal(w); ok {
+				*quota = rt.cfg.K
+				return got(x)
+			}
+			if rt.spool.HasWork() {
+				// Unlucky victim pick; retry.
+				spins++
+				if spins%64 == 0 {
+					runtime.Gosched()
+				}
+				continue
+			}
+		case ADF:
+			q := rt.lockQueue()
+			if len(rt.ready) > 0 {
+				x := rt.adfPop(q)
+				rt.unlockQueue(q)
+				*quota = rt.cfg.K
+				rt.steals.Add(1)
+				return got(x)
+			}
+			rt.unlockQueue(q)
+		case FIFO:
+			q := rt.lockQueue()
+			x := rt.fifoPop(q)
+			rt.unlockQueue(q)
+			if x != nil {
+				return got(x)
+			}
+		}
+		// Park. The idlers counter is raised before the re-check of the
+		// ready state, and publishers raise the ready state before
+		// checking idlers (both are sequentially consistent atomics), so
+		// either we see the fresh work here or the publisher sees us and
+		// broadcasts — a lost wake-up would require both loads to happen
+		// before both stores.
+		rt.mu.Lock()
+		rt.idleWaiters++
+		rt.idlers.Add(1)
+		if rt.hasReady() || rt.finished.Load() {
+			rt.idleWaiters--
+			rt.idlers.Add(-1)
+			rt.mu.Unlock()
+			if rt.finished.Load() {
+				return nil
+			}
+			continue
+		}
+		if rt.idleWaiters == rt.cfg.Workers && rt.live.Load() > 0 {
+			// Every worker is parked, nothing is published, and threads
+			// remain live: nothing can ever publish work again — the
+			// program deadlocked (possible only outside the
+			// nested-parallel model, e.g. lock cycles or a Future nobody
+			// sets). Report it instead of hanging; the blocked thread
+			// goroutines are abandoned.
+			rt.setFailure(errDeadlock)
+			rt.idleWaiters--
+			rt.idlers.Add(-1)
+			rt.mu.Unlock()
+			rt.finishRun()
+			return nil
+		}
+		rt.cond.Wait()
+		rt.idleWaiters--
+		rt.idlers.Add(-1)
+		rt.mu.Unlock()
+	}
+}

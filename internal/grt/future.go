@@ -1,6 +1,9 @@
 package grt
 
-import "errors"
+import (
+	"errors"
+	"sync"
+)
 
 var errFutureReset = errors.New("grt: Future set twice")
 
@@ -14,13 +17,43 @@ var errFutureReset = errors.New("grt: Future set twice")
 //
 // Futures take the computation outside the nested-parallel model, so the
 // paper's space bound does not apply; like Mutex, they are executed
-// correctly regardless.
+// correctly regardless. The value/waiter state carries its own lock so
+// the fine-grained runtime needs no global serialization around it.
 //
 // The zero value is an unset Future. Set must be called at most once.
 type Future struct {
+	mu      sync.Mutex
 	set     bool
 	value   any
 	waiters []*T
+}
+
+// put writes the value and returns the readers to wake. Called by
+// workers, not threads.
+func (f *Future) put(v any) ([]*T, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.set {
+		return nil, errFutureReset
+	}
+	f.set = true
+	f.value = v
+	woken := f.waiters
+	f.waiters = nil
+	return woken, nil
+}
+
+// getOrWait reports whether the value is already set; if not, t is queued
+// as a reader to wake and its worker must pick other work. Called by
+// workers, not threads.
+func (f *Future) getOrWait(t *T) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.set {
+		return true
+	}
+	f.waiters = append(f.waiters, t)
+	return false
 }
 
 // Set writes the future's value and wakes all readers. Calling Set twice
@@ -33,14 +66,15 @@ func (f *Future) Set(t *T, v any) {
 func (f *Future) Get(t *T) any {
 	t.do(event{kind: evFutureGet, fut: f})
 	// Resumption implies the value is set (the worker only continues or
-	// wakes this thread once f.set holds under the scheduler lock).
+	// wakes this thread once f.set holds), and the set happened-before
+	// the wake through f.mu.
 	return f.value
 }
 
 // TryGet returns the value without suspending; ok is false if unset.
 func (f *Future) TryGet(t *T) (v any, ok bool) {
-	t.rt.mu.Lock()
-	defer t.rt.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if !f.set {
 		return nil, false
 	}

@@ -4,12 +4,21 @@
 // pluggable scheduler: DFDeques(K) (the paper's algorithm, §3), ADF(K)
 // (the depth-first baseline), or FIFO (the original library scheduler).
 //
-// As in the paper's implementation, access to the scheduling state — the
-// deque list R, the global queue, thread priorities — is serialized by a
-// single lock (§5: "R is implemented as a linked list of deques protected
-// by a shared scheduler lock"). Threads yield to their worker at exactly
-// the paper's scheduling points: fork, join on a live child, quota-checked
-// allocation, lock block, dummy execution, and termination.
+// The paper's implementation serializes all scheduling state — the deque
+// list R, the global queue, thread priorities — behind a single lock (§5:
+// "R is implemented as a linked list of deques protected by a shared
+// scheduler lock") and names that serialization as its scalability limit.
+// This runtime keeps that protocol available behind Config.CoarseLock for
+// differential testing, but defaults to fine-grained synchronization: a
+// per-deque lock for owner push/pop, a spine lock on R taken only by
+// steals and membership changes, a dedicated read-write lock for the
+// priority order, per-thread locks for the join protocol, and atomic
+// heap-quota accounting so the Alloc path takes no lock at all. See
+// DESIGN.md §5 ("beyond the paper").
+//
+// Threads yield to their worker at exactly the paper's scheduling points:
+// fork, join on a live child, quota-checked allocation, lock block, dummy
+// execution, and termination.
 //
 // Workers hand threads off synchronously: a worker resumes a thread's
 // goroutine and sleeps until the thread reports its next scheduling event,
@@ -21,6 +30,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"dfdeques/internal/core"
 	"dfdeques/internal/om"
@@ -64,6 +74,18 @@ type Config struct {
 	K int64
 	// Seed drives steal-victim randomness.
 	Seed int64
+	// CoarseLock serializes every scheduling decision behind one global
+	// mutex — the paper's §5 protocol, verbatim. The default (false) is
+	// the fine-grained runtime. The two modes produce the same results on
+	// the same workloads and are differentially tested against each
+	// other; CoarseLock exists for that comparison and for measuring the
+	// contention the paper describes.
+	CoarseLock bool
+	// MeasureContention enables the wall-clock contention counters in
+	// Stats (StealWaitNs, SchedLockNs). Off by default: timing every
+	// critical section costs two clock reads per scheduling event, which
+	// would distort the very benchmarks the counters exist to explain.
+	MeasureContention bool
 }
 
 // Stats reports what a run did.
@@ -76,6 +98,15 @@ type Stats struct {
 	LocalDispatches int64 // own-deque dispatches (DFDeques only)
 	Preemptions     int64 // quota preemptions
 	HeapHW          int64 // high-water of Alloc−Free bytes
+	HeapLive        int64 // final Alloc−Free balance (0 when frees match)
+
+	// Contention counters. SchedLockOps counts exclusive acquisitions of
+	// the serializing lock: the global scheduler lock under CoarseLock,
+	// and the much rarer R-spine/queue lock in fine-grained mode. The
+	// *Ns counters are populated only under MeasureContention.
+	SchedLockOps int64
+	SchedLockNs  int64 // total ns the serializing lock was held
+	StealWaitNs  int64 // total ns idle workers spent acquiring a thread
 }
 
 type evKind uint8
@@ -119,37 +150,104 @@ type T struct {
 
 	// retryAlloc is set by the worker when a quota veto preempted the
 	// thread's allocation: Alloc must re-attempt after resumption. Written
-	// under rt.mu before the thread is re-published; read by the thread
+	// by the worker before the thread is re-published; read by the thread
 	// after its resume (the channel handoff orders the accesses).
 	retryAlloc bool
 
-	// Guarded by rt.mu:
-	done   bool
-	waiter *T
+	// stateMu guards done and waiter. It is the join protocol's only
+	// synchronization in fine-grained mode and is also taken (as a leaf
+	// lock) under the global lock in coarse mode, so both modes share one
+	// protocol.
+	stateMu sync.Mutex
+	done    bool
+	waiter  *T
+}
+
+// finish marks t done and returns the thread waiting on it, if any. The
+// child side of the join protocol.
+func (t *T) finish() (woke *T) {
+	t.stateMu.Lock()
+	t.done = true
+	woke = t.waiter
+	t.waiter = nil
+	t.stateMu.Unlock()
+	return woke
+}
+
+// registerWaiter records w as the thread to wake when t terminates,
+// unless t is already done (reported as true: the parent keeps running).
+// The parent side of the join protocol.
+func (t *T) registerWaiter(w *T) (alreadyDone bool) {
+	t.stateMu.Lock()
+	defer t.stateMu.Unlock()
+	if t.done {
+		return true
+	}
+	t.waiter = w
+	return false
+}
+
+// isDone reports whether t has terminated.
+func (t *T) isDone() bool {
+	t.stateMu.Lock()
+	defer t.stateMu.Unlock()
+	return t.done
 }
 
 // Runtime executes nested-parallel computations under one scheduler.
 type Runtime struct {
 	cfg Config
 
-	mu        sync.Mutex
-	cond      *sync.Cond
+	// mu is the global scheduler lock. Under CoarseLock it serializes
+	// every scheduling decision (the paper's protocol); in fine-grained
+	// mode it only parks and wakes idle workers (with cond) and arbitrates
+	// the deadlock check. Helpers that require mu take a glock token — see
+	// lockSched — so calling one without the lock fails to compile.
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// Scheduler state. The coarse mode guards all of it with mu. The fine
+	// mode splits it: spool (internally synchronized) replaces pool for
+	// DFDeques; qmu guards queue/queueHead/ready for FIFO and ADF; prioMu
+	// guards prios for everyone.
 	rng       *rand.Rand
+	prioMu    sync.RWMutex
 	prios     om.List
-	pool      *core.Pool[*T] // DFDeques
-	queue     []*T           // FIFO (head at queueHead)
+	pool      *core.Pool[*T]       // DFDeques, CoarseLock mode
+	spool     *core.SharedPool[*T] // DFDeques, fine-grained mode
+	qmu       sync.Mutex
+	queue     []*T // FIFO (head at queueHead)
 	queueHead int
 	ready     []*T // ADF: sorted by priority, index 0 highest
 
-	heapLive, heapHW   int64
-	live, maxLive, tot int64
-	dummies            int64
-	steals, failed     int64
-	localDisp          int64
-	preempts           int64
-	idleWaiters        int
-	finished           bool
-	failure            error
+	// Accounting: atomics, so the fine-grained hot paths (fork, alloc)
+	// never need a lock for bookkeeping. Coarse mode uses the same fields.
+	heapLive, heapHW   atomic.Int64
+	live, maxLive, tot atomic.Int64
+	dummies            atomic.Int64
+	steals, failed     atomic.Int64
+	localDisp          atomic.Int64
+	preempts           atomic.Int64
+	lockOps, lockNs    atomic.Int64
+	stealWaitNs        atomic.Int64
+
+	// Idle parking (guarded by mu) plus a lock-free mirror of the waiter
+	// count so publishers can skip the wake-up lock when nobody sleeps.
+	idleWaiters int
+	idlers      atomic.Int64
+	finished    atomic.Bool
+
+	failMu  sync.Mutex
+	failure error
+}
+
+// setFailure records the first failure.
+func (rt *Runtime) setFailure(err error) {
+	rt.failMu.Lock()
+	if rt.failure == nil {
+		rt.failure = err
+	}
+	rt.failMu.Unlock()
 }
 
 // Run executes root as the root thread of a new runtime and blocks until
@@ -162,15 +260,26 @@ func Run(cfg Config, root func(*T)) (Stats, error) {
 	rt := &Runtime{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 	rt.cond = sync.NewCond(&rt.mu)
 	if cfg.Sched == DFDeques {
-		rt.pool = core.NewPool(cfg.Workers, func(a, b *T) bool { return om.Less(a.prio, b.prio) }, rt.rng)
+		less := func(a, b *T) bool { return rt.prioLess(a, b) }
+		if cfg.CoarseLock {
+			rt.pool = core.NewPool(cfg.Workers, less, rt.rng)
+		} else {
+			rt.spool = core.NewSharedPool(cfg.Workers, less, rt.rng)
+		}
 	}
 
 	rootT := rt.newT(root)
-	rt.mu.Lock()
-	rootT.prio = rt.prios.PushBack()
-	rt.tot, rt.live, rt.maxLive = 1, 1, 1
-	rt.enqueueReadyLocked(-1, rootT)
-	rt.mu.Unlock()
+	rootT.prio = rt.prioPushBack()
+	rt.tot.Store(1)
+	rt.live.Store(1)
+	rt.maxLive.Store(1)
+	if cfg.CoarseLock {
+		gl := rt.lockSched()
+		rt.enqueueReady(gl, rootT)
+		rt.unlockSched(gl)
+	} else {
+		rt.seedFine(rootT)
+	}
 
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -182,17 +291,19 @@ func Run(cfg Config, root func(*T)) (Stats, error) {
 	}
 	wg.Wait()
 
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	st := Stats{
-		TotalThreads:    rt.tot,
-		MaxLiveThreads:  rt.maxLive,
-		DummyThreads:    rt.dummies,
-		Steals:          rt.steals,
-		FailedSteals:    rt.failed,
-		LocalDispatches: rt.localDisp,
-		Preemptions:     rt.preempts,
-		HeapHW:          rt.heapHW,
+		TotalThreads:    rt.tot.Load(),
+		MaxLiveThreads:  rt.maxLive.Load(),
+		DummyThreads:    rt.dummies.Load(),
+		Steals:          rt.steals.Load(),
+		FailedSteals:    rt.failed.Load(),
+		LocalDispatches: rt.localDisp.Load(),
+		Preemptions:     rt.preempts.Load(),
+		HeapHW:          rt.heapHW.Load(),
+		HeapLive:        rt.heapLive.Load(),
+		SchedLockOps:    rt.lockOps.Load(),
+		SchedLockNs:     rt.lockNs.Load(),
+		StealWaitNs:     rt.stealWaitNs.Load(),
 	}
 	if rt.pool != nil {
 		s, f, l := rt.pool.Stats()
@@ -200,6 +311,15 @@ func Run(cfg Config, root func(*T)) (Stats, error) {
 		st.FailedSteals += f
 		st.LocalDispatches += l
 	}
+	if rt.spool != nil {
+		s, f, l := rt.spool.Stats()
+		st.Steals += s
+		st.FailedSteals += f
+		st.LocalDispatches += l
+		st.SchedLockOps += rt.spool.ListLockOps()
+	}
+	rt.failMu.Lock()
+	defer rt.failMu.Unlock()
 	return st, rt.failure
 }
 
@@ -211,6 +331,67 @@ func (rt *Runtime) newT(body func(*T)) *T {
 		yield:  make(chan event),
 	}
 }
+
+// charge adjusts the heap accounting. Lock-free; safe from any path.
+func (rt *Runtime) charge(n int64) {
+	v := rt.heapLive.Add(n)
+	if n > 0 {
+		atomicMax(&rt.heapHW, v)
+	}
+}
+
+// noteFork does the bookkeeping common to both modes when child is forked
+// by curr: priority insertion and thread counters.
+func (rt *Runtime) noteFork(curr, child *T) {
+	child.prio = rt.prioInsertBefore(curr.prio)
+	rt.tot.Add(1)
+	atomicMax(&rt.maxLive, rt.live.Add(1))
+	if child.dummy {
+		rt.dummies.Add(1)
+	}
+}
+
+// atomicMax raises a to at least v.
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		old := a.Load()
+		if v <= old || a.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// ---- Priority order (om list) wrappers -----------------------------------
+//
+// The om list is not safe for concurrent use, and its relabeling moves
+// tags of records other than the one being inserted, so even Less needs
+// protection. prioMu is a leaf lock in both modes.
+
+func (rt *Runtime) prioPushBack() *om.Record {
+	rt.prioMu.Lock()
+	defer rt.prioMu.Unlock()
+	return rt.prios.PushBack()
+}
+
+func (rt *Runtime) prioInsertBefore(r *om.Record) *om.Record {
+	rt.prioMu.Lock()
+	defer rt.prioMu.Unlock()
+	return rt.prios.InsertBefore(r)
+}
+
+func (rt *Runtime) prioDelete(r *om.Record) {
+	rt.prioMu.Lock()
+	defer rt.prioMu.Unlock()
+	rt.prios.Delete(r)
+}
+
+func (rt *Runtime) prioLess(a, b *T) bool {
+	rt.prioMu.RLock()
+	defer rt.prioMu.RUnlock()
+	return om.Less(a.prio, b.prio)
+}
+
+// ---- Thread-side API -----------------------------------------------------
 
 // step resumes t and waits for its next scheduling event. Only the worker
 // currently responsible for t may call it.
@@ -228,11 +409,7 @@ func (t *T) main() {
 	<-t.resume
 	defer func() {
 		if r := recover(); r != nil {
-			t.rt.mu.Lock()
-			if t.rt.failure == nil {
-				t.rt.failure = fmt.Errorf("grt: thread panicked: %v", r)
-			}
-			t.rt.mu.Unlock()
+			t.rt.setFailure(fmt.Errorf("grt: thread panicked: %v", r))
 		}
 		t.yield <- event{kind: evDone}
 	}()
@@ -271,10 +448,7 @@ func (t *T) Join(h *T) {
 	}
 	t.unjoined = t.unjoined[:len(t.unjoined)-1]
 	for {
-		t.rt.mu.Lock()
-		done := h.done
-		t.rt.mu.Unlock()
-		if done {
+		if h.isDone() {
 			return
 		}
 		t.do(event{kind: evJoin, child: h})

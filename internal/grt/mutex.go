@@ -1,6 +1,9 @@
 package grt
 
-import "errors"
+import (
+	"errors"
+	"sync"
+)
 
 var errUnlockNotHeld = errors.New("grt: Unlock of a mutex the thread does not hold")
 
@@ -13,11 +16,49 @@ var errUnlockNotHeld = errors.New("grt: Unlock of a mutex the thread does not ho
 // paper's space bound no longer applies (§3.1) — but the scheduler still
 // executes them correctly, which is what the Fig. 17 experiment exercises.
 //
+// The holder/waiter state carries its own lock, so the fine-grained
+// runtime can arbitrate contended Locks without any global serialization;
+// the coarse runtime takes it (as a leaf) under the scheduler lock.
+//
 // The zero value is an unlocked mutex. Lock and Unlock must be called with
 // the calling thread's *T.
 type Mutex struct {
+	mu      sync.Mutex
 	holder  *T
 	waiters []*T
+}
+
+// acquire attempts to take m for t, reporting success; on failure t is
+// queued as a waiter and its worker must pick other work. Called by
+// workers, not threads.
+func (m *Mutex) acquire(t *T) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.holder == nil {
+		m.holder = t
+		return true
+	}
+	m.waiters = append(m.waiters, t)
+	return false
+}
+
+// release drops t's hold on m and hands the lock to the longest waiter,
+// returning that waiter for re-publication to the scheduler (nil if none).
+// Called by workers, not threads.
+func (m *Mutex) release(t *T) (*T, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.holder != t {
+		return nil, errUnlockNotHeld
+	}
+	m.holder = nil
+	if len(m.waiters) == 0 {
+		return nil, nil
+	}
+	next := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	m.holder = next // hand the lock to the woken thread
+	return next, nil
 }
 
 // Lock acquires m, suspending t until it is available.

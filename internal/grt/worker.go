@@ -4,14 +4,53 @@ import (
 	"errors"
 	"runtime"
 	"sort"
-
-	"dfdeques/internal/om"
+	"time"
 )
 
+var errDeadlock = errors.New("grt: deadlock — all workers idle with live threads blocked")
+
+// glock witnesses that rt.mu is held. Every helper that requires the
+// global scheduler lock takes a glock parameter instead of a "must hold
+// rt.mu" comment, so calling one without having gone through lockSched
+// fails to compile rather than racing at runtime. The token also carries
+// the acquisition time when contention measurement is on.
+type glock struct {
+	since time.Time
+}
+
+// lockSched acquires the global scheduler lock and returns its witness.
+func (rt *Runtime) lockSched() glock {
+	rt.mu.Lock()
+	rt.lockOps.Add(1)
+	if rt.cfg.MeasureContention {
+		return glock{since: time.Now()}
+	}
+	return glock{}
+}
+
+// unlockSched releases the global scheduler lock, accounting its hold
+// time when measurement is on.
+func (rt *Runtime) unlockSched(gl glock) {
+	if !gl.since.IsZero() {
+		rt.lockNs.Add(time.Since(gl.since).Nanoseconds())
+	}
+	rt.mu.Unlock()
+}
+
 // worker is one virtual processor: it acquires a thread, drives it from
-// scheduling event to scheduling event, and consults the scheduling policy
-// (under the global lock) at each event — the loop of Figure 5.
+// scheduling event to scheduling event, and consults the scheduling
+// policy at each event — the loop of Figure 5. The coarse mode runs the
+// whole policy under the global lock (§5); the fine mode (fine.go) takes
+// only the locks each event actually needs.
 func (rt *Runtime) worker(w int) {
+	if rt.cfg.CoarseLock {
+		rt.workerCoarse(w)
+	} else {
+		rt.workerFine(w)
+	}
+}
+
+func (rt *Runtime) workerCoarse(w int) {
 	var (
 		curr   *T
 		quota  int64 // remaining memory quota (DFDeques: per steal; ADF: per dispatch)
@@ -19,32 +58,24 @@ func (rt *Runtime) worker(w int) {
 	)
 	for {
 		if curr == nil {
-			curr = rt.acquire(w, &quota)
+			curr = rt.acquireCoarse(w, &quota)
 			if curr == nil {
 				return // computation finished
 			}
 		}
 		ev := curr.step()
 
-		rt.mu.Lock()
+		gl := rt.lockSched()
 		switch ev.kind {
 		case evFork:
 			child := ev.child
-			child.prio = rt.prios.InsertBefore(curr.prio)
-			rt.tot++
-			rt.live++
-			if rt.live > rt.maxLive {
-				rt.maxLive = rt.live
-			}
-			if child.dummy {
-				rt.dummies++
-			}
+			rt.noteFork(curr, child)
 			switch rt.cfg.Sched {
 			case DFDeques:
 				rt.pool.PushOwn(w, curr)
 				curr = child
 			case ADF:
-				rt.adfInsert(curr)
+				rt.adfInsert(gl.queue(), curr)
 				curr = child
 				quota = rt.cfg.K
 			case FIFO:
@@ -54,26 +85,29 @@ func (rt *Runtime) worker(w int) {
 			rt.cond.Broadcast()
 
 		case evJoin:
-			if ev.child.done {
+			if ev.child.registerWaiter(curr) {
 				// Lost race resolved: the child finished before we could
 				// register; keep running the parent.
 				break
 			}
-			ev.child.waiter = curr
-			curr = rt.nextAfterBlockLocked(w, &quota)
+			curr = rt.nextAfterBlock(gl, w, &quota)
 
 		case evAlloc:
-			if k := rt.cfg.K; k > 0 && ev.n > quota {
+			if k := rt.cfg.K; k > 0 && rt.cfg.Sched != FIFO && ev.n > quota {
 				// Quota exhausted: preempt without performing the
 				// allocation; it will be retried after a fresh steal.
-				rt.preempts++
+				// FIFO is exempt: the plain Pthreads scheduler has no
+				// memory quota, and nothing ever replenishes a FIFO
+				// dispatch's quota — vetoing here would requeue the
+				// thread with quota still zero, forever.
+				rt.preempts.Add(1)
 				curr.retryAlloc = true
 				switch rt.cfg.Sched {
 				case DFDeques:
 					rt.pool.PushOwn(w, curr)
 					rt.pool.GiveUp(w)
 				case ADF:
-					rt.adfInsert(curr)
+					rt.adfInsert(gl.queue(), curr)
 				case FIFO:
 					rt.queue = append(rt.queue, curr)
 				}
@@ -97,56 +131,40 @@ func (rt *Runtime) worker(w int) {
 			}
 
 		case evLock:
-			m := ev.mu
-			if m.holder == nil {
-				m.holder = curr
+			if ev.mu.acquire(curr) {
 				break // lock acquired; keep running
 			}
-			m.waiters = append(m.waiters, curr)
-			curr = rt.nextAfterBlockLocked(w, &quota)
+			curr = rt.nextAfterBlock(gl, w, &quota)
 
 		case evUnlock:
-			m := ev.mu
-			if m.holder != curr {
-				if rt.failure == nil {
-					rt.failure = errUnlockNotHeld
-				}
+			next, err := ev.mu.release(curr)
+			if err != nil {
+				rt.setFailure(err)
 				break
 			}
-			m.holder = nil
-			if len(m.waiters) > 0 {
-				next := m.waiters[0]
-				m.waiters = m.waiters[1:]
-				m.holder = next // hand the lock to the woken thread
-				rt.wakeLocked(next)
+			if next != nil {
+				rt.wake(gl, next)
 				rt.cond.Broadcast()
 			}
 
 		case evFutureSet:
-			f := ev.fut
-			if f.set {
-				if rt.failure == nil {
-					rt.failure = errFutureReset
-				}
+			woken, err := ev.fut.put(ev.val)
+			if err != nil {
+				rt.setFailure(err)
 				break
 			}
-			f.set = true
-			f.value = ev.val
-			if len(f.waiters) > 0 {
-				for _, wt := range f.waiters {
-					rt.wakeLocked(wt)
-				}
-				f.waiters = nil
+			for _, wt := range woken {
+				rt.wake(gl, wt)
+			}
+			if len(woken) > 0 {
 				rt.cond.Broadcast()
 			}
 
 		case evFutureGet:
-			f := ev.fut
-			if f.set {
+			if ev.fut.getOrWait(curr) {
 				break // value available; keep running
 			}
-			f.waiters = append(f.waiters, curr)
-			curr = rt.nextAfterBlockLocked(w, &quota)
+			curr = rt.nextAfterBlock(gl, w, &quota)
 
 		case evDummy:
 			// §3.3: after executing a dummy thread the processor must give
@@ -155,14 +173,11 @@ func (rt *Runtime) worker(w int) {
 			giveUp = true
 
 		case evDone:
-			curr.done = true
-			rt.live--
-			rt.prios.Delete(curr.prio)
+			rt.prioDelete(curr.prio)
 			curr.prio = nil
-			woke := curr.waiter
-			curr.waiter = nil
-			if rt.live == 0 {
-				rt.finished = true
+			woke := curr.finish()
+			if rt.live.Add(-1) == 0 {
+				rt.finished.Store(true)
 				rt.cond.Broadcast()
 			}
 			switch {
@@ -183,22 +198,22 @@ func (rt *Runtime) worker(w int) {
 				if rt.cfg.Sched == FIFO {
 					rt.queue = append(rt.queue, woke)
 					rt.cond.Broadcast()
-					curr = rt.fifoPopLocked()
+					curr = rt.fifoPop(gl.queue())
 				} else {
 					curr = woke
 				}
 			default:
 				giveUp = false
-				curr = rt.nextAfterBlockLocked(w, &quota)
+				curr = rt.nextAfterBlock(gl, w, &quota)
 			}
 		}
-		rt.mu.Unlock()
+		rt.unlockSched(gl)
 	}
 }
 
-// nextAfterBlockLocked picks the worker's next thread after its current
-// one suspended, blocked, or terminated without a wake. Must hold rt.mu.
-func (rt *Runtime) nextAfterBlockLocked(w int, quota *int64) *T {
+// nextAfterBlock picks the worker's next thread after its current one
+// suspended, blocked, or terminated without a wake.
+func (rt *Runtime) nextAfterBlock(gl glock, w int, quota *int64) *T {
 	switch rt.cfg.Sched {
 	case DFDeques:
 		if x, ok := rt.pool.PopOwn(w); ok {
@@ -208,36 +223,46 @@ func (rt *Runtime) nextAfterBlockLocked(w int, quota *int64) *T {
 	case ADF:
 		if len(rt.ready) > 0 {
 			*quota = rt.cfg.K
-			rt.steals++
-			return rt.adfPopLocked()
+			rt.steals.Add(1)
+			return rt.adfPop(gl.queue())
 		}
 		return nil
 	case FIFO:
-		return rt.fifoPopLocked()
+		return rt.fifoPop(gl.queue())
 	}
 	return nil
 }
 
-// acquire blocks until it can hand the worker a thread (a steal for
+// acquireCoarse blocks until it can hand the worker a thread (a steal for
 // DFDeques; a queue take otherwise) or the computation finishes (nil).
-func (rt *Runtime) acquire(w int, quota *int64) *T {
+func (rt *Runtime) acquireCoarse(w int, quota *int64) *T {
+	var start time.Time
+	if rt.cfg.MeasureContention {
+		start = time.Now()
+	}
+	got := func(x *T) *T {
+		if !start.IsZero() {
+			rt.stealWaitNs.Add(time.Since(start).Nanoseconds())
+		}
+		return x
+	}
 	spins := 0
 	for {
-		rt.mu.Lock()
-		if rt.finished {
-			rt.mu.Unlock()
+		gl := rt.lockSched()
+		if rt.finished.Load() {
+			rt.unlockSched(gl)
 			return nil
 		}
 		switch rt.cfg.Sched {
 		case DFDeques:
 			if x, ok := rt.pool.Steal(w); ok {
 				*quota = rt.cfg.K
-				rt.mu.Unlock()
-				return x
+				rt.unlockSched(gl)
+				return got(x)
 			}
 			if rt.pool.HasWork() {
 				// Unlucky victim pick; retry outside the lock.
-				rt.mu.Unlock()
+				rt.unlockSched(gl)
 				spins++
 				if spins%64 == 0 {
 					runtime.Gosched()
@@ -247,15 +272,15 @@ func (rt *Runtime) acquire(w int, quota *int64) *T {
 		case ADF:
 			if len(rt.ready) > 0 {
 				*quota = rt.cfg.K
-				rt.steals++
-				x := rt.adfPopLocked()
-				rt.mu.Unlock()
-				return x
+				rt.steals.Add(1)
+				x := rt.adfPop(gl.queue())
+				rt.unlockSched(gl)
+				return got(x)
 			}
 		case FIFO:
-			if x := rt.fifoPopLocked(); x != nil {
-				rt.mu.Unlock()
-				return x
+			if x := rt.fifoPop(gl.queue()); x != nil {
+				rt.unlockSched(gl)
+				return got(x)
 			}
 		}
 		// No work anywhere: sleep until something is published. If every
@@ -265,67 +290,61 @@ func (rt *Runtime) acquire(w int, quota *int64) *T {
 		// nobody sets). Report it instead of hanging; the blocked thread
 		// goroutines are abandoned.
 		rt.idleWaiters++
-		if rt.idleWaiters == rt.cfg.Workers && rt.live > 0 && !rt.finished {
-			if rt.failure == nil {
-				rt.failure = errDeadlock
-			}
-			rt.finished = true
+		if rt.idleWaiters == rt.cfg.Workers && rt.live.Load() > 0 && !rt.finished.Load() {
+			rt.setFailure(errDeadlock)
+			rt.finished.Store(true)
 			rt.cond.Broadcast()
 		}
-		if rt.finished {
+		if rt.finished.Load() {
 			// Detected just now (or raced with the final broadcast):
 			// don't sleep — there will be no further wake-ups.
 			rt.idleWaiters--
-			rt.mu.Unlock()
+			rt.unlockSched(gl)
 			return nil
 		}
+		if !gl.since.IsZero() {
+			rt.lockNs.Add(time.Since(gl.since).Nanoseconds())
+		}
 		rt.cond.Wait()
+		if rt.cfg.MeasureContention {
+			gl.since = time.Now()
+		}
 		rt.idleWaiters--
-		rt.mu.Unlock()
+		rt.unlockSched(gl)
 	}
 }
 
-var errDeadlock = errors.New("grt: deadlock — all workers idle with live threads blocked")
-
-// enqueueReadyLocked publishes a runnable thread (initial root, lock
-// wake-ups). Must hold rt.mu.
-func (rt *Runtime) enqueueReadyLocked(w int, t *T) {
-	switch rt.cfg.Sched {
-	case DFDeques:
-		if t.prio != nil && rt.pool.Deques() == 0 && rt.tot == 1 {
+// enqueueReady publishes a runnable thread (the initial root) in coarse
+// mode; seedFine is the fine-grained counterpart.
+func (rt *Runtime) enqueueReady(gl glock, t *T) {
+	switch {
+	case rt.cfg.Sched == DFDeques:
+		if t.prio != nil && rt.pool.Deques() == 0 && rt.tot.Load() == 1 {
 			rt.pool.Seed(t)
 		} else {
 			rt.pool.PushWoken(t)
 		}
-	case ADF:
-		rt.adfInsert(t)
-	case FIFO:
+	case rt.cfg.Sched == ADF:
+		rt.adfInsert(gl.queue(), t)
+	case rt.cfg.Sched == FIFO:
 		rt.queue = append(rt.queue, t)
 	}
 	rt.cond.Broadcast()
 }
 
-// wakeLocked publishes a thread woken by a lock release.
-func (rt *Runtime) wakeLocked(t *T) {
+// wake publishes a thread woken by a lock release or future write.
+func (rt *Runtime) wake(gl glock, t *T) {
 	switch rt.cfg.Sched {
 	case DFDeques:
 		rt.pool.PushWoken(t)
 	case ADF:
-		rt.adfInsert(t)
+		rt.adfInsert(gl.queue(), t)
 	case FIFO:
 		rt.queue = append(rt.queue, t)
 	}
 }
 
-// charge adjusts the heap accounting. Must hold rt.mu.
-func (rt *Runtime) charge(n int64) {
-	rt.heapLive += n
-	if rt.heapLive > rt.heapHW {
-		rt.heapHW = rt.heapLive
-	}
-}
-
-func (rt *Runtime) fifoPopLocked() *T {
+func (rt *Runtime) fifoPop(qlock) *T {
 	if rt.queueHead >= len(rt.queue) {
 		return nil
 	}
@@ -337,21 +356,21 @@ func (rt *Runtime) fifoPopLocked() *T {
 		rt.queueHead = 0
 	}
 	if x != nil {
-		rt.steals++
+		rt.steals.Add(1)
 	}
 	return x
 }
 
-func (rt *Runtime) adfInsert(t *T) {
+func (rt *Runtime) adfInsert(q qlock, t *T) {
 	i := sort.Search(len(rt.ready), func(i int) bool {
-		return om.Less(t.prio, rt.ready[i].prio)
+		return rt.prioLess(t, rt.ready[i])
 	})
 	rt.ready = append(rt.ready, nil)
 	copy(rt.ready[i+1:], rt.ready[i:])
 	rt.ready[i] = t
 }
 
-func (rt *Runtime) adfPopLocked() *T {
+func (rt *Runtime) adfPop(qlock) *T {
 	x := rt.ready[0]
 	copy(rt.ready, rt.ready[1:])
 	rt.ready[len(rt.ready)-1] = nil

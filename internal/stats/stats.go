@@ -102,6 +102,20 @@ func KB(bytes int64) string { return fmt.Sprintf("%.1f", float64(bytes)/1024) }
 // MB formats a byte count as megabytes with two decimals.
 func MB(bytes int64) string { return fmt.Sprintf("%.2f", float64(bytes)/(1<<20)) }
 
+// Ns formats a nanosecond count as a human-readable duration.
+func Ns(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
 // Pct formats a ratio as a percentage with one decimal.
 func Pct(ratio float64) string { return fmt.Sprintf("%.1f", 100*ratio) }
 

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Tier-1 verification (see ROADMAP.md): build, vet, full test suite, and
+# a race-detector pass over the concurrency-bearing packages. The -race
+# pass is not optional — the runtime's fine-grained engine is exactly the
+# kind of code whose bugs only the race detector and the stress tests in
+# internal/grt/race_test.go surface.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/grt/... ./internal/deque/... ./internal/core/...
