@@ -217,7 +217,7 @@ func BenchmarkGrtContention(b *testing.B) {
 // BenchmarkRuntimeForkJoin measures the real runtime's fork-join overhead
 // (threads/op reported) under each scheduler.
 func BenchmarkRuntimeForkJoin(b *testing.B) {
-	for _, k := range []dfdeques.SchedKind{dfdeques.SchedDFDeques, dfdeques.SchedADF, dfdeques.SchedFIFO} {
+	for _, k := range []dfdeques.SchedKind{dfdeques.SchedDFDeques, dfdeques.SchedWS, dfdeques.SchedADF, dfdeques.SchedFIFO} {
 		b.Run(k.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				st, err := dfdeques.Run(dfdeques.RuntimeConfig{Workers: 4, Sched: k, Seed: int64(i)},

@@ -21,7 +21,8 @@
 //	-check        verify Lemma 3.1 invariants per timestep
 //	-real         run on the real runtime (goroutine workers) instead of
 //	              the simulator; prints grt.Stats with the contention
-//	              counters. WS and DFD-inf map to DFDeques with K=∞.
+//	              counters. DFD-inf maps to DFDeques with K=∞; WS runs the
+//	              per-worker-deque work stealer.
 //	-workers N    real mode: worker count (default: -procs)
 //	-coarselock   real mode: use the single global scheduler lock (§5
 //	              verbatim) instead of the fine-grained engine
@@ -32,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dfdeques/internal/cache"
 	"dfdeques/internal/dag"
@@ -56,6 +58,21 @@ func main() {
 	coarse := flag.Bool("coarselock", false, "real mode: single global scheduler lock")
 	measure := flag.Bool("measure", false, "real mode: time lock holds and steal waits")
 	flag.Parse()
+
+	// Scheduler names are case-insensitive; canonicalize to the printed
+	// spellings.
+	switch strings.ToUpper(*schedName) {
+	case "DFD":
+		*schedName = "DFD"
+	case "DFD-INF":
+		*schedName = "DFD-inf"
+	case "WS":
+		*schedName = "WS"
+	case "ADF":
+		*schedName = "ADF"
+	case "FIFO":
+		*schedName = "FIFO"
+	}
 
 	g := workload.Fine
 	if *grain == "medium" {
@@ -151,8 +168,10 @@ func runReal(spec *dag.ThreadSpec, schedName string, procs, workers int, k, seed
 	switch schedName {
 	case "DFD":
 		kind = grt.DFDeques
-	case "DFD-inf", "WS":
-		kind, k = grt.DFDeques, 0 // DFDeques(∞) ≡ work stealing
+	case "DFD-inf":
+		kind, k = grt.DFDeques, 0 // DFDeques(∞): ordered deque list, no quota
+	case "WS":
+		kind, k = grt.WS, 0 // per-worker fixed deques, random-victim bottom steal
 	case "ADF":
 		kind = grt.ADF
 	case "FIFO":
@@ -192,6 +211,7 @@ func runReal(spec *dag.ThreadSpec, schedName string, procs, workers int, k, seed
 	fmt.Printf("steals / failed:     %d / %d\n", st.Steals, st.FailedSteals)
 	fmt.Printf("own-deque dispatch:  %d\n", st.LocalDispatches)
 	fmt.Printf("preemptions:         %d\n", st.Preemptions)
+	fmt.Printf("max deques:          %d\n", st.MaxDeques)
 	fmt.Printf("sched lock acquires: %d\n", st.SchedLockOps)
 	if measure {
 		fmt.Printf("sched lock held:     %s\n", stats.Ns(st.SchedLockNs))

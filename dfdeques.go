@@ -76,6 +76,7 @@ const (
 	SchedDFDeques = grt.DFDeques
 	SchedADF      = grt.ADF
 	SchedFIFO     = grt.FIFO
+	SchedWS       = grt.WS
 )
 
 // RuntimeConfig configures the real runtime.

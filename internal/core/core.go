@@ -6,15 +6,14 @@
 // The structure is deliberately free of threads, time, and locking so two
 // very different engines can drive it:
 //
-//   - internal/grt, the real goroutine-based runtime, wraps a Pool in one
-//     mutex — exactly how the paper's Pthreads implementation serializes
-//     access to R (§5);
-//   - tests drive it directly to property-check the Lemma 3.1 ordering
+//   - the machine simulator's DFDeques scheduler (internal/sched) drives a
+//     Pool serially, using BeginRound/StealFrom for the §4.1 per-timestep
+//     steal arbitration (at most one successful steal per deque per round)
+//     and its ablation switches;
+//   - the concurrent runtime's DFDeques policy (internal/policy) uses the
+//     fine-grained SharedPool variant;
+//   - tests drive both directly to property-check the Lemma 3.1 ordering
 //     invariants without a machine in the loop.
-//
-// (The machine simulator's scheduler in internal/sched keeps its own copy
-// of this logic because the §4.1 cost model needs per-timestep steal
-// arbitration hooks inside the structure's operations.)
 package core
 
 import (
@@ -37,6 +36,11 @@ type Pool[T any] struct {
 	failed    int64
 	localDisp int64
 	maxR      int
+
+	// stolen arbitrates steals within one timestep of the simulator's cost
+	// model (§4.1): at most one steal per deque per round succeeds. Only
+	// StealFrom consults it; Steal (the real-time path) never does.
+	stolen map[*deque.Deque[T]]bool
 }
 
 // NewPool builds a pool for p workers. less reports whether a has higher
@@ -127,6 +131,63 @@ func (pl *Pool[T]) Steal(w int) (x T, ok bool) {
 		return x, false
 	}
 	nd := pl.r.InsertRight(victim)
+	nd.Owner = w
+	pl.own[w] = nd
+	if victim.Empty() && victim.Owner == -1 {
+		pl.r.Delete(victim)
+	}
+	pl.noteR()
+	pl.steals++
+	return x, true
+}
+
+// BeginRound starts a new steal round of the simulator's cost model:
+// every deque becomes stealable again (§4.1 allows at most one successful
+// steal per deque per timestep, arbitrated by StealFrom).
+func (pl *Pool[T]) BeginRound() {
+	if pl.stolen == nil {
+		pl.stolen = make(map[*deque.Deque[T]]bool, pl.p)
+	}
+	clear(pl.stolen)
+}
+
+// StealFrom is the deterministic, arbitrated variant of Steal: the caller
+// names the victim as an index c from the left end of R (the leftmost-p
+// sample, with the window choice — and the randomness — in the caller's
+// hands), and at most one StealFrom per deque succeeds between
+// BeginRound calls. fromTop is the steal-from-top ablation: the thief
+// takes the victim's newest thread instead of its bottom one, and its new
+// deque goes to the victim's left to keep R roughly ordered. The worker
+// must not own a deque.
+func (pl *Pool[T]) StealFrom(w, c int, fromTop bool) (x T, ok bool) {
+	if pl.own[w] != nil {
+		panic("core: StealFrom while owning a deque")
+	}
+	if c >= pl.r.Len() {
+		pl.failed++
+		return x, false
+	}
+	victim := pl.r.Kth(c)
+	if victim.Empty() || pl.stolen[victim] {
+		pl.failed++
+		return x, false
+	}
+	if pl.stolen == nil {
+		pl.stolen = make(map[*deque.Deque[T]]bool, pl.p)
+	}
+	pl.stolen[victim] = true
+	var nd *deque.Deque[T]
+	if fromTop {
+		x, _ = victim.PopTop()
+		if pos := victim.Pos(); pos == 0 {
+			nd = pl.r.PushLeft()
+		} else {
+			nd = pl.r.InsertRight(pl.r.Kth(pos - 1))
+		}
+	} else {
+		x, _ = victim.PopBottom()
+		nd = pl.r.InsertRight(victim)
+	}
 	nd.Owner = w
 	pl.own[w] = nd
 	if victim.Empty() && victim.Owner == -1 {
@@ -228,6 +289,12 @@ func (pl *Pool[T]) CheckInvariants(curr func(w int) (T, bool)) error {
 		d := pl.r.Kth(i)
 		top, ok := d.PeekTop()
 		if !ok {
+			// Every operation deletes a deque it empties unless the owner
+			// keeps it; an empty unowned deque would be unstealable dead
+			// weight in R.
+			if d.Owner == -1 {
+				return fmt.Errorf("core: empty deque %d in R is unowned", i)
+			}
 			continue
 		}
 		if havePrev && !pl.less(prevBottom, top) {

@@ -133,6 +133,15 @@ func (d *Deque[T]) Pos() int {
 }
 
 // List is the globally ordered list R of deques.
+//
+// Cost model: the slice backing makes Kth — the steal hot path's
+// k-th-from-left victim indexing — O(1), at the price of O(n) membership
+// changes (insertAt and Delete shift the tail and renumber positions).
+// That is the right trade for DFDeques: every steal attempt indexes into
+// the leftmost-p window, while the list only changes on successful steals
+// and give-ups, and len(R) stays near the processor count for small K
+// (and never exceeds p for K = ∞, §3.3). BenchmarkListKth and
+// BenchmarkListInsertDelete in this package keep both costs measured.
 type List[T any] struct {
 	deques []*Deque[T]
 }

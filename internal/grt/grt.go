@@ -1,20 +1,25 @@
 // Package grt is a real, concurrent user-level fork-join thread runtime —
 // the Go analogue of the paper's modified Solaris Pthreads library (§5).
 // User threads are goroutines multiplexed onto a fixed set of workers by a
-// pluggable scheduler: DFDeques(K) (the paper's algorithm, §3), ADF(K)
-// (the depth-first baseline), or FIFO (the original library scheduler).
+// pluggable scheduling policy (internal/policy): DFDeques(K) (the paper's
+// algorithm, §3), WS (the Blumofe & Leiserson work stealer — DFDeques(∞),
+// §3.3), ADF(K) (the depth-first baseline), or FIFO (the original library
+// scheduler). The worker loop is policy-agnostic — one event loop drives
+// whatever policy Config selects; the same policies, through thin
+// adapters, also drive the machine simulator (internal/sched).
 //
 // The paper's implementation serializes all scheduling state — the deque
 // list R, the global queue, thread priorities — behind a single lock (§5:
 // "R is implemented as a linked list of deques protected by a shared
 // scheduler lock") and names that serialization as its scalability limit.
 // This runtime keeps that protocol available behind Config.CoarseLock for
-// differential testing, but defaults to fine-grained synchronization: a
-// per-deque lock for owner push/pop, a spine lock on R taken only by
-// steals and membership changes, a dedicated read-write lock for the
-// priority order, per-thread locks for the join protocol, and atomic
-// heap-quota accounting so the Alloc path takes no lock at all. See
-// DESIGN.md §5 ("beyond the paper").
+// differential testing — the same worker loop, with every scheduling
+// event additionally serialized behind one global mutex — but defaults to
+// the policies' fine-grained synchronization: a per-deque lock for owner
+// push/pop, a spine lock on R taken only by steals and membership
+// changes, a dedicated read-write lock for the priority order, per-thread
+// locks for the join protocol, and atomic heap-quota accounting so the
+// Alloc path takes no lock at all. See DESIGN.md §5 ("beyond the paper").
 //
 // Threads yield to their worker at exactly the paper's scheduling points:
 // fork, join on a live child, quota-checked allocation, lock block, dummy
@@ -32,8 +37,8 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"dfdeques/internal/core"
 	"dfdeques/internal/om"
+	"dfdeques/internal/policy"
 )
 
 // Kind selects the scheduling algorithm.
@@ -48,6 +53,10 @@ const (
 	// FIFO is a single global FIFO run queue; forked children are
 	// enqueued and the parent keeps running (breadth-first).
 	FIFO
+	// WS is the Blumofe & Leiserson work stealer — one deque per worker,
+	// steal-from-bottom of a uniformly random victim, no memory quota:
+	// the DFDeques(∞) specialization of §3.3. K is ignored.
+	WS
 )
 
 func (k Kind) String() string {
@@ -58,6 +67,8 @@ func (k Kind) String() string {
 		return "ADF"
 	case FIFO:
 		return "FIFO"
+	case WS:
+		return "WS"
 	}
 	return "Kind?"
 }
@@ -70,7 +81,7 @@ type Config struct {
 	Sched Kind
 	// K is the memory threshold in bytes; 0 means no quota (∞). For
 	// DFDeques it bounds net allocation per steal; for ADF, per thread
-	// dispatch.
+	// dispatch. WS ignores it (that is its definition: DFDeques(∞)).
 	K int64
 	// Seed drives steal-victim randomness.
 	Seed int64
@@ -99,6 +110,7 @@ type Stats struct {
 	Preemptions     int64 // quota preemptions
 	HeapHW          int64 // high-water of Alloc−Free bytes
 	HeapLive        int64 // final Alloc−Free balance (0 when frees match)
+	MaxDeques       int64 // high-water of the ready structure (len(R); p for WS; 1 for queues)
 
 	// Contention counters. SchedLockOps counts exclusive acquisitions of
 	// the serializing lock: the global scheduler lock under CoarseLock,
@@ -198,35 +210,29 @@ func (t *T) isDone() bool {
 type Runtime struct {
 	cfg Config
 
-	// mu is the global scheduler lock. Under CoarseLock it serializes
-	// every scheduling decision (the paper's protocol); in fine-grained
-	// mode it only parks and wakes idle workers (with cond) and arbitrates
-	// the deadlock check. Helpers that require mu take a glock token — see
-	// lockSched — so calling one without the lock fails to compile.
+	// pol is the scheduling policy: it owns every ready-thread decision.
+	// The policies are internally synchronized (fine-grained); threshold
+	// caches pol.Threshold() for the Alloc hot path.
+	pol       policy.Policy[*T]
+	threshold int64
+
+	// gmu is the paper's single global scheduler lock, taken around every
+	// scheduling event under Config.CoarseLock and never otherwise. mu
+	// only parks and wakes idle workers (with cond) and arbitrates the
+	// deadlock check — it is never held while consulting the policy.
+	gmu  sync.Mutex
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	// Scheduler state. The coarse mode guards all of it with mu. The fine
-	// mode splits it: spool (internally synchronized) replaces pool for
-	// DFDeques; qmu guards queue/queueHead/ready for FIFO and ADF; prioMu
-	// guards prios for everyone.
-	rng       *rand.Rand
-	prioMu    sync.RWMutex
-	prios     om.List
-	pool      *core.Pool[*T]       // DFDeques, CoarseLock mode
-	spool     *core.SharedPool[*T] // DFDeques, fine-grained mode
-	qmu       sync.Mutex
-	queue     []*T // FIFO (head at queueHead)
-	queueHead int
-	ready     []*T // ADF: sorted by priority, index 0 highest
+	// prioMu guards the om priority list for every policy (leaf lock).
+	prioMu sync.RWMutex
+	prios  om.List
 
-	// Accounting: atomics, so the fine-grained hot paths (fork, alloc)
-	// never need a lock for bookkeeping. Coarse mode uses the same fields.
+	// Accounting: atomics, so the hot paths (fork, alloc) never need a
+	// lock for bookkeeping.
 	heapLive, heapHW   atomic.Int64
 	live, maxLive, tot atomic.Int64
 	dummies            atomic.Int64
-	steals, failed     atomic.Int64
-	localDisp          atomic.Int64
 	preempts           atomic.Int64
 	lockOps, lockNs    atomic.Int64
 	stealWaitNs        atomic.Int64
@@ -257,29 +263,30 @@ func Run(cfg Config, root func(*T)) (Stats, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
-	rt := &Runtime{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	rt := &Runtime{cfg: cfg}
 	rt.cond = sync.NewCond(&rt.mu)
-	if cfg.Sched == DFDeques {
-		less := func(a, b *T) bool { return rt.prioLess(a, b) }
-		if cfg.CoarseLock {
-			rt.pool = core.NewPool(cfg.Workers, less, rt.rng)
-		} else {
-			rt.spool = core.NewSharedPool(cfg.Workers, less, rt.rng)
-		}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	less := func(a, b *T) bool { return rt.prioLess(a, b) }
+	switch cfg.Sched {
+	case DFDeques:
+		rt.pol = policy.NewDFD(cfg.Workers, cfg.K, less, rng)
+	case ADF:
+		rt.pol = policy.NewADF(cfg.Workers, cfg.K, less)
+	case FIFO:
+		rt.pol = policy.NewFIFO[*T](cfg.K)
+	case WS:
+		rt.pol = policy.NewWS[*T](cfg.Workers, rng)
+	default:
+		return Stats{}, fmt.Errorf("grt: unknown scheduler kind %d", cfg.Sched)
 	}
+	rt.threshold = rt.pol.Threshold()
 
 	rootT := rt.newT(root)
 	rootT.prio = rt.prioPushBack()
 	rt.tot.Store(1)
 	rt.live.Store(1)
 	rt.maxLive.Store(1)
-	if cfg.CoarseLock {
-		gl := rt.lockSched()
-		rt.enqueueReady(gl, rootT)
-		rt.unlockSched(gl)
-	} else {
-		rt.seedFine(rootT)
-	}
+	rt.pol.Seed(rootT)
 
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -291,32 +298,21 @@ func Run(cfg Config, root func(*T)) (Stats, error) {
 	}
 	wg.Wait()
 
+	ps := rt.pol.Stats()
 	st := Stats{
 		TotalThreads:    rt.tot.Load(),
 		MaxLiveThreads:  rt.maxLive.Load(),
 		DummyThreads:    rt.dummies.Load(),
-		Steals:          rt.steals.Load(),
-		FailedSteals:    rt.failed.Load(),
-		LocalDispatches: rt.localDisp.Load(),
+		Steals:          ps.Steals,
+		FailedSteals:    ps.FailedSteals,
+		LocalDispatches: ps.LocalDispatches,
 		Preemptions:     rt.preempts.Load(),
 		HeapHW:          rt.heapHW.Load(),
 		HeapLive:        rt.heapLive.Load(),
-		SchedLockOps:    rt.lockOps.Load(),
+		MaxDeques:       int64(ps.MaxDeques),
+		SchedLockOps:    rt.lockOps.Load() + ps.LockOps,
 		SchedLockNs:     rt.lockNs.Load(),
 		StealWaitNs:     rt.stealWaitNs.Load(),
-	}
-	if rt.pool != nil {
-		s, f, l := rt.pool.Stats()
-		st.Steals += s
-		st.FailedSteals += f
-		st.LocalDispatches += l
-	}
-	if rt.spool != nil {
-		s, f, l := rt.spool.Stats()
-		st.Steals += s
-		st.FailedSteals += f
-		st.LocalDispatches += l
-		st.SchedLockOps += rt.spool.ListLockOps()
 	}
 	rt.failMu.Lock()
 	defer rt.failMu.Unlock()
@@ -468,8 +464,8 @@ func (t *T) Alloc(n int64) {
 	if n <= 0 {
 		return
 	}
-	if k := t.rt.cfg.K; k > 0 && n > k {
-		t.forkDummies((n + k - 1) / k)
+	if k := t.rt.threshold; k > 0 && n > k {
+		t.forkDummies(policy.DummyLeaves(n, k))
 		t.do(event{kind: evAllocExempt, n: n})
 		return
 	}
@@ -493,7 +489,9 @@ func (t *T) Free(n int64) {
 	t.do(event{kind: evFree, n: n})
 }
 
-// forkDummies forks a binary tree with n dummy leaves and joins it.
+// forkDummies forks a binary tree with n dummy leaves and joins it — the
+// same shape policy.SplitDummies gives the simulator's transformation, so
+// thread and dummy counts agree across engines.
 func (t *T) forkDummies(n int64) {
 	if n == 1 {
 		h := t.fork(func(c *T) {
@@ -502,10 +500,10 @@ func (t *T) forkDummies(n int64) {
 		t.Join(h)
 		return
 	}
-	l := n / 2
+	l, r := policy.SplitDummies(n)
 	h := t.Fork(func(c *T) {
 		c.forkDummies(l)
-		c.forkDummies(n - l)
+		c.forkDummies(r)
 	})
 	t.Join(h)
 }

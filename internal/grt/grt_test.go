@@ -8,7 +8,7 @@ import (
 	"dfdeques/internal/grt"
 )
 
-func kinds() []grt.Kind { return []grt.Kind{grt.DFDeques, grt.ADF, grt.FIFO} }
+func kinds() []grt.Kind { return []grt.Kind{grt.DFDeques, grt.WS, grt.ADF, grt.FIFO} }
 
 // fib computes Fibonacci with one thread per recursive call, the classic
 // fork-join smoke test. Results flow through real shared memory.

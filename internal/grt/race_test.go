@@ -110,6 +110,43 @@ func TestGrtRaceStealHeavy(t *testing.T) {
 	})
 }
 
+// TestGrtRaceStealHeavyWS is the WS analogue of the steal-heavy stress: a
+// long chain of fork-joins of trivial children keeps every per-worker
+// deque near-empty, so the parent is stolen from the forker's deque bottom
+// over and over while the random-victim thieves spin. No quota path exists
+// to throttle it.
+func TestGrtRaceStealHeavyWS(t *testing.T) {
+	const links = 300
+	modes(t, func(t *testing.T, coarse bool) {
+		for _, workers := range stressWorkers() {
+			var joined int64
+			st, err := grt.Run(grt.Config{
+				Workers: workers, Sched: grt.WS,
+				Seed: 200 + int64(workers), CoarseLock: coarse,
+			}, func(r *grt.T) {
+				for i := 0; i < links; i++ {
+					h := r.Fork(func(c *grt.T) {
+						atomic.AddInt64(&joined, 1)
+					})
+					r.Join(h)
+				}
+			})
+			if err != nil {
+				t.Fatalf("%d workers: %v", workers, err)
+			}
+			if joined != links {
+				t.Errorf("%d workers: joined = %d, want %d", workers, joined, links)
+			}
+			if st.TotalThreads != links+1 {
+				t.Errorf("%d workers: threads = %d, want %d", workers, st.TotalThreads, links+1)
+			}
+			if st.Preemptions != 0 {
+				t.Errorf("%d workers: WS preempted %d times (has no quota)", workers, st.Preemptions)
+			}
+		}
+	})
+}
+
 // TestGrtRaceLockHeavy is the Fig. 17 tree-build shape: parallel leaves
 // all inserting into a shared structure behind scheduler-mediated
 // Mutexes. Every insertion must survive (mutual exclusion) and every
@@ -163,27 +200,29 @@ func TestGrtRaceLockHeavy(t *testing.T) {
 func TestGrtRaceFutureFanout(t *testing.T) {
 	const readers = 32
 	modes(t, func(t *testing.T, coarse bool) {
-		var fut grt.Future
-		var sum int64
-		_, err := grt.Run(grt.Config{
-			Workers: 4, Sched: grt.DFDeques, Seed: 23, CoarseLock: coarse,
-		}, func(r *grt.T) {
-			handles := make([]*grt.T, 0, readers+1)
-			for i := 0; i < readers; i++ {
-				handles = append(handles, r.Fork(func(c *grt.T) {
-					atomic.AddInt64(&sum, int64(fut.Get(c).(int)))
-				}))
+		for _, k := range kinds() {
+			var fut grt.Future
+			var sum int64
+			_, err := grt.Run(grt.Config{
+				Workers: 4, Sched: k, Seed: 23, CoarseLock: coarse,
+			}, func(r *grt.T) {
+				handles := make([]*grt.T, 0, readers+1)
+				for i := 0; i < readers; i++ {
+					handles = append(handles, r.Fork(func(c *grt.T) {
+						atomic.AddInt64(&sum, int64(fut.Get(c).(int)))
+					}))
+				}
+				handles = append(handles, r.Fork(func(c *grt.T) { fut.Set(c, 7) }))
+				for i := len(handles) - 1; i >= 0; i-- {
+					r.Join(handles[i])
+				}
+			})
+			if err != nil {
+				t.Fatalf("%v: %v", k, err)
 			}
-			handles = append(handles, r.Fork(func(c *grt.T) { fut.Set(c, 7) }))
-			for i := len(handles) - 1; i >= 0; i-- {
-				r.Join(handles[i])
+			if sum != 7*readers {
+				t.Errorf("%v: sum = %d, want %d", k, sum, 7*readers)
 			}
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if sum != 7*readers {
-			t.Errorf("sum = %d, want %d", sum, 7*readers)
 		}
 	})
 }

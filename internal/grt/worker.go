@@ -3,86 +3,94 @@ package grt
 import (
 	"errors"
 	"runtime"
-	"sort"
 	"time"
 )
 
 var errDeadlock = errors.New("grt: deadlock — all workers idle with live threads blocked")
 
-// glock witnesses that rt.mu is held. Every helper that requires the
-// global scheduler lock takes a glock parameter instead of a "must hold
-// rt.mu" comment, so calling one without having gone through lockSched
-// fails to compile rather than racing at runtime. The token also carries
-// the acquisition time when contention measurement is on.
+// This file is the runtime's one worker loop — the Figure 5 scheduling
+// loop, driving whatever policy.Policy Config selected. The engine owns
+// parking, heap accounting, priorities and the join protocol; every
+// ready-thread decision is the policy's.
+//
+// The two synchronization modes share this loop:
+//
+//   - fine-grained (default): each event takes only the locks the policy
+//     internally needs (own-deque lock on fork, R spine on steal, queue
+//     mutex on a queue take, nothing at all for alloc/free);
+//   - CoarseLock: the paper's §5 protocol — beginEvent wraps every
+//     scheduling event and every acquisition attempt in one global mutex.
+//
+// Locking map (acquisition order left to right; every lock is a leaf to
+// everything on its right):
+//
+//	rt.gmu  →  policy internals  →  rt.prioMu
+//	rt.gmu  →  rt.mu (wakeIdlers under a coarse event)
+//	policy: R spine → deque.Mu → rt.prioMu (see core.SharedPool)
+//
+// rt.mu is only ever held to park or wake idle workers, never while
+// consulting the policy.
+
+// glock witnesses the coarse-mode critical section around one scheduling
+// event, carrying the acquisition time when contention measurement is on.
+// In fine-grained mode it is a no-op token.
 type glock struct {
+	held  bool
 	since time.Time
 }
 
-// lockSched acquires the global scheduler lock and returns its witness.
-func (rt *Runtime) lockSched() glock {
-	rt.mu.Lock()
+// beginEvent enters a scheduling event: under CoarseLock it takes the
+// global scheduler lock (the §5 serialization, counted in SchedLockOps);
+// in fine-grained mode it does nothing.
+func (rt *Runtime) beginEvent() glock {
+	if !rt.cfg.CoarseLock {
+		return glock{}
+	}
+	rt.gmu.Lock()
 	rt.lockOps.Add(1)
 	if rt.cfg.MeasureContention {
-		return glock{since: time.Now()}
+		return glock{held: true, since: time.Now()}
 	}
-	return glock{}
+	return glock{held: true}
 }
 
-// unlockSched releases the global scheduler lock, accounting its hold
+// endEvent leaves the scheduling event, accounting the global lock's hold
 // time when measurement is on.
-func (rt *Runtime) unlockSched(gl glock) {
+func (rt *Runtime) endEvent(gl glock) {
+	if !gl.held {
+		return
+	}
 	if !gl.since.IsZero() {
 		rt.lockNs.Add(time.Since(gl.since).Nanoseconds())
 	}
-	rt.mu.Unlock()
+	rt.gmu.Unlock()
 }
 
 // worker is one virtual processor: it acquires a thread, drives it from
-// scheduling event to scheduling event, and consults the scheduling
-// policy at each event — the loop of Figure 5. The coarse mode runs the
-// whole policy under the global lock (§5); the fine mode (fine.go) takes
-// only the locks each event actually needs.
+// scheduling event to scheduling event, and consults the policy at each
+// event.
 func (rt *Runtime) worker(w int) {
-	if rt.cfg.CoarseLock {
-		rt.workerCoarse(w)
-	} else {
-		rt.workerFine(w)
-	}
-}
-
-func (rt *Runtime) workerCoarse(w int) {
-	var (
-		curr   *T
-		quota  int64 // remaining memory quota (DFDeques: per steal; ADF: per dispatch)
-		giveUp bool  // set by evDummy: release the deque at termination
-	)
+	var curr *T
 	for {
 		if curr == nil {
-			curr = rt.acquireCoarse(w, &quota)
+			curr = rt.acquire(w)
 			if curr == nil {
 				return // computation finished
 			}
 		}
 		ev := curr.step()
 
-		gl := rt.lockSched()
+		gl := rt.beginEvent()
+		// wake is set by the branches that publish work a parked worker
+		// could run; wakeIdlers runs after the policy call so the policy's
+		// ready state is raised before the idlers check (the park
+		// protocol's ordering requirement — see acquire).
+		wake := false
 		switch ev.kind {
 		case evFork:
-			child := ev.child
-			rt.noteFork(curr, child)
-			switch rt.cfg.Sched {
-			case DFDeques:
-				rt.pool.PushOwn(w, curr)
-				curr = child
-			case ADF:
-				rt.adfInsert(gl.queue(), curr)
-				curr = child
-				quota = rt.cfg.K
-			case FIFO:
-				rt.queue = append(rt.queue, child)
-				// parent continues
-			}
-			rt.cond.Broadcast()
+			rt.noteFork(curr, ev.child)
+			curr = rt.pol.Fork(w, curr, ev.child)
+			wake = true
 
 		case evJoin:
 			if ev.child.registerWaiter(curr) {
@@ -90,32 +98,20 @@ func (rt *Runtime) workerCoarse(w int) {
 				// register; keep running the parent.
 				break
 			}
-			curr = rt.nextAfterBlock(gl, w, &quota)
+			curr = rt.next(w)
 
 		case evAlloc:
-			if k := rt.cfg.K; k > 0 && rt.cfg.Sched != FIFO && ev.n > quota {
+			if !rt.pol.Charge(w, ev.n) {
 				// Quota exhausted: preempt without performing the
-				// allocation; it will be retried after a fresh steal.
-				// FIFO is exempt: the plain Pthreads scheduler has no
-				// memory quota, and nothing ever replenishes a FIFO
-				// dispatch's quota — vetoing here would requeue the
-				// thread with quota still zero, forever.
+				// allocation; it will be retried after a fresh dispatch
+				// (§3.3, "memory quota exhausted").
 				rt.preempts.Add(1)
 				curr.retryAlloc = true
-				switch rt.cfg.Sched {
-				case DFDeques:
-					rt.pool.PushOwn(w, curr)
-					rt.pool.GiveUp(w)
-				case ADF:
-					rt.adfInsert(gl.queue(), curr)
-				case FIFO:
-					rt.queue = append(rt.queue, curr)
-				}
-				rt.cond.Broadcast()
+				rt.pol.Preempt(w, curr)
+				wake = true
 				curr = nil
 				break
 			}
-			quota -= ev.n
 			rt.charge(ev.n)
 
 		case evAllocExempt:
@@ -123,18 +119,13 @@ func (rt *Runtime) workerCoarse(w int) {
 
 		case evFree:
 			rt.charge(-ev.n)
-			if k := rt.cfg.K; k > 0 {
-				quota += ev.n
-				if quota > k {
-					quota = k
-				}
-			}
+			rt.pol.Credit(w, ev.n)
 
 		case evLock:
 			if ev.mu.acquire(curr) {
 				break // lock acquired; keep running
 			}
-			curr = rt.nextAfterBlock(gl, w, &quota)
+			curr = rt.next(w)
 
 		case evUnlock:
 			next, err := ev.mu.release(curr)
@@ -143,8 +134,8 @@ func (rt *Runtime) workerCoarse(w int) {
 				break
 			}
 			if next != nil {
-				rt.wake(gl, next)
-				rt.cond.Broadcast()
+				rt.pol.Wake(w, next)
+				wake = true
 			}
 
 		case evFutureSet:
@@ -154,226 +145,142 @@ func (rt *Runtime) workerCoarse(w int) {
 				break
 			}
 			for _, wt := range woken {
-				rt.wake(gl, wt)
+				rt.pol.Wake(w, wt)
 			}
-			if len(woken) > 0 {
-				rt.cond.Broadcast()
-			}
+			wake = len(woken) > 0
 
 		case evFutureGet:
 			if ev.fut.getOrWait(curr) {
 				break // value available; keep running
 			}
-			curr = rt.nextAfterBlock(gl, w, &quota)
+			curr = rt.next(w)
 
 		case evDummy:
 			// §3.3: after executing a dummy thread the processor must give
 			// up its deque and steal. The dummy terminates right after
-			// this event; act at evDone.
-			giveUp = true
+			// this event; the policy acts at Terminate.
+			rt.pol.Dummy(w)
 
 		case evDone:
 			rt.prioDelete(curr.prio)
 			curr.prio = nil
 			woke := curr.finish()
 			if rt.live.Add(-1) == 0 {
-				rt.finished.Store(true)
-				rt.cond.Broadcast()
+				rt.finishRun()
 			}
-			switch {
-			case giveUp && rt.cfg.Sched == DFDeques:
-				giveUp = false
-				if woke != nil {
-					rt.pool.PushOwn(w, woke)
-				}
-				rt.pool.GiveUp(w)
-				rt.cond.Broadcast()
+			next, ok := rt.pol.Terminate(w, woke, woke != nil)
+			if ok {
+				curr = next
+			} else {
+				// The policy may have republished work (the dummy-thread
+				// give-up leaves the deque stealable); wake conservatively.
 				curr = nil
-			case woke != nil:
-				// Direct handoff to the woken parent (for nested-parallel
-				// programs the deque is empty here — Lemma 3.1).
-				if rt.cfg.Sched == ADF {
-					quota = rt.cfg.K
-				}
-				if rt.cfg.Sched == FIFO {
-					rt.queue = append(rt.queue, woke)
-					rt.cond.Broadcast()
-					curr = rt.fifoPop(gl.queue())
-				} else {
-					curr = woke
-				}
-			default:
-				giveUp = false
-				curr = rt.nextAfterBlock(gl, w, &quota)
+				wake = true
 			}
 		}
-		rt.unlockSched(gl)
+		rt.endEvent(gl)
+		if wake {
+			rt.wakeIdlers()
+		}
 	}
 }
 
-// nextAfterBlock picks the worker's next thread after its current one
-// suspended, blocked, or terminated without a wake.
-func (rt *Runtime) nextAfterBlock(gl glock, w int, quota *int64) *T {
-	switch rt.cfg.Sched {
-	case DFDeques:
-		if x, ok := rt.pool.PopOwn(w); ok {
-			return x
-		}
-		return nil
-	case ADF:
-		if len(rt.ready) > 0 {
-			*quota = rt.cfg.K
-			rt.steals.Add(1)
-			return rt.adfPop(gl.queue())
-		}
-		return nil
-	case FIFO:
-		return rt.fifoPop(gl.queue())
+// next picks the worker's next thread after its current one suspended or
+// blocked; nil sends the worker to acquire.
+func (rt *Runtime) next(w int) *T {
+	if x, ok := rt.pol.Next(w); ok {
+		return x
 	}
 	return nil
 }
 
-// acquireCoarse blocks until it can hand the worker a thread (a steal for
-// DFDeques; a queue take otherwise) or the computation finishes (nil).
-func (rt *Runtime) acquireCoarse(w int, quota *int64) *T {
+// acquire blocks until it can hand the worker a thread (a steal for the
+// deque policies; a queue take otherwise) or the computation finishes
+// (nil). Work polling is lock-free (the policies' atomic ready counters);
+// rt.mu and the cond are only touched to park when there is provably
+// nothing to do.
+func (rt *Runtime) acquire(w int) *T {
 	var start time.Time
 	if rt.cfg.MeasureContention {
 		start = time.Now()
 	}
-	got := func(x *T) *T {
-		if !start.IsZero() {
-			rt.stealWaitNs.Add(time.Since(start).Nanoseconds())
-		}
-		return x
-	}
 	spins := 0
 	for {
-		gl := rt.lockSched()
 		if rt.finished.Load() {
-			rt.unlockSched(gl)
 			return nil
 		}
-		switch rt.cfg.Sched {
-		case DFDeques:
-			if x, ok := rt.pool.Steal(w); ok {
-				*quota = rt.cfg.K
-				rt.unlockSched(gl)
-				return got(x)
+		gl := rt.beginEvent()
+		x, ok := rt.pol.Acquire(w)
+		rt.endEvent(gl)
+		if ok {
+			if !start.IsZero() {
+				rt.stealWaitNs.Add(time.Since(start).Nanoseconds())
 			}
-			if rt.pool.HasWork() {
-				// Unlucky victim pick; retry outside the lock.
-				rt.unlockSched(gl)
-				spins++
-				if spins%64 == 0 {
-					runtime.Gosched()
-				}
-				continue
-			}
-		case ADF:
-			if len(rt.ready) > 0 {
-				*quota = rt.cfg.K
-				rt.steals.Add(1)
-				x := rt.adfPop(gl.queue())
-				rt.unlockSched(gl)
-				return got(x)
-			}
-		case FIFO:
-			if x := rt.fifoPop(gl.queue()); x != nil {
-				rt.unlockSched(gl)
-				return got(x)
-			}
+			return x
 		}
-		// No work anywhere: sleep until something is published. If every
-		// worker is asleep while threads remain live, nothing can ever
-		// publish work again — the program deadlocked (possible only
-		// outside the nested-parallel model, e.g. lock cycles or a Future
-		// nobody sets). Report it instead of hanging; the blocked thread
-		// goroutines are abandoned.
+		if rt.pol.HasWork() {
+			// Unlucky victim pick; retry.
+			spins++
+			if spins%64 == 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		// Park. The idlers counter is raised before the re-check of the
+		// ready state, and publishers raise the ready state before
+		// checking idlers (both are sequentially consistent atomics), so
+		// either we see the fresh work here or the publisher sees us and
+		// broadcasts — a lost wake-up would require both loads to happen
+		// before both stores.
+		rt.mu.Lock()
 		rt.idleWaiters++
-		if rt.idleWaiters == rt.cfg.Workers && rt.live.Load() > 0 && !rt.finished.Load() {
-			rt.setFailure(errDeadlock)
-			rt.finished.Store(true)
-			rt.cond.Broadcast()
-		}
-		if rt.finished.Load() {
-			// Detected just now (or raced with the final broadcast):
-			// don't sleep — there will be no further wake-ups.
+		rt.idlers.Add(1)
+		if rt.pol.HasWork() || rt.finished.Load() {
 			rt.idleWaiters--
-			rt.unlockSched(gl)
-			return nil
+			rt.idlers.Add(-1)
+			rt.mu.Unlock()
+			if rt.finished.Load() {
+				return nil
+			}
+			continue
 		}
-		if !gl.since.IsZero() {
-			rt.lockNs.Add(time.Since(gl.since).Nanoseconds())
+		if rt.idleWaiters == rt.cfg.Workers && rt.live.Load() > 0 {
+			// Every worker is parked, nothing is published, and threads
+			// remain live: nothing can ever publish work again — the
+			// program deadlocked (possible only outside the
+			// nested-parallel model, e.g. lock cycles or a Future nobody
+			// sets). Report it instead of hanging; the blocked thread
+			// goroutines are abandoned.
+			rt.setFailure(errDeadlock)
+			rt.idleWaiters--
+			rt.idlers.Add(-1)
+			rt.mu.Unlock()
+			rt.finishRun()
+			return nil
 		}
 		rt.cond.Wait()
-		if rt.cfg.MeasureContention {
-			gl.since = time.Now()
-		}
 		rt.idleWaiters--
-		rt.unlockSched(gl)
+		rt.idlers.Add(-1)
+		rt.mu.Unlock()
 	}
 }
 
-// enqueueReady publishes a runnable thread (the initial root) in coarse
-// mode; seedFine is the fine-grained counterpart.
-func (rt *Runtime) enqueueReady(gl glock, t *T) {
-	switch {
-	case rt.cfg.Sched == DFDeques:
-		if t.prio != nil && rt.pool.Deques() == 0 && rt.tot.Load() == 1 {
-			rt.pool.Seed(t)
-		} else {
-			rt.pool.PushWoken(t)
-		}
-	case rt.cfg.Sched == ADF:
-		rt.adfInsert(gl.queue(), t)
-	case rt.cfg.Sched == FIFO:
-		rt.queue = append(rt.queue, t)
+// wakeIdlers wakes parked workers after new work was published. The
+// atomic pre-check keeps the publish path lock-free whenever every worker
+// is busy — the common case.
+func (rt *Runtime) wakeIdlers() {
+	if rt.idlers.Load() == 0 {
+		return
 	}
+	rt.mu.Lock()
 	rt.cond.Broadcast()
+	rt.mu.Unlock()
 }
 
-// wake publishes a thread woken by a lock release or future write.
-func (rt *Runtime) wake(gl glock, t *T) {
-	switch rt.cfg.Sched {
-	case DFDeques:
-		rt.pool.PushWoken(t)
-	case ADF:
-		rt.adfInsert(gl.queue(), t)
-	case FIFO:
-		rt.queue = append(rt.queue, t)
-	}
-}
-
-func (rt *Runtime) fifoPop(qlock) *T {
-	if rt.queueHead >= len(rt.queue) {
-		return nil
-	}
-	x := rt.queue[rt.queueHead]
-	rt.queue[rt.queueHead] = nil
-	rt.queueHead++
-	if rt.queueHead > 1024 && rt.queueHead*2 >= len(rt.queue) {
-		rt.queue = append(rt.queue[:0], rt.queue[rt.queueHead:]...)
-		rt.queueHead = 0
-	}
-	if x != nil {
-		rt.steals.Add(1)
-	}
-	return x
-}
-
-func (rt *Runtime) adfInsert(q qlock, t *T) {
-	i := sort.Search(len(rt.ready), func(i int) bool {
-		return rt.prioLess(t, rt.ready[i])
-	})
-	rt.ready = append(rt.ready, nil)
-	copy(rt.ready[i+1:], rt.ready[i:])
-	rt.ready[i] = t
-}
-
-func (rt *Runtime) adfPop(qlock) *T {
-	x := rt.ready[0]
-	copy(rt.ready, rt.ready[1:])
-	rt.ready[len(rt.ready)-1] = nil
-	rt.ready = rt.ready[:len(rt.ready)-1]
-	return x
+// finishRun marks the computation complete and releases every worker.
+func (rt *Runtime) finishRun() {
+	rt.finished.Store(true)
+	rt.mu.Lock()
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
 }

@@ -1,6 +1,9 @@
 package machine
 
-import "dfdeques/internal/dag"
+import (
+	"dfdeques/internal/dag"
+	"dfdeques/internal/policy"
+)
 
 // TransformLargeAllocs implements the paper's big-allocation
 // transformation (§3.3, §4.2): every allocation of m > K bytes is preceded
@@ -47,7 +50,7 @@ func (tr *transformer) rewrite(s *dag.ThreadSpec) *dag.ThreadSpec {
 			instrs = append(instrs, in)
 		case in.Op == dag.OpAlloc && in.N > tr.k && !in.Exempt:
 			changed = true
-			leaves := (in.N + tr.k - 1) / tr.k
+			leaves := policy.DummyLeaves(in.N, tr.k)
 			tree := tr.dummyTree(leaves)
 			instrs = append(instrs,
 				dag.Instr{Op: dag.OpFork, Child: tree, DummyFork: leaves == 1},
@@ -90,12 +93,13 @@ func dummyTreeCached(cache map[int64]*dag.ThreadSpec, n int64) *dag.ThreadSpec {
 			Label:  "dummy",
 		}
 	} else {
-		left := dummyTreeCached(cache, n/2)
-		right := dummyTreeCached(cache, n-n/2)
+		ln, rn := policy.SplitDummies(n)
+		left := dummyTreeCached(cache, ln)
+		right := dummyTreeCached(cache, rn)
 		t = &dag.ThreadSpec{
 			Instrs: []dag.Instr{
-				{Op: dag.OpFork, Child: left, DummyFork: n/2 == 1},
-				{Op: dag.OpFork, Child: right, DummyFork: n-n/2 == 1},
+				{Op: dag.OpFork, Child: left, DummyFork: ln == 1},
+				{Op: dag.OpFork, Child: right, DummyFork: rn == 1},
 				{Op: dag.OpJoin},
 				{Op: dag.OpJoin},
 			},
@@ -115,7 +119,7 @@ func (m *Machine) spliceDummies(t *Thread, n, k int64) {
 	if m.dummyTrees == nil {
 		m.dummyTrees = make(map[int64]*dag.ThreadSpec)
 	}
-	leaves := (n + k - 1) / k
+	leaves := policy.DummyLeaves(n, k)
 	tree := dummyTreeCached(m.dummyTrees, leaves)
 	tail := t.Spec.Instrs[t.PC:] // tail[0] is the OpAlloc being delayed
 	instrs := make([]dag.Instr, 0, len(tail)+2)

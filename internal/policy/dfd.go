@@ -1,0 +1,122 @@
+package policy
+
+import (
+	"math/rand"
+
+	"dfdeques/internal/core"
+)
+
+// DFD is algorithm DFDeques(K) (§3.3) as a runtime policy: the globally
+// ordered deque list R (core.SharedPool) with leftmost-p bottom-steals,
+// plus the per-steal memory quota and the dummy-termination give-up rule.
+// K = 0 is DFDeques(∞), which behaves like WS up to victim selection (one
+// shared ordered list instead of per-worker deques).
+type DFD[T any] struct {
+	pool   *core.SharedPool[T]
+	quota  *Quota
+	k      int64
+	giveUp []bool // set by Dummy, consumed by Terminate; [w] touched only by worker w
+}
+
+// NewDFD builds a DFDeques(K) policy for p workers. less is the 1DF
+// priority order (it may take the caller's priority lock); rng drives
+// victim selection.
+func NewDFD[T any](p int, k int64, less func(a, b T) bool, rng *rand.Rand) *DFD[T] {
+	return &DFD[T]{
+		pool:   core.NewSharedPool(p, less, rng),
+		quota:  NewQuota(p),
+		k:      k,
+		giveUp: make([]bool, p),
+	}
+}
+
+// Name implements Policy.
+func (d *DFD[T]) Name() string { return "DFDeques" }
+
+// Threshold implements Policy.
+func (d *DFD[T]) Threshold() int64 { return d.k }
+
+// Seed implements Policy.
+func (d *DFD[T]) Seed(t T) { d.pool.Seed(t) }
+
+// Fork implements Policy: push the parent on the owned deque, run the
+// child (depth-first order); the quota spans steals, not dispatches.
+func (d *DFD[T]) Fork(w int, parent, child T) T {
+	d.pool.PushOwn(w, parent)
+	return child
+}
+
+// Charge implements Policy.
+func (d *DFD[T]) Charge(w int, n int64) bool { return d.quota.Charge(w, n, d.k) }
+
+// Credit implements Policy.
+func (d *DFD[T]) Credit(w int, n int64) { d.quota.Credit(w, n, d.k) }
+
+// Preempt implements Policy: the preempted thread goes back on top of w's
+// deque, which is then given up — left in R, unowned and stealable — and
+// w steals with a fresh quota (§3.3, "memory quota exhausted").
+func (d *DFD[T]) Preempt(w int, t T) {
+	d.pool.PushOwn(w, t)
+	d.pool.GiveUp(w)
+}
+
+// Wake implements Policy.
+func (d *DFD[T]) Wake(w int, t T) { d.pool.PushWoken(t) }
+
+// Next implements Policy.
+func (d *DFD[T]) Next(w int) (T, bool) { return d.pool.PopOwn(w) }
+
+// Terminate implements Policy. After a dummy thread the worker must give
+// up its deque and steal (§3.3); a woken parent is pushed first so it
+// stays stealable at its priority position. Otherwise the woken parent is
+// handed off directly (its deque is empty here for nested-parallel
+// programs — Lemma 3.1), or the deque top runs next.
+func (d *DFD[T]) Terminate(w int, woke T, hasWoke bool) (T, bool) {
+	if d.giveUp[w] {
+		d.giveUp[w] = false
+		if hasWoke {
+			d.pool.PushOwn(w, woke)
+		}
+		d.pool.GiveUp(w)
+		var zero T
+		return zero, false
+	}
+	if hasWoke {
+		return woke, true
+	}
+	return d.pool.PopOwn(w)
+}
+
+// Dummy implements Policy.
+func (d *DFD[T]) Dummy(w int) { d.giveUp[w] = true }
+
+// Acquire implements Policy: one steal attempt (random deque among the
+// leftmost p, pop its bottom); the quota refills on success.
+func (d *DFD[T]) Acquire(w int) (T, bool) {
+	x, ok := d.pool.Steal(w)
+	if ok {
+		d.quota.Reset(w, d.k)
+	}
+	return x, ok
+}
+
+// HasWork implements Policy.
+func (d *DFD[T]) HasWork() bool { return d.pool.HasWork() }
+
+// Stats implements Policy.
+func (d *DFD[T]) Stats() Stats {
+	s, f, l := d.pool.Stats()
+	return Stats{
+		Steals:          s,
+		FailedSteals:    f,
+		LocalDispatches: l,
+		LockOps:         d.pool.ListLockOps(),
+		MaxDeques:       d.pool.MaxDeques(),
+	}
+}
+
+// CheckInvariants verifies the Lemma 3.1 ordering over the pool (tests
+// and quiescent moments only); curr gives each worker's running thread.
+func (d *DFD[T]) CheckInvariants(curr func(w int) (T, bool)) error {
+	return d.pool.CheckInvariants(curr)
+}

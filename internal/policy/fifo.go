@@ -1,0 +1,143 @@
+package policy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// FIFOQueue is the original Pthreads library's run queue: one global FIFO
+// with a compacting consumed prefix. Not synchronized — the simulator
+// uses it bare; the FIFO runtime policy wraps it in its queue mutex.
+type FIFOQueue[T any] struct {
+	items []T
+	head  int
+}
+
+// Len reports the number of queued threads.
+func (q *FIFOQueue[T]) Len() int { return len(q.items) - q.head }
+
+// Push appends t to the tail.
+func (q *FIFOQueue[T]) Push(t T) { q.items = append(q.items, t) }
+
+// Pop removes and returns the head.
+func (q *FIFOQueue[T]) Pop() (T, bool) {
+	var zero T
+	if q.head >= len(q.items) {
+		return zero, false
+	}
+	x := q.items[q.head]
+	q.items[q.head] = zero
+	q.head++
+	if q.head > 1024 && q.head*2 >= len(q.items) {
+		// Compact the consumed prefix.
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	return x, true
+}
+
+// FIFO is the original Solaris Pthreads library scheduler (§5) as a
+// runtime policy: a single global FIFO run queue. A forked child is
+// appended and the parent keeps running, so the computation unfolds
+// breadth-first — which is what blows up the number of simultaneously
+// live threads (Fig. 11).
+//
+// FIFO has no memory quota (Charge never vetoes: nothing would ever
+// replenish a vetoed dispatch's quota, so a veto would requeue the thread
+// forever), but it keeps the dummy-thread Threshold so the big-allocation
+// transformation still delays large allocations uniformly across
+// policies.
+type FIFO[T any] struct {
+	mu sync.Mutex
+	q  FIFOQueue[T]
+	k  int64
+
+	ready   atomic.Int64
+	steals  atomic.Int64
+	lockOps atomic.Int64
+}
+
+// NewFIFO builds a FIFO policy with dummy-thread threshold k.
+func NewFIFO[T any](k int64) *FIFO[T] { return &FIFO[T]{k: k} }
+
+// Name implements Policy.
+func (f *FIFO[T]) Name() string { return "FIFO" }
+
+// Threshold implements Policy.
+func (f *FIFO[T]) Threshold() int64 { return f.k }
+
+// Seed implements Policy.
+func (f *FIFO[T]) Seed(t T) { f.push(t) }
+
+// Fork implements Policy: the child is enqueued, the parent continues
+// (breadth-first — no child preemption).
+func (f *FIFO[T]) Fork(w int, parent, child T) T {
+	f.push(child)
+	return parent
+}
+
+// Charge implements Policy: never vetoes.
+func (f *FIFO[T]) Charge(w int, n int64) bool { return true }
+
+// Credit implements Policy.
+func (f *FIFO[T]) Credit(w int, n int64) {}
+
+// Preempt implements Policy (unreachable: Charge never vetoes).
+func (f *FIFO[T]) Preempt(w int, t T) { f.push(t) }
+
+// Wake implements Policy.
+func (f *FIFO[T]) Wake(w int, t T) { f.push(t) }
+
+// Next implements Policy.
+func (f *FIFO[T]) Next(w int) (T, bool) { return f.fifoPop() }
+
+// Terminate implements Policy: a woken parent goes to the back of the
+// queue like any other runnable thread; the worker takes the queue head.
+func (f *FIFO[T]) Terminate(w int, woke T, hasWoke bool) (T, bool) {
+	if !hasWoke {
+		return f.fifoPop()
+	}
+	f.mu.Lock()
+	f.lockOps.Add(1)
+	f.q.Push(woke)
+	x, ok := f.q.Pop() // never fails: woke was just pushed
+	f.mu.Unlock()
+	f.steals.Add(1)
+	return x, ok
+}
+
+// Dummy implements Policy (no quota to consume).
+func (f *FIFO[T]) Dummy(w int) {}
+
+// Acquire implements Policy.
+func (f *FIFO[T]) Acquire(w int) (T, bool) { return f.fifoPop() }
+
+// HasWork implements Policy.
+func (f *FIFO[T]) HasWork() bool { return f.ready.Load() > 0 }
+
+// Stats implements Policy.
+func (f *FIFO[T]) Stats() Stats {
+	return Stats{Steals: f.steals.Load(), LockOps: f.lockOps.Load(), MaxDeques: 1}
+}
+
+func (f *FIFO[T]) push(t T) {
+	f.mu.Lock()
+	f.lockOps.Add(1)
+	f.q.Push(t)
+	f.mu.Unlock()
+	f.ready.Add(1)
+}
+
+// fifoPop takes the queue head, counting the shared-queue dispatch.
+func (f *FIFO[T]) fifoPop() (T, bool) {
+	f.mu.Lock()
+	f.lockOps.Add(1)
+	x, ok := f.q.Pop()
+	f.mu.Unlock()
+	if !ok {
+		return x, false
+	}
+	f.ready.Add(-1)
+	f.steals.Add(1)
+	return x, true
+}

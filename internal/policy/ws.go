@@ -1,0 +1,202 @@
+package policy
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"dfdeques/internal/deque"
+)
+
+// WSPool is the ready pool of the Blumofe & Leiserson work stealer: one
+// deque per worker, fixed for the whole run. The owner pushes and pops at
+// the top; a thief pops the bottom (oldest, coarsest thread) of one named
+// victim. Unlike core.SharedPool there is no global order and no
+// membership change, so every operation takes exactly one deque lock —
+// the structure has no spine to contend on.
+//
+// All methods are safe for concurrent use; methods taking an owner index
+// must only be called by that owner. The serial simulator drives the same
+// structure single-threaded (the locks are then uncontended).
+type WSPool[T any] struct {
+	dq []*deque.Deque[T]
+
+	ready   atomic.Int64 // total queued threads: lock-free has-work checks
+	steals  atomic.Int64
+	failed  atomic.Int64
+	local   atomic.Int64
+	lockOps atomic.Int64 // victim-deque acquisitions by thieves (cross-worker serialization)
+}
+
+// NewWSPool builds a pool of p per-worker deques.
+func NewWSPool[T any](p int) *WSPool[T] {
+	if p < 1 {
+		panic("policy: WSPool needs at least one worker")
+	}
+	pl := &WSPool[T]{dq: make([]*deque.Deque[T], p)}
+	for i := range pl.dq {
+		pl.dq[i] = deque.NewDeque[T]()
+		pl.dq[i].Owner = i
+	}
+	return pl
+}
+
+// Workers returns the number of deques (= workers).
+func (pl *WSPool[T]) Workers() int { return len(pl.dq) }
+
+// Push pushes x onto the top of w's own deque.
+func (pl *WSPool[T]) Push(w int, x T) {
+	d := pl.dq[w]
+	d.Mu.Lock()
+	d.PushTop(x)
+	d.Mu.Unlock()
+	pl.ready.Add(1)
+}
+
+// Pop pops the top of w's own deque.
+func (pl *WSPool[T]) Pop(w int) (T, bool) {
+	d := pl.dq[w]
+	d.Mu.Lock()
+	x, ok := d.PopTop()
+	d.Mu.Unlock()
+	if ok {
+		pl.ready.Add(-1)
+		pl.local.Add(1)
+	}
+	return x, ok
+}
+
+// StealFrom pops the bottom of victim v's deque on behalf of thief w.
+func (pl *WSPool[T]) StealFrom(w, v int) (T, bool) {
+	d := pl.dq[v]
+	d.Mu.Lock()
+	pl.lockOps.Add(1)
+	x, ok := d.PopBottom()
+	d.Mu.Unlock()
+	if ok {
+		pl.ready.Add(-1)
+		pl.steals.Add(1)
+	} else {
+		pl.failed.Add(1)
+	}
+	return x, ok
+}
+
+// NoteFailed counts a steal attempt abandoned before touching a deque
+// (e.g. the thief drew itself as victim).
+func (pl *WSPool[T]) NoteFailed() { pl.failed.Add(1) }
+
+// HasWork reports whether any deque holds a thread — one atomic load.
+func (pl *WSPool[T]) HasWork() bool { return pl.ready.Load() > 0 }
+
+// At returns worker i's deque for serial drivers and invariant checkers;
+// concurrent callers must take its Mu.
+func (pl *WSPool[T]) At(i int) *deque.Deque[T] { return pl.dq[i] }
+
+// Stats returns (steals, failed attempts, local dispatches, and
+// victim-deque lock acquisitions by thieves — the pool's only
+// cross-worker serialization, the WS analogue of the R-spine count).
+func (pl *WSPool[T]) Stats() (steals, failed, local, lockOps int64) {
+	return pl.steals.Load(), pl.failed.Load(), pl.local.Load(), pl.lockOps.Load()
+}
+
+// WS is the space-efficient work stealer of Blumofe & Leiserson as a
+// runtime policy — the paper's "Cilk" reference point, and the
+// DFDeques(∞) specialization of §3.3: with K = ∞ the quota never
+// preempts, a worker only leaves its deque when the deque is empty, and
+// the deque count never needs to exceed p — so the ordered list R
+// degenerates to one fixed deque per worker and the leftmost-p window to
+// a uniformly random victim. That is why WS has no quota path at all:
+// Threshold is 0 (no dummy-thread transformation), Charge never vetoes,
+// and Acquire never refills anything.
+type WS[T any] struct {
+	pool *WSPool[T]
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewWS builds a WS policy for p workers; rng drives victim selection.
+func NewWS[T any](p int, rng *rand.Rand) *WS[T] {
+	return &WS[T]{pool: NewWSPool[T](p), rng: rng}
+}
+
+// Name implements Policy.
+func (s *WS[T]) Name() string { return "WS" }
+
+// Threshold implements Policy: no quota, no dummy transformation.
+func (s *WS[T]) Threshold() int64 { return 0 }
+
+// Seed implements Policy: the root starts in worker 0's deque.
+func (s *WS[T]) Seed(t T) { s.pool.Push(0, t) }
+
+// Fork implements Policy: push the parent, run the child.
+func (s *WS[T]) Fork(w int, parent, child T) T {
+	s.pool.Push(w, parent)
+	return child
+}
+
+// Charge implements Policy: never vetoes (K = ∞).
+func (s *WS[T]) Charge(w int, n int64) bool { return true }
+
+// Credit implements Policy.
+func (s *WS[T]) Credit(w int, n int64) {}
+
+// Preempt implements Policy (unreachable: Charge never vetoes).
+func (s *WS[T]) Preempt(w int, t T) {
+	panic("policy: WS cannot preempt")
+}
+
+// Wake implements Policy: the woken thread is pushed on the waking
+// worker's own deque (it is the most recently suspended work the worker
+// knows about).
+func (s *WS[T]) Wake(w int, t T) { s.pool.Push(w, t) }
+
+// Next implements Policy.
+func (s *WS[T]) Next(w int) (T, bool) { return s.pool.Pop(w) }
+
+// Terminate implements Policy: a woken parent is executed immediately
+// (the deque is empty at this point for nested-parallel programs).
+func (s *WS[T]) Terminate(w int, woke T, hasWoke bool) (T, bool) {
+	if hasWoke {
+		return woke, true
+	}
+	return s.pool.Pop(w)
+}
+
+// Dummy implements Policy (unreachable: Threshold is 0).
+func (s *WS[T]) Dummy(w int) {}
+
+// Acquire implements Policy: drain the own deque first (the root seed and
+// lock wake-ups land there), then steal the bottom of a uniformly random
+// victim. Drawing yourself is a failed attempt, as in the simulator.
+func (s *WS[T]) Acquire(w int) (T, bool) {
+	if x, ok := s.pool.Pop(w); ok {
+		return x, true
+	}
+	s.rngMu.Lock()
+	v := s.rng.Intn(s.pool.Workers())
+	s.rngMu.Unlock()
+	if v == w {
+		s.pool.NoteFailed()
+		var zero T
+		return zero, false
+	}
+	return s.pool.StealFrom(w, v)
+}
+
+// HasWork implements Policy.
+func (s *WS[T]) HasWork() bool { return s.pool.HasWork() }
+
+// Stats implements Policy. MaxDeques is structurally the worker count:
+// the sense in which DFDeques(∞)'s deque list never outgrows p (§3.3).
+func (s *WS[T]) Stats() Stats {
+	st, f, l, ops := s.pool.Stats()
+	return Stats{
+		Steals:          st,
+		FailedSteals:    f,
+		LocalDispatches: l,
+		LockOps:         ops,
+		MaxDeques:       s.pool.Workers(),
+	}
+}

@@ -1,14 +1,11 @@
 package sched
 
 import (
-	"errors"
 	"fmt"
-	"sort"
 
 	"dfdeques/internal/machine"
+	"dfdeques/internal/policy"
 )
-
-var errDequeOrder = errors.New("sched: deque not priority-sorted")
 
 // ADF is the asynchronous depth-first scheduler of Narlikar & Blelloch
 // [34, 35], the paper's "ADF" baseline: all ready threads live in one
@@ -22,8 +19,8 @@ type ADF struct {
 	K int64
 
 	m     *machine.Machine
-	ready []*machine.Thread // sorted: index 0 = highest priority
-	quota []int64
+	ready *policy.PrioQueue[*machine.Thread]
+	quota *policy.Quota
 }
 
 // NewADF returns an ADF scheduler with per-thread memory quota k bytes
@@ -39,8 +36,11 @@ func (s *ADF) MemThreshold() int64 { return s.K }
 // Init implements machine.Scheduler.
 func (s *ADF) Init(m *machine.Machine, root *machine.Thread) {
 	s.m = m
-	s.quota = make([]int64, m.Procs())
-	s.ready = append(s.ready, root)
+	s.quota = policy.NewQuota(m.Procs())
+	s.ready = policy.NewPrioQueue(func(a, b *machine.Thread) bool {
+		return a.HigherPriority(b)
+	})
+	s.ready.Insert(root)
 }
 
 // StealRound implements machine.Scheduler: each idle processor takes the
@@ -48,12 +48,12 @@ func (s *ADF) Init(m *machine.Machine, root *machine.Thread) {
 // serialized on the queue lock (QueueLatency each).
 func (s *ADF) StealRound(idle []int) {
 	for i, p := range idle {
-		if len(s.ready) == 0 {
+		t, ok := s.ready.Take()
+		if !ok {
 			return
 		}
-		t := s.take()
 		s.m.Assign(p, t)
-		s.quota[p] = s.K
+		s.quota.Reset(p, s.K)
 		s.m.Stall(p, s.m.Cfg.QueueLatency*int64(i))
 	}
 }
@@ -62,8 +62,8 @@ func (s *ADF) StealRound(idle []int) {
 // queue at its priority position; the child (which holds the priority
 // immediately above its parent) runs next with a fresh quota.
 func (s *ADF) OnFork(p int, parent, child *machine.Thread) *machine.Thread {
-	s.insert(parent)
-	s.quota[p] = s.K
+	s.ready.Insert(parent)
+	s.quota.Reset(p, s.K)
 	s.m.Stall(p, s.m.Cfg.QueueLatency)
 	return child
 }
@@ -83,7 +83,7 @@ func (s *ADF) OnBlocked(p int, t *machine.Thread) *machine.Thread {
 // processor can reach without a queue access).
 func (s *ADF) OnTerminate(p int, t, woke *machine.Thread) *machine.Thread {
 	if woke != nil {
-		s.quota[p] = s.K
+		s.quota.Reset(p, s.K)
 		return woke
 	}
 	return s.dispatch(p)
@@ -91,83 +91,50 @@ func (s *ADF) OnTerminate(p int, t, woke *machine.Thread) *machine.Thread {
 
 // OnWake implements machine.Scheduler.
 func (s *ADF) OnWake(p int, t *machine.Thread) {
-	s.insert(t)
+	s.ready.Insert(t)
 	s.m.Stall(p, s.m.Cfg.QueueLatency)
 }
 
 // ChargeAlloc implements machine.Scheduler.
 func (s *ADF) ChargeAlloc(p int, t *machine.Thread, n int64) bool {
-	if s.K == 0 {
-		return true
-	}
-	if n <= s.quota[p] {
-		s.quota[p] -= n
-		return true
-	}
-	return false
+	return s.quota.Charge(p, n, s.K)
 }
 
 // CreditFree implements machine.Scheduler.
 func (s *ADF) CreditFree(p int, t *machine.Thread, n int64) {
-	if s.K == 0 {
-		return
-	}
-	s.quota[p] += n
-	if s.quota[p] > s.K {
-		s.quota[p] = s.K
-	}
+	s.quota.Credit(p, n, s.K)
 }
 
 // OnPreempt implements machine.Scheduler: the thread returns to the queue
 // at its priority position.
 func (s *ADF) OnPreempt(p int, t *machine.Thread) {
-	s.insert(t)
+	s.ready.Insert(t)
 	s.m.Stall(p, s.m.Cfg.QueueLatency)
 }
 
 // OnDummy implements machine.Scheduler: the dummy consumed the thread's
 // quota; the processor's next dispatch resets it anyway, so nothing to do.
-func (s *ADF) OnDummy(p int) { s.quota[p] = 0 }
+func (s *ADF) OnDummy(p int) { s.quota.Reset(p, 0) }
 
 // CheckInvariants implements machine.Scheduler: the ready queue must be
 // priority-sorted.
 func (s *ADF) CheckInvariants() error {
-	for i := 1; i < len(s.ready); i++ {
-		if !s.ready[i-1].HigherPriority(s.ready[i]) {
+	for i := 1; i < s.ready.Len(); i++ {
+		if !s.ready.At(i - 1).HigherPriority(s.ready.At(i)) {
 			return fmt.Errorf("sched: ADF ready queue unsorted at %d", i)
 		}
 	}
 	return nil
 }
 
-// take pops the highest-priority ready thread and counts the shared-queue
-// dispatch.
-func (s *ADF) take() *machine.Thread {
-	t := s.ready[0]
-	copy(s.ready, s.ready[1:])
-	s.ready[len(s.ready)-1] = nil
-	s.ready = s.ready[:len(s.ready)-1]
-	return t
-}
-
 // dispatch takes the front of the queue after a scheduling event on p.
 func (s *ADF) dispatch(p int) *machine.Thread {
-	if len(s.ready) == 0 {
+	t, ok := s.ready.Take()
+	if !ok {
 		return nil
 	}
-	t := s.take()
 	s.m.NoteSteal()
-	s.quota[p] = s.K
+	s.quota.Reset(p, s.K)
 	s.m.Stall(p, s.m.Cfg.QueueLatency)
 	return t
-}
-
-// insert places t into the ready queue at its 1DF priority position.
-func (s *ADF) insert(t *machine.Thread) {
-	i := sort.Search(len(s.ready), func(i int) bool {
-		return t.HigherPriority(s.ready[i])
-	})
-	s.ready = append(s.ready, nil)
-	copy(s.ready[i+1:], s.ready[i:])
-	s.ready[i] = t
 }

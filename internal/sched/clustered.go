@@ -5,6 +5,7 @@ import (
 
 	"dfdeques/internal/deque"
 	"dfdeques/internal/machine"
+	"dfdeques/internal/policy"
 )
 
 // Clustered is the multi-level scheduling strategy the paper sketches for
@@ -35,7 +36,7 @@ type Clustered struct {
 	member []int // processor → group
 	local  []int // processor → index within its group
 	fails  []int // consecutive failed local steals per processor
-	quota  []int64
+	quota  *policy.Quota
 	dummy  []bool
 
 	crossSteals     int64
@@ -84,7 +85,7 @@ func (s *Clustered) Init(m *machine.Machine, root *machine.Thread) {
 	s.member = make([]int, p)
 	s.local = make([]int, p)
 	s.fails = make([]int, p)
-	s.quota = make([]int64, p)
+	s.quota = policy.NewQuota(p)
 	s.dummy = make([]bool, p)
 	for i := 0; i < p; i++ {
 		g := i * s.Groups / p
@@ -101,7 +102,7 @@ func (s *Clustered) Init(m *machine.Machine, root *machine.Thread) {
 func (s *Clustered) StealRound(idle []int) {
 	clear(s.stolenThisRound)
 	for _, p := range idle {
-		s.quota[p] = s.K
+		s.quota.Reset(p, s.K)
 		s.dummy[p] = false
 		g := s.groups[s.member[p]]
 		if s.fails[p] < s.LocalRetries || s.Groups == 1 {
@@ -206,25 +207,12 @@ func (s *Clustered) OnWake(p int, t *machine.Thread) {
 
 // ChargeAlloc implements machine.Scheduler.
 func (s *Clustered) ChargeAlloc(p int, t *machine.Thread, n int64) bool {
-	if s.K == 0 {
-		return true
-	}
-	if n <= s.quota[p] {
-		s.quota[p] -= n
-		return true
-	}
-	return false
+	return s.quota.Charge(p, n, s.K)
 }
 
 // CreditFree implements machine.Scheduler.
 func (s *Clustered) CreditFree(p int, t *machine.Thread, n int64) {
-	if s.K == 0 {
-		return
-	}
-	s.quota[p] += n
-	if s.quota[p] > s.K {
-		s.quota[p] = s.K
-	}
+	s.quota.Credit(p, n, s.K)
 }
 
 // OnPreempt implements machine.Scheduler.

@@ -1,21 +1,30 @@
-// Package sched implements the four thread schedulers the paper studies,
-// as policies for the machine simulator:
+// Package sched adapts the scheduling policies of internal/policy to the
+// machine simulator — the serial driver of the same policy layer the real
+// runtime (internal/grt) drives concurrently:
 //
-//   - DFDeques(K): the paper's contribution (§3) — globally ordered deques,
-//     per-steal memory quota K, steal-from-bottom among the leftmost p.
+//   - DFDeques(K): the paper's contribution (§3) — globally ordered deques
+//     (core.Pool), per-steal memory quota K, steal-from-bottom among the
+//     leftmost p.
 //   - WS: the provably space-efficient work stealer of Blumofe & Leiserson
-//     ("Cilk" in the paper's figures), which DFDeques(∞) degenerates to.
+//     ("Cilk" in the paper's figures), which DFDeques(∞) degenerates to
+//     (policy.WSPool).
 //   - ADF(K): the asynchronous depth-first scheduler of Narlikar &
-//     Blelloch — a globally ordered ready queue with a per-thread quota.
+//     Blelloch — a globally ordered ready queue (policy.PrioQueue) with a
+//     per-thread quota.
 //   - FIFO: the Solaris Pthreads library's original scheduler — one global
-//     FIFO run queue, forked children enqueued, parents keep running.
+//     FIFO run queue (policy.FIFOQueue), forked children enqueued, parents
+//     keep running.
+//
+// The adapters own what is specific to the §4.1 cost model — per-timestep
+// steal arbitration, the random-victim draws from the machine's seeded
+// rng, queue-latency stalls — and delegate every policy decision to the
+// shared structures.
 package sched
 
 import (
-	"fmt"
-
-	"dfdeques/internal/deque"
+	"dfdeques/internal/core"
 	"dfdeques/internal/machine"
+	"dfdeques/internal/policy"
 )
 
 // DFDeques is algorithm DFDeques(K) of §3.3. K is the memory threshold in
@@ -51,26 +60,17 @@ type DFDeques struct {
 	MinK, MaxK int64
 
 	m     *machine.Machine
-	r     deque.List[*machine.Thread] // the globally ordered list R
-	own   []*deque.Deque[*machine.Thread]
-	quota []int64
+	pool  *core.Pool[*machine.Thread] // the globally ordered list R
+	quota *policy.Quota
 	dummy []bool // processor executed a dummy action; force give-up at termination
 
-	stolenThisRound map[*deque.Deque[*machine.Thread]]bool
-	maxR            int   // high-water of len(R), for tests
-	adaptTick       int64 // damping counter for the adaptive controller
+	adaptTick int64 // damping counter for the adaptive controller
 }
 
 // MaxDeques returns the largest number of deques simultaneously present in
 // R during the run. With K = ∞ it never exceeds the processor count —
 // the structural sense in which DFDeques(∞) is the WS work stealer (§3.3).
-func (s *DFDeques) MaxDeques() int { return s.maxR }
-
-func (s *DFDeques) noteRLen() {
-	if n := s.r.Len(); n > s.maxR {
-		s.maxR = n
-	}
-}
+func (s *DFDeques) MaxDeques() int { return s.pool.MaxDeques() }
 
 // NewDFDeques returns a DFDeques scheduler with memory threshold k bytes
 // (0 = infinity).
@@ -91,62 +91,33 @@ func (s *DFDeques) MemThreshold() int64 { return s.K }
 func (s *DFDeques) Init(m *machine.Machine, root *machine.Thread) {
 	s.m = m
 	p := m.Procs()
-	s.own = make([]*deque.Deque[*machine.Thread], p)
-	s.quota = make([]int64, p)
+	s.quota = policy.NewQuota(p)
 	s.dummy = make([]bool, p)
-	s.stolenThisRound = make(map[*deque.Deque[*machine.Thread]]bool, p)
-	d := s.r.PushLeft()
-	d.PushTop(root)
-	s.noteRLen()
+	less := func(a, b *machine.Thread) bool { return a.HigherPriority(b) }
+	s.pool = core.NewPool(p, less, m.Rand)
+	s.pool.Seed(root)
 }
 
 // StealRound implements machine.Scheduler: each idle processor makes one
 // steal attempt targeting the bottom of a deque chosen uniformly at random
 // among the leftmost p deques of R. At most one steal per deque succeeds
-// per timestep (§4.1); the winner's new deque is placed immediately to the
-// right of the victim, and the victim is deleted if the steal emptied it
-// while unowned.
+// per timestep (§4.1, arbitrated by the pool); the winner's new deque is
+// placed immediately to the right of the victim, and the victim is deleted
+// if the steal emptied it while unowned.
 func (s *DFDeques) StealRound(idle []int) {
-	clear(s.stolenThisRound)
+	s.pool.BeginRound()
 	s.adaptK()
 	for _, p := range idle {
-		s.quota[p] = s.K
+		s.quota.Reset(p, s.K)
 		s.dummy[p] = false
 		window := s.m.Procs()
-		if s.FullWindow && s.r.Len() > window {
-			window = s.r.Len()
+		if s.FullWindow && s.pool.Deques() > window {
+			window = s.pool.Deques()
 		}
 		c := s.m.Rand.Intn(window)
-		if c >= s.r.Len() {
-			continue // non-existent deque: the attempt fails
+		if t, ok := s.pool.StealFrom(p, c, s.StealFromTop); ok {
+			s.m.Assign(p, t)
 		}
-		victim := s.r.Kth(c)
-		if victim.Empty() || s.stolenThisRound[victim] {
-			continue
-		}
-		s.stolenThisRound[victim] = true
-		var t *machine.Thread
-		var nd *deque.Deque[*machine.Thread]
-		if s.StealFromTop {
-			// Ablation: take the newest (highest-priority) thread; the new
-			// deque goes to the victim's left to keep R roughly ordered.
-			t, _ = victim.PopTop()
-			if pos := victim.Pos(); pos == 0 {
-				nd = s.r.PushLeft()
-			} else {
-				nd = s.r.InsertRight(s.r.Kth(pos - 1))
-			}
-		} else {
-			t, _ = victim.PopBottom()
-			nd = s.r.InsertRight(victim)
-		}
-		nd.Owner = p
-		s.own[p] = nd
-		if victim.Empty() && victim.Owner == -1 {
-			s.r.Delete(victim)
-		}
-		s.noteRLen()
-		s.m.Assign(p, t)
 	}
 }
 
@@ -186,18 +157,18 @@ func (s *DFDeques) adaptK() {
 // OnFork implements machine.Scheduler: the parent is pushed on top of the
 // processor's deque and the child preempts it (depth-first order).
 func (s *DFDeques) OnFork(p int, parent, child *machine.Thread) *machine.Thread {
-	s.own[p].PushTop(parent)
+	s.pool.PushOwn(p, parent)
 	return child
 }
 
 // OnJoinSuspend implements machine.Scheduler.
 func (s *DFDeques) OnJoinSuspend(p int, t *machine.Thread) *machine.Thread {
-	return s.popOwnOrGiveUp(p)
+	return s.popOwn(p)
 }
 
 // OnBlocked implements machine.Scheduler.
 func (s *DFDeques) OnBlocked(p int, t *machine.Thread) *machine.Thread {
-	return s.popOwnOrGiveUp(p)
+	return s.popOwn(p)
 }
 
 // OnTerminate implements machine.Scheduler: if the dying thread woke its
@@ -209,15 +180,15 @@ func (s *DFDeques) OnTerminate(p int, t, woke *machine.Thread) *machine.Thread {
 	if s.dummy[p] {
 		s.dummy[p] = false
 		if woke != nil {
-			s.own[p].PushTop(woke)
+			s.pool.PushOwn(p, woke)
 		}
-		s.giveUp(p)
+		s.pool.GiveUp(p)
 		return nil
 	}
 	if woke != nil {
 		return woke
 	}
-	return s.popOwnOrGiveUp(p)
+	return s.popOwn(p)
 }
 
 // OnWake implements machine.Scheduler: a thread woken by a lock release is
@@ -225,94 +196,40 @@ func (s *DFDeques) OnTerminate(p int, t, woke *machine.Thread) *machine.Thread {
 // extension for blocking synchronization; outside the nested-parallel
 // model).
 func (s *DFDeques) OnWake(p int, t *machine.Thread) {
-	insertAt := s.r.Len() // default: right end
-	for i := 0; i < s.r.Len(); i++ {
-		d := s.r.Kth(i)
-		top, ok := d.PeekTop()
-		if !ok {
-			continue // empty owned deque: no priority information
-		}
-		if t.HigherPriority(top) {
-			insertAt = i
-			break
-		}
-	}
-	var nd *deque.Deque[*machine.Thread]
-	if insertAt == 0 {
-		nd = s.r.PushLeft()
-	} else {
-		nd = s.r.InsertRight(s.r.Kth(insertAt - 1))
-	}
-	nd.PushTop(t)
-	s.noteRLen()
+	s.pool.PushWoken(t)
 }
 
 // ChargeAlloc implements machine.Scheduler: K bounds the net bytes a
 // processor may allocate between consecutive steals.
 func (s *DFDeques) ChargeAlloc(p int, t *machine.Thread, n int64) bool {
-	if s.K == 0 {
-		return true
-	}
-	if n <= s.quota[p] {
-		s.quota[p] -= n
-		return true
-	}
-	return false
+	return s.quota.Charge(p, n, s.K)
 }
 
 // CreditFree implements machine.Scheduler (net allocation: frees restore
 // quota up to K).
 func (s *DFDeques) CreditFree(p int, t *machine.Thread, n int64) {
-	if s.K == 0 {
-		return
-	}
-	s.quota[p] += n
-	if s.quota[p] > s.K {
-		s.quota[p] = s.K
-	}
+	s.quota.Credit(p, n, s.K)
 }
 
 // OnPreempt implements machine.Scheduler: the preempted thread is pushed
 // back on top of the processor's deque, which is then given up (left in R,
 // unowned) — the processor will steal with a fresh quota.
 func (s *DFDeques) OnPreempt(p int, t *machine.Thread) {
-	s.own[p].PushTop(t)
-	s.giveUp(p)
+	s.pool.PushOwn(p, t)
+	s.pool.GiveUp(p)
 }
 
 // OnDummy implements machine.Scheduler.
 func (s *DFDeques) OnDummy(p int) { s.dummy[p] = true }
 
-// popOwnOrGiveUp pops the top of the processor's own deque; if the deque
-// is empty it is deleted from R and the processor goes idle.
-func (s *DFDeques) popOwnOrGiveUp(p int) *machine.Thread {
-	d := s.own[p]
-	if d == nil {
-		return nil
-	}
-	if t, ok := d.PopTop(); ok {
+// popOwn pops the top of the processor's own deque; if the deque is empty
+// it is deleted from R and the processor goes idle.
+func (s *DFDeques) popOwn(p int) *machine.Thread {
+	if t, ok := s.pool.PopOwn(p); ok {
 		s.m.NoteLocalDispatch()
 		return t
 	}
-	s.r.Delete(d)
-	s.own[p] = nil
 	return nil
-}
-
-// giveUp releases ownership of the processor's deque without popping. An
-// empty deque is deleted (the cost model requires empty deques in R to be
-// owned by a busy processor).
-func (s *DFDeques) giveUp(p int) {
-	d := s.own[p]
-	if d == nil {
-		return
-	}
-	if d.Empty() {
-		s.r.Delete(d)
-	} else {
-		d.Owner = -1
-	}
-	s.own[p] = nil
 }
 
 // CheckInvariants verifies Lemma 3.1:
@@ -326,39 +243,8 @@ func (s *DFDeques) giveUp(p int) {
 // These hold for nested-parallel programs; programs using locks (OnWake)
 // are outside the lemma's scope and must not enable invariant checking.
 func (s *DFDeques) CheckInvariants() error {
-	for i := 0; i < s.r.Len(); i++ {
-		d := s.r.Kth(i)
-		items := d.Items() // bottom → top
-		for j := 1; j < len(items); j++ {
-			if !items[j].HigherPriority(items[j-1]) {
-				return fmt.Errorf("lemma 3.1(1): deque %d not priority-sorted (items %d,%d)", i, j-1, j)
-			}
-		}
-	}
-	for p := 0; p < s.m.Procs(); p++ {
-		curr := s.m.Curr(p)
-		d := s.own[p]
-		if curr == nil || d == nil {
-			continue
-		}
-		if top, ok := d.PeekTop(); ok && !curr.HigherPriority(top) {
-			return fmt.Errorf("lemma 3.1(2): proc %d runs a thread with lower priority than its deque top", p)
-		}
-	}
-	var prevBottom *machine.Thread
-	for i := 0; i < s.r.Len(); i++ {
-		d := s.r.Kth(i)
-		top, ok := d.PeekTop()
-		if !ok {
-			if d.Owner == -1 {
-				return fmt.Errorf("empty deque %d in R is unowned", i)
-			}
-			continue
-		}
-		if prevBottom != nil && !prevBottom.HigherPriority(top) {
-			return fmt.Errorf("lemma 3.1(3): deque %d not lower-priority than its left neighbor", i)
-		}
-		prevBottom, _ = d.PeekBottom()
-	}
-	return nil
+	return s.pool.CheckInvariants(func(w int) (*machine.Thread, bool) {
+		t := s.m.Curr(w)
+		return t, t != nil
+	})
 }

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"dfdeques/internal/machine"
+	"dfdeques/internal/policy"
 )
 
 // FIFO models the original Solaris Pthreads library scheduler the paper
@@ -11,8 +12,7 @@ import (
 // simultaneously live threads (Fig. 11) and destroys locality (Fig. 1).
 type FIFO struct {
 	m     *machine.Machine
-	queue []*machine.Thread
-	head  int
+	queue policy.FIFOQueue[*machine.Thread]
 }
 
 // NewFIFO returns a FIFO scheduler.
@@ -27,15 +27,15 @@ func (s *FIFO) MemThreshold() int64 { return 0 }
 // Init implements machine.Scheduler.
 func (s *FIFO) Init(m *machine.Machine, root *machine.Thread) {
 	s.m = m
-	s.enqueue(root)
+	s.queue.Push(root)
 }
 
 // StealRound implements machine.Scheduler: idle processors take from the
 // queue head, serialized on the queue lock.
 func (s *FIFO) StealRound(idle []int) {
 	for i, p := range idle {
-		t := s.dequeue()
-		if t == nil {
+		t, ok := s.queue.Pop()
+		if !ok {
 			return
 		}
 		s.m.Assign(p, t)
@@ -46,7 +46,7 @@ func (s *FIFO) StealRound(idle []int) {
 // OnFork implements machine.Scheduler: the child is appended to the run
 // queue; the parent continues (no child preemption — breadth-first).
 func (s *FIFO) OnFork(p int, parent, child *machine.Thread) *machine.Thread {
-	s.enqueue(child)
+	s.queue.Push(child)
 	s.m.Stall(p, s.m.Cfg.QueueLatency)
 	return parent
 }
@@ -66,7 +66,7 @@ func (s *FIFO) OnBlocked(p int, t *machine.Thread) *machine.Thread {
 // the queue head.
 func (s *FIFO) OnTerminate(p int, t, woke *machine.Thread) *machine.Thread {
 	if woke != nil {
-		s.enqueue(woke)
+		s.queue.Push(woke)
 		s.m.Stall(p, s.m.Cfg.QueueLatency)
 	}
 	return s.dispatch(p)
@@ -74,7 +74,7 @@ func (s *FIFO) OnTerminate(p int, t, woke *machine.Thread) *machine.Thread {
 
 // OnWake implements machine.Scheduler.
 func (s *FIFO) OnWake(p int, t *machine.Thread) {
-	s.enqueue(t)
+	s.queue.Push(t)
 	s.m.Stall(p, s.m.Cfg.QueueLatency)
 }
 
@@ -95,28 +95,9 @@ func (s *FIFO) OnDummy(p int) {}
 // CheckInvariants implements machine.Scheduler: nothing to check.
 func (s *FIFO) CheckInvariants() error { return nil }
 
-func (s *FIFO) enqueue(t *machine.Thread) {
-	s.queue = append(s.queue, t)
-}
-
-func (s *FIFO) dequeue() *machine.Thread {
-	if s.head >= len(s.queue) {
-		return nil
-	}
-	t := s.queue[s.head]
-	s.queue[s.head] = nil
-	s.head++
-	if s.head > 1024 && s.head*2 >= len(s.queue) {
-		// Compact the consumed prefix.
-		s.queue = append(s.queue[:0], s.queue[s.head:]...)
-		s.head = 0
-	}
-	return t
-}
-
 func (s *FIFO) dispatch(p int) *machine.Thread {
-	t := s.dequeue()
-	if t == nil {
+	t, ok := s.queue.Pop()
+	if !ok {
 		return nil
 	}
 	s.m.NoteSteal()

@@ -1,9 +1,13 @@
 package sched
 
 import (
-	"dfdeques/internal/deque"
+	"errors"
+
 	"dfdeques/internal/machine"
+	"dfdeques/internal/policy"
 )
+
+var errDequeOrder = errors.New("sched: deque not priority-sorted")
 
 // WS is the space-efficient work-stealing scheduler of Blumofe & Leiserson
 // [9], the paper's "Cilk" reference point: one deque per processor, the
@@ -12,8 +16,8 @@ import (
 // memory quota, so its space grows like p·S1 (Corollary 4.6 shows the
 // matching lower bound on our Thm 4.5 dag family).
 type WS struct {
-	m  *machine.Machine
-	dq []*deque.Deque[*machine.Thread]
+	m    *machine.Machine
+	pool *policy.WSPool[*machine.Thread]
 
 	stolenThisRound map[int]bool
 }
@@ -31,12 +35,8 @@ func (s *WS) MemThreshold() int64 { return 0 }
 // 0's deque.
 func (s *WS) Init(m *machine.Machine, root *machine.Thread) {
 	s.m = m
-	s.dq = make([]*deque.Deque[*machine.Thread], m.Procs())
-	for i := range s.dq {
-		s.dq[i] = deque.NewDeque[*machine.Thread]()
-		s.dq[i].Owner = i
-	}
-	s.dq[0].PushTop(root)
+	s.pool = policy.NewWSPool[*machine.Thread](m.Procs())
+	s.pool.Push(0, root)
 	s.stolenThisRound = make(map[int]bool, m.Procs())
 }
 
@@ -44,11 +44,13 @@ func (s *WS) Init(m *machine.Machine, root *machine.Thread) {
 // deque is non-empty (possible only through lock wake-ups or the initial
 // root placement) pops it locally; otherwise it steals the bottom thread
 // of a uniformly random victim, with at most one successful steal per
-// victim deque per timestep.
+// victim deque per timestep. (The machine counts steals and failures for
+// the simulator's metrics; the pool's own counters are the concurrent
+// runtime's and are ignored here.)
 func (s *WS) StealRound(idle []int) {
 	clear(s.stolenThisRound)
 	for _, p := range idle {
-		if t, ok := s.dq[p].PopTop(); ok {
+		if t, ok := s.pool.Pop(p); ok {
 			s.m.Assign(p, t)
 			continue
 		}
@@ -56,7 +58,7 @@ func (s *WS) StealRound(idle []int) {
 		if v == p || s.stolenThisRound[v] {
 			continue
 		}
-		t, ok := s.dq[v].PopBottom()
+		t, ok := s.pool.StealFrom(p, v)
 		if !ok {
 			continue
 		}
@@ -67,7 +69,7 @@ func (s *WS) StealRound(idle []int) {
 
 // OnFork implements machine.Scheduler: push the parent, run the child.
 func (s *WS) OnFork(p int, parent, child *machine.Thread) *machine.Thread {
-	s.dq[p].PushTop(parent)
+	s.pool.Push(p, parent)
 	return child
 }
 
@@ -94,7 +96,7 @@ func (s *WS) OnTerminate(p int, t, woke *machine.Thread) *machine.Thread {
 // OnWake implements machine.Scheduler: the woken thread is pushed on the
 // releasing processor's own deque.
 func (s *WS) OnWake(p int, t *machine.Thread) {
-	s.dq[p].PushTop(t)
+	s.pool.Push(p, t)
 }
 
 // ChargeAlloc implements machine.Scheduler: never vetoes.
@@ -114,8 +116,8 @@ func (s *WS) OnDummy(p int) {}
 // CheckInvariants implements machine.Scheduler: each deque must be
 // priority-sorted top-to-bottom (the WS analogue of Lemma 3.1(1–2)).
 func (s *WS) CheckInvariants() error {
-	for _, d := range s.dq {
-		items := d.Items()
+	for i := 0; i < s.pool.Workers(); i++ {
+		items := s.pool.At(i).Items()
 		for j := 1; j < len(items); j++ {
 			if !items[j].HigherPriority(items[j-1]) {
 				return errDequeOrder
@@ -126,7 +128,7 @@ func (s *WS) CheckInvariants() error {
 }
 
 func (s *WS) popOwn(p int) *machine.Thread {
-	if t, ok := s.dq[p].PopTop(); ok {
+	if t, ok := s.pool.Pop(p); ok {
 		s.m.NoteLocalDispatch()
 		return t
 	}

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Benchmark snapshot: runs the contention, runtime, simulator, and
+# steal-hot-path benchmarks and writes a machine-readable BENCH_<label>.json
+# (one object per benchmark: op, ns_per_op, allocs_per_op, workers, engine)
+# for cross-commit comparison.
+#
+# usage: scripts/bench.sh [label]     (default label: short git commit)
+#        BENCHTIME=1s scripts/bench.sh soak
+set -eu
+
+cd "$(dirname "$0")/.."
+
+label="${1:-$(git rev-parse --short HEAD)}"
+benchtime="${BENCHTIME:-0.3s}"
+out="BENCH_${label}.json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run='^$' -benchtime="$benchtime" -benchmem \
+	-bench='^(BenchmarkGrtContention|BenchmarkRuntimeForkJoin|BenchmarkSimulatorPerScheduler)$' \
+	. | tee "$tmp"
+go test -run='^$' -benchtime="$benchtime" -benchmem \
+	-bench='^(BenchmarkListKth|BenchmarkListInsertDelete|BenchmarkStealPattern)$' \
+	./internal/deque/ | tee -a "$tmp"
+go test -run='^$' -benchtime="$benchtime" -benchmem \
+	-bench='^BenchmarkStealCycle$' \
+	./internal/core/ | tee -a "$tmp"
+
+# Fold "Benchmark<Name>/<sub>-<gomaxprocs> N v1 unit1 v2 unit2 ..." lines
+# into JSON. workers comes from a pN path element (0 = not applicable);
+# engine is coarse/fine for the runtime benchmarks, sim for the simulator,
+# struct for the bare data-structure benchmarks.
+awk -v label="$label" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; allocs = ""
+	for (i = 3; i < NF; i += 2) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "allocs/op") allocs = $i
+	}
+	workers = 0
+	if (match(name, /\/p[0-9]+/)) workers = substr(name, RSTART + 2, RLENGTH - 2)
+	engine = "struct"
+	if (name ~ /\/coarse/) engine = "coarse"
+	else if (name ~ /\/fine/) engine = "fine"
+	else if (name ~ /^BenchmarkRuntimeForkJoin/) { engine = "fine"; workers = 4 }
+	else if (name ~ /^BenchmarkSimulator/) { engine = "sim"; workers = 8 }
+	printf "%s{\"op\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"workers\": %s, \"engine\": \"%s\"}",
+		(n++ ? ",\n  " : ""), name, ns, (allocs == "" ? "null" : allocs), workers, engine
+}
+BEGIN { printf "{\n \"label\": \"" label "\",\n \"benchmarks\": [\n  " }
+END { printf "\n ]\n}\n" }
+' "$tmp" > "$out"
+
+echo "wrote $out"

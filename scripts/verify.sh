@@ -11,4 +11,4 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/grt/... ./internal/deque/... ./internal/core/...
+go test -race ./internal/grt/... ./internal/deque/... ./internal/core/... ./internal/policy/...
