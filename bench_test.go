@@ -13,6 +13,7 @@ import (
 
 	"dfdeques"
 	"dfdeques/internal/lab"
+	"dfdeques/internal/rtrace"
 	"dfdeques/internal/workload"
 )
 
@@ -211,6 +212,47 @@ func BenchmarkGrtContention(b *testing.B) {
 				b.ReportMetric(float64(steals)/float64(b.N), "steals/op")
 			})
 		}
+	}
+}
+
+// BenchmarkGrtTrace measures the rtrace recording overhead on the
+// contention workload: the same run with no probe ("off") and with a live
+// recorder ("on"). Building with -tags grtnotrace turns the no-probe
+// variant into "compiledout" — every hook site folded away by the
+// constant — which scripts/bench.sh captures in a second pass.
+func BenchmarkGrtTrace(b *testing.B) {
+	const links, workers = 256, 4
+	body := func(r *dfdeques.Thread) {
+		for j := 0; j < links; j++ {
+			h := r.Fork(func(c *dfdeques.Thread) {
+				c.Alloc(96)
+				c.Free(96)
+			})
+			r.Alloc(96)
+			r.Free(96)
+			r.Join(h)
+		}
+	}
+	run := func(b *testing.B, probe rtrace.Probe) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dfdeques.Run(dfdeques.RuntimeConfig{
+				Workers: workers, Sched: dfdeques.SchedDFDeques, K: 128,
+				Seed: int64(i), Probe: probe,
+			}, body); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	off := "off"
+	if !rtrace.Enabled {
+		off = "compiledout"
+	}
+	b.Run(fmt.Sprintf("p%d/%s", workers, off), func(b *testing.B) { run(b, nil) })
+	if rtrace.Enabled {
+		// One recorder reused across iterations: rings wrap, but the
+		// per-event cost being measured is identical.
+		rec := rtrace.NewRecorder(workers, 1<<14)
+		b.Run(fmt.Sprintf("p%d/on", workers), func(b *testing.B) { run(b, rec) })
 	}
 }
 

@@ -19,6 +19,9 @@
 //	-seed S       randomness seed (default 1)
 //	-realism      enable the §5 cost-model extensions (cache, latencies)
 //	-check        verify Lemma 3.1 invariants per timestep
+//	-json         emit the run's metrics as one JSON object on stdout
+//	              (bench.sh-snapshot field style: op/workers/engine plus
+//	              snake_case metrics), suppressing the text report
 //	-real         run on the real runtime (goroutine workers) instead of
 //	              the simulator; prints grt.Stats with the contention
 //	              counters. DFD-inf maps to DFDeques with K=∞; WS runs the
@@ -27,9 +30,15 @@
 //	-coarselock   real mode: use the single global scheduler lock (§5
 //	              verbatim) instead of the fine-grained engine
 //	-measure      real mode: time lock holds and steal waits
+//	-trace FILE   real mode: record every scheduling event and write a
+//	              Chrome trace_event JSON file (loadable in Perfetto /
+//	              chrome://tracing; also replayable by dfdtrace -verify)
+//	-tracebuf N   real mode: per-worker trace ring capacity in events
+//	              (default 131072, rounded up to a power of two)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +48,7 @@ import (
 	"dfdeques/internal/dag"
 	"dfdeques/internal/grt"
 	"dfdeques/internal/machine"
+	"dfdeques/internal/rtrace"
 	"dfdeques/internal/sched"
 	"dfdeques/internal/stats"
 	"dfdeques/internal/workload"
@@ -53,10 +63,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	realism := flag.Bool("realism", false, "enable §5 cost-model extensions")
 	check := flag.Bool("check", false, "check Lemma 3.1 invariants per timestep")
+	jsonOut := flag.Bool("json", false, "emit metrics as a single JSON object")
 	real := flag.Bool("real", false, "run on the real runtime instead of the simulator")
 	workers := flag.Int("workers", 0, "real mode: workers (default -procs)")
 	coarse := flag.Bool("coarselock", false, "real mode: single global scheduler lock")
 	measure := flag.Bool("measure", false, "real mode: time lock holds and steal waits")
+	traceFile := flag.String("trace", "", "real mode: write Chrome trace_event JSON to FILE")
+	tracebuf := flag.Int("tracebuf", 1<<17, "real mode: per-worker trace ring capacity (events)")
 	flag.Parse()
 
 	// Scheduler names are case-insensitive; canonicalize to the printed
@@ -95,8 +108,17 @@ func main() {
 	}
 
 	if *real {
-		runReal(spec, *schedName, *procs, *workers, *k, *seed, *coarse, *measure, g, *bench)
+		runReal(spec, realCfg{
+			sched: *schedName, procs: *procs, workers: *workers, k: *k,
+			seed: *seed, coarse: *coarse, measure: *measure,
+			trace: *traceFile, tracebuf: *tracebuf, json: *jsonOut,
+			grain: g, bench: *bench,
+		})
 		return
+	}
+	if *traceFile != "" {
+		fmt.Fprintln(os.Stderr, "dfdsim: -trace records the real runtime; add -real (the simulator's lens is dfdtrace)")
+		os.Exit(2)
 	}
 
 	var s machine.Scheduler
@@ -128,14 +150,39 @@ func main() {
 	}
 
 	sm := dag.Measure(spec)
-	fmt.Printf("benchmark: %s (%s grain)  W=%d D=%d S1=%d threads=%d\n",
-		*bench, g, sm.W, sm.D, sm.HeapHW, sm.TotalThreads)
+	if !*jsonOut {
+		fmt.Printf("benchmark: %s (%s grain)  W=%d D=%d S1=%d threads=%d\n",
+			*bench, g, sm.W, sm.D, sm.HeapHW, sm.TotalThreads)
+	}
 
 	m := machine.New(cfg, s)
 	met, err := m.Run(spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dfdsim: %v\n", err)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		emitJSON(map[string]any{
+			"op":                fmt.Sprintf("dfdsim/%s/%s", *bench, s.Name()),
+			"workers":           *procs,
+			"engine":            "sim",
+			"k":                 *k,
+			"seed":              *seed,
+			"steps":             met.Steps,
+			"actions":           met.Actions,
+			"heap_hw":           met.HeapHW,
+			"space_hw":          met.SpaceHW,
+			"serial_heap_hw":    sm.HeapHW,
+			"max_live_threads":  met.MaxLiveThreads,
+			"total_threads":     met.TotalThreads,
+			"dummy_threads":     met.DummyThreads,
+			"steals":            met.Steals,
+			"failed_steals":     met.FailedSteals,
+			"local_dispatches":  met.LocalDispatches,
+			"preemptions":       met.Preemptions,
+			"sched_granularity": met.SchedGranularity(),
+		})
+		return
 	}
 	fmt.Printf("scheduler: %s  p=%d  K=%d  seed=%d  realism=%v\n\n",
 		s.Name(), *procs, *k, *seed, *realism)
@@ -161,11 +208,35 @@ func max(a, b float64) float64 {
 	return b
 }
 
+// emitJSON writes one object on stdout — the machine-readable twin of the
+// text report, field-styled after scripts/bench.sh snapshots.
+func emitJSON(obj map[string]any) {
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(obj); err != nil {
+		fmt.Fprintf(os.Stderr, "dfdsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type realCfg struct {
+	sched           string
+	procs, workers  int
+	k, seed         int64
+	coarse, measure bool
+	trace           string
+	tracebuf        int
+	json            bool
+	grain           workload.Grain
+	bench           string
+}
+
 // runReal executes the workload on the real goroutine-backed runtime and
-// prints its stats, including the contention counters.
-func runReal(spec *dag.ThreadSpec, schedName string, procs, workers int, k, seed int64, coarse, measure bool, g workload.Grain, bench string) {
+// prints its stats, including the contention counters; with -trace it
+// records every scheduling event and writes a Chrome trace_event file.
+func runReal(spec *dag.ThreadSpec, rc realCfg) {
 	var kind grt.Kind
-	switch schedName {
+	k := rc.k
+	switch rc.sched {
 	case "DFD":
 		kind = grt.DFDeques
 	case "DFD-inf":
@@ -177,32 +248,96 @@ func runReal(spec *dag.ThreadSpec, schedName string, procs, workers int, k, seed
 	case "FIFO":
 		kind = grt.FIFO
 	default:
-		fmt.Fprintf(os.Stderr, "dfdsim: unknown scheduler %q\n", schedName)
+		fmt.Fprintf(os.Stderr, "dfdsim: unknown scheduler %q\n", rc.sched)
 		os.Exit(2)
 	}
+	workers := rc.workers
 	if workers <= 0 {
-		workers = procs
+		workers = rc.procs
 	}
 
 	sm := dag.Measure(spec)
-	fmt.Printf("benchmark: %s (%s grain)  W=%d D=%d S1=%d threads=%d\n",
-		bench, g, sm.W, sm.D, sm.HeapHW, sm.TotalThreads)
+	if !rc.json {
+		fmt.Printf("benchmark: %s (%s grain)  W=%d D=%d S1=%d threads=%d\n",
+			rc.bench, rc.grain, sm.W, sm.D, sm.HeapHW, sm.TotalThreads)
+	}
 
 	cfg := grt.Config{
-		Workers: workers, Sched: kind, K: k, Seed: seed,
-		CoarseLock: coarse, MeasureContention: measure,
+		Workers: workers, Sched: kind, K: k, Seed: rc.seed,
+		CoarseLock: rc.coarse, MeasureContention: rc.measure,
+	}
+	var rec *rtrace.Recorder
+	if rc.trace != "" {
+		if !rtrace.Enabled {
+			fmt.Fprintln(os.Stderr, "dfdsim: built with -tags grtnotrace; tracing is compiled out")
+			os.Exit(2)
+		}
+		rec = rtrace.NewRecorder(workers, rc.tracebuf)
+		cfg.Probe = rec
 	}
 	st, err := grt.RunSpec(cfg, spec, 1)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dfdsim: %v\n", err)
 		os.Exit(1)
 	}
-	engine := "fine-grained"
-	if coarse {
-		engine = "coarse (global lock)"
+
+	var sum *rtrace.Summary
+	if rec != nil {
+		f, err := os.Create(rc.trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dfdsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rtrace.Export(f, rec.Meta(), rec.Events(), rec.Dropped()); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dfdsim: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		s := rtrace.Summarize(rec.Meta(), rec.Events(), rec.Dropped())
+		sum = &s
+	}
+
+	engine := "fine"
+	if rc.coarse {
+		engine = "coarse"
+	}
+	if rc.json {
+		obj := map[string]any{
+			"op":               fmt.Sprintf("dfdsim/%s/%v", rc.bench, kind),
+			"workers":          workers,
+			"engine":           engine,
+			"k":                k,
+			"seed":             rc.seed,
+			"total_threads":    st.TotalThreads,
+			"dummy_threads":    st.DummyThreads,
+			"max_live_threads": st.MaxLiveThreads,
+			"heap_hw":          st.HeapHW,
+			"serial_heap_hw":   sm.HeapHW,
+			"steals":           st.Steals,
+			"failed_steals":    st.FailedSteals,
+			"local_dispatches": st.LocalDispatches,
+			"preemptions":      st.Preemptions,
+			"max_deques":       st.MaxDeques,
+			"sched_lock_ops":   st.SchedLockOps,
+		}
+		if rc.measure {
+			obj["sched_lock_ns"] = st.SchedLockNs
+			obj["steal_wait_ns"] = st.StealWaitNs
+		}
+		if sum != nil {
+			obj["trace"] = sum
+		}
+		emitJSON(obj)
+		return
+	}
+	engineName := "fine-grained"
+	if rc.coarse {
+		engineName = "coarse (global lock)"
 	}
 	fmt.Printf("runtime:   %v  workers=%d  K=%d  seed=%d  engine=%s\n\n",
-		kind, workers, k, seed, engine)
+		kind, workers, k, rc.seed, engineName)
 	fmt.Printf("total threads:       %d (%d dummy)\n", st.TotalThreads, st.DummyThreads)
 	fmt.Printf("max live threads:    %d\n", st.MaxLiveThreads)
 	fmt.Printf("heap high-water:     %d bytes (%.2f × S1)\n",
@@ -213,8 +348,17 @@ func runReal(spec *dag.ThreadSpec, schedName string, procs, workers int, k, seed
 	fmt.Printf("preemptions:         %d\n", st.Preemptions)
 	fmt.Printf("max deques:          %d\n", st.MaxDeques)
 	fmt.Printf("sched lock acquires: %d\n", st.SchedLockOps)
-	if measure {
+	if rc.measure {
 		fmt.Printf("sched lock held:     %s\n", stats.Ns(st.SchedLockNs))
 		fmt.Printf("steal wait:          %s\n", stats.Ns(st.StealWaitNs))
+	}
+	if sum != nil {
+		fmt.Printf("\ntrace: %d events (%d dropped) → %s\n", sum.Events, sum.Dropped, rc.trace)
+		fmt.Printf("  steal success:     %.1f%%\n", 100*sum.StealSuccessRate)
+		fmt.Printf("  sched granularity: %.2f dispatches/shared-acquire\n", sum.SchedGranularity)
+		fmt.Printf("  deque high-water:  %d\n", sum.DequeHighWater)
+		for _, w := range sum.PerWorker {
+			fmt.Printf("  worker %d: busy %.1f%%, %d steals\n", w.Worker, 100*w.BusyFrac, w.Steals)
+		}
 	}
 }

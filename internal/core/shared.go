@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"dfdeques/internal/deque"
+	"dfdeques/internal/rtrace"
 )
 
 // SharedPool is the concurrency-safe counterpart of Pool: the same
@@ -40,8 +41,17 @@ type SharedPool[T any] struct {
 	r      deque.List[T]
 	own    []atomic.Pointer[deque.Deque[T]] // own[w] written only by worker w
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	// rngs[w] is worker w's private victim-selection stream, derived
+	// deterministically from (run seed, w) by WorkerSeed: same-seed runs
+	// draw the same victim sequences per worker, and the steal path never
+	// serializes on a shared generator.
+	rngs []*rand.Rand
+
+	// Tracing (nil probe: disabled). deqID is the next deque id, advanced
+	// under the spine lock where every deque is created.
+	probe rtrace.Probe
+	tidOf func(T) int64
+	deqID int64
 
 	ready   atomic.Int64 // stealable threads across all deques in R
 	maxR    atomic.Int64
@@ -54,15 +64,49 @@ type SharedPool[T any] struct {
 // NewSharedPool builds a concurrent pool for p workers; the parameters
 // mirror NewPool. less may acquire the caller's priority lock (it is
 // invoked with the spine and at most one deque lock held, never more).
-func NewSharedPool[T any](p int, less func(a, b T) bool, rng *rand.Rand) *SharedPool[T] {
+// seed determines every worker's private victim-selection stream.
+func NewSharedPool[T any](p int, less func(a, b T) bool, seed int64) *SharedPool[T] {
 	if p < 1 {
 		panic("core: pool needs at least one worker")
 	}
-	return &SharedPool[T]{
+	pl := &SharedPool[T]{
 		p:    p,
 		less: less,
 		own:  make([]atomic.Pointer[deque.Deque[T]], p),
-		rng:  rng,
+		rngs: make([]*rand.Rand, p),
+	}
+	for w := range pl.rngs {
+		pl.rngs[w] = rand.New(rand.NewSource(WorkerSeed(seed, w)))
+	}
+	return pl
+}
+
+// WorkerSeed derives worker w's private RNG seed from the run seed with a
+// splitmix64-style mixer, so per-worker streams are decorrelated while the
+// whole run stays a pure function of one seed.
+func WorkerSeed(seed int64, w int) int64 {
+	z := uint64(seed) + uint64(w+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Instrument attaches a trace probe; tid extracts a thread's stable id for
+// the event payloads. Call before the pool is shared (before Seed).
+func (pl *SharedPool[T]) Instrument(p rtrace.Probe, tid func(T) int64) {
+	pl.probe = p
+	pl.tidOf = tid
+}
+
+// trace records one event when a probe is attached. Structural events are
+// recorded while the mutating lock is held, so their global sequence
+// numbers linearize R's history (see internal/rtrace).
+func (pl *SharedPool[T]) trace(w int, k rtrace.Kind, a, b, c int64) {
+	if rtrace.Enabled && pl.probe != nil {
+		pl.probe.Event(w, k, a, b, c)
 	}
 }
 
@@ -78,8 +122,14 @@ func (pl *SharedPool[T]) lockList() {
 func (pl *SharedPool[T]) Seed(root T) {
 	pl.lockList()
 	d := pl.r.PushLeft()
+	pl.deqID++
+	d.ID = pl.deqID
+	pl.trace(-1, rtrace.EvDequeCreate, d.ID, -1, 0)
 	d.Mu.Lock()
 	d.PushTop(root)
+	if pl.tidOf != nil {
+		pl.trace(-1, rtrace.EvPush, pl.tidOf(root), d.ID, 0)
+	}
 	d.Mu.Unlock()
 	pl.noteR()
 	pl.listMu.Unlock()
@@ -96,6 +146,9 @@ func (pl *SharedPool[T]) PushOwn(w int, x T) {
 	}
 	d.Mu.Lock()
 	d.PushTop(x)
+	if pl.tidOf != nil {
+		pl.trace(w, rtrace.EvPush, pl.tidOf(x), d.ID, 0)
+	}
 	d.Mu.Unlock()
 	pl.ready.Add(1)
 }
@@ -111,6 +164,9 @@ func (pl *SharedPool[T]) PopOwn(w int) (x T, ok bool) {
 	}
 	d.Mu.Lock()
 	x, ok = d.PopTop()
+	if ok && pl.tidOf != nil {
+		pl.trace(w, rtrace.EvPop, pl.tidOf(x), d.ID, 0)
+	}
 	d.Mu.Unlock()
 	if ok {
 		pl.ready.Add(-1)
@@ -121,6 +177,7 @@ func (pl *SharedPool[T]) PopOwn(w int) (x T, ok bool) {
 	d.Mu.Lock()
 	if d.InList() { // a thief may have deleted it after draining it
 		pl.r.Delete(d)
+		pl.trace(w, rtrace.EvDequeRetire, d.ID, 0, 0)
 	}
 	d.Mu.Unlock()
 	pl.listMu.Unlock()
@@ -141,9 +198,11 @@ func (pl *SharedPool[T]) GiveUp(w int) {
 	if d.Empty() {
 		if d.InList() {
 			pl.r.Delete(d)
+			pl.trace(w, rtrace.EvDequeRetire, d.ID, 0, 0)
 		}
 	} else {
 		d.Owner = -1
+		pl.trace(w, rtrace.EvDequeRelease, d.ID, 0, 0)
 	}
 	d.Mu.Unlock()
 	pl.listMu.Unlock()
@@ -163,17 +222,17 @@ func (pl *SharedPool[T]) Steal(w int) (x T, ok bool) {
 	if pl.own[w].Load() != nil {
 		panic("core: Steal while owning a deque")
 	}
-	pl.rngMu.Lock()
-	c := pl.rng.Intn(pl.p)
-	pl.rngMu.Unlock()
+	c := pl.rngs[w].Intn(pl.p)
 	pl.lockList()
 	if c >= pl.r.Len() {
+		pl.trace(w, rtrace.EvStealAttempt, -1, 0, 0)
 		pl.listMu.Unlock()
 		pl.failed.Add(1)
 		return x, false
 	}
 	victim := pl.r.Kth(c)
 	victim.Mu.Lock()
+	pl.trace(w, rtrace.EvStealAttempt, victim.ID, 0, 0)
 	x, ok = victim.PopBottom()
 	if !ok {
 		victim.Mu.Unlock()
@@ -184,8 +243,14 @@ func (pl *SharedPool[T]) Steal(w int) (x T, ok bool) {
 	pl.ready.Add(-1)
 	nd := pl.r.InsertRight(victim)
 	nd.Owner = w
+	pl.deqID++
+	nd.ID = pl.deqID
+	if pl.tidOf != nil {
+		pl.trace(w, rtrace.EvSteal, pl.tidOf(x), victim.ID, nd.ID)
+	}
 	if victim.Empty() && victim.Owner == -1 {
 		pl.r.Delete(victim)
+		pl.trace(w, rtrace.EvDequeRetire, victim.ID, 0, 0)
 	}
 	victim.Mu.Unlock()
 	pl.noteR()
@@ -197,9 +262,9 @@ func (pl *SharedPool[T]) Steal(w int) (x T, ok bool) {
 
 // PushWoken places a thread woken by a blocking synchronization into a
 // new deque at its priority position in R (§5's extension beyond the
-// nested-parallel model). It scans R under the spine lock, peeking each
-// deque's top under that deque's lock.
-func (pl *SharedPool[T]) PushWoken(x T) {
+// nested-parallel model), on behalf of the waking worker w. It scans R
+// under the spine lock, peeking each deque's top under that deque's lock.
+func (pl *SharedPool[T]) PushWoken(w int, x T) {
 	pl.lockList()
 	insertAt := pl.r.Len()
 	for i := 0; i < pl.r.Len(); i++ {
@@ -216,13 +281,22 @@ func (pl *SharedPool[T]) PushWoken(x T) {
 		}
 	}
 	var nd *deque.Deque[T]
+	var after int64 = -1
 	if insertAt == 0 {
 		nd = pl.r.PushLeft()
 	} else {
-		nd = pl.r.InsertRight(pl.r.Kth(insertAt - 1))
+		left := pl.r.Kth(insertAt - 1)
+		after = left.ID
+		nd = pl.r.InsertRight(left)
 	}
+	pl.deqID++
+	nd.ID = pl.deqID
+	pl.trace(w, rtrace.EvDequeCreate, nd.ID, after, 1)
 	nd.Mu.Lock()
 	nd.PushTop(x)
+	if pl.tidOf != nil {
+		pl.trace(w, rtrace.EvPush, pl.tidOf(x), nd.ID, 0)
+	}
 	nd.Mu.Unlock()
 	pl.noteR()
 	pl.listMu.Unlock()

@@ -14,7 +14,7 @@ import (
 
 // intSharedPool builds a shared pool over ints, smaller = higher priority.
 func intSharedPool(p int, seed int64) *SharedPool[int] {
-	return NewSharedPool(p, func(a, b int) bool { return a < b }, rand.New(rand.NewSource(seed)))
+	return NewSharedPool(p, func(a, b int) bool { return a < b }, seed)
 }
 
 // sharedStealUntil retries until the random victim pick succeeds.
@@ -116,8 +116,8 @@ func TestSharedPushWokenOrdering(t *testing.T) {
 	pl.Seed(5)
 	sharedStealUntil(t, pl, 0)
 	pl.PushOwn(0, 6)
-	pl.PushWoken(2) // higher priority than 6 → left of the deque holding 6
-	pl.PushWoken(9) // lower priority → right end
+	pl.PushWoken(0, 2) // higher priority than 6 → left of the deque holding 6
+	pl.PushWoken(0, 9) // lower priority → right end
 	if err := pl.CheckInvariants(func(w int) (int, bool) {
 		if w == 0 {
 			return 5, true
@@ -189,7 +189,7 @@ func TestSharedPoolConcurrentHammer(t *testing.T) {
 					// Pool drained (each round can net-consume an item).
 					// Re-inject while the budget lasts; quit otherwise.
 					if budget.Add(-1) >= 0 {
-						pl.PushWoken(int(next.Add(1)))
+						pl.PushWoken(w, int(next.Add(1)))
 						produced.Add(1)
 						continue
 					}
@@ -255,7 +255,7 @@ func TestSharedPoolConcurrentInvariants(t *testing.T) {
 	pl := intSharedPool(workers, 10)
 	pl.Seed(1 << 30)
 	for v := 1; v <= 7; v++ { // distinct circulating priorities
-		pl.PushWoken(v << 10)
+		pl.PushWoken(0, v<<10)
 	}
 
 	stop := make(chan struct{})

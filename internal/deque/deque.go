@@ -34,6 +34,11 @@ type Deque[T any] struct {
 	// Concurrent schedulers must read and write it under Mu.
 	Owner int
 
+	// ID is scheduler bookkeeping for tracing: a stable identifier
+	// assigned once at creation (before the deque is shared) and never
+	// written again, so readers need no lock. The deque never reads it.
+	ID int64
+
 	// Mu serializes item operations when the deque is shared between an
 	// owner and thieves. The deque itself never locks it; callers that
 	// share a deque across goroutines must.

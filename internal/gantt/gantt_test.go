@@ -70,6 +70,83 @@ func TestFinishClosesOpenSegments(t *testing.T) {
 	}
 }
 
+// TestEmptySchedule: a builder that saw no events must still render a
+// well-formed chart — all-idle rows, zero busy time, no panics.
+func TestEmptySchedule(t *testing.T) {
+	b := NewBuilder(2)
+	b.Finish()
+	for p := 0; p < 2; p++ {
+		if got := b.Busy(p); got != 0 {
+			t.Errorf("P%d busy = %d, want 0", p, got)
+		}
+	}
+	out := b.Render(20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + one row per proc
+		t.Fatalf("render produced %d lines, want 3:\n%s", len(lines), out)
+	}
+	for _, line := range lines[1:] {
+		if strings.ContainsAny(line, glyphs) {
+			// Busy-count suffix aside, the timeline cells must all be idle.
+			cells := strings.TrimSuffix(strings.Fields(line)[1], "")
+			if strings.Trim(cells, ".") != "" {
+				t.Errorf("empty schedule rendered occupancy: %q", line)
+			}
+		}
+	}
+}
+
+// TestRenderWidthClamp: zero or one-column widths clamp to the 10-column
+// minimum instead of dividing by zero or emitting unreadable charts.
+func TestRenderWidthClamp(t *testing.T) {
+	b := NewBuilder(1)
+	b.Event(0, 0, "steal", 1)
+	b.Event(20, 0, "terminate", 1)
+	b.Finish()
+	want := b.Render(10)
+	for _, width := range []int{0, 1, -3} {
+		if got := b.Render(width); got != want {
+			t.Errorf("Render(%d) differs from the clamped Render(10):\n%s\nvs\n%s", width, got, want)
+		}
+	}
+	// And the clamped chart still shows the whole 21-step run.
+	row := strings.Fields(strings.Split(want, "\n")[1])[1]
+	if strings.Trim(row, "1") != "" {
+		t.Errorf("row should be solid thread-1 occupancy: %q", row)
+	}
+}
+
+// TestRenderLongRunBins: a run much longer than the chart width is
+// binned, never truncated — the full span stays visible and occupancy
+// lands in the right bins.
+func TestRenderLongRunBins(t *testing.T) {
+	b := NewBuilder(1)
+	b.Event(0, 0, "steal", 1)
+	b.Event(500, 0, "terminate", 1) // busy 0..499
+	b.Event(900, 0, "steal", 2)
+	b.Event(1000, 0, "terminate", 2) // busy 900..999
+	b.Finish()
+	out := b.Render(10)
+	if !strings.Contains(out, "time 0 .. 1000") {
+		t.Fatalf("header lost the span:\n%s", out)
+	}
+	row := strings.Fields(strings.Split(out, "\n")[1])[1]
+	if len(row) != 10 {
+		t.Fatalf("row has %d bins, want 10: %q", len(row), row)
+	}
+	// 1001 steps in 10 columns: ~101 steps per bin. The first five bins
+	// cover the thread-1 segment, the tail bin the thread-2 segment.
+	if row[0] != '1' || row[4] != '1' {
+		t.Errorf("thread 1 missing from its bins: %q", row)
+	}
+	if row[9] != '2' {
+		t.Errorf("thread 2 missing from the final bin: %q", row)
+	}
+	if row[6] != '.' {
+		t.Errorf("idle gap not rendered: %q", row)
+	}
+}
+
 // TestEndToEndWithMachine wires the builder into a real simulation and
 // sanity-checks the reconstructed occupancy against the metrics.
 func TestEndToEndWithMachine(t *testing.T) {

@@ -3,6 +3,8 @@ package grt
 import (
 	"errors"
 	"sync"
+
+	"dfdeques/internal/rtrace"
 )
 
 var errFutureReset = errors.New("grt: Future set twice")
@@ -44,15 +46,17 @@ func (f *Future) put(v any) ([]*T, error) {
 }
 
 // getOrWait reports whether the value is already set; if not, t is queued
-// as a reader to wake and its worker must pick other work. Called by
-// workers, not threads.
-func (f *Future) getOrWait(t *T) bool {
+// as a reader to wake and its worker (w) must pick other work. Called by
+// workers, not threads. The block event is recorded under f.mu so it is
+// sequenced before the setting worker's wake of t.
+func (f *Future) getOrWait(w int, t *T) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.set {
 		return true
 	}
 	f.waiters = append(f.waiters, t)
+	t.rt.trace(w, rtrace.EvBlock, t.tid, rtrace.BlockFuture, 0)
 	return false
 }
 

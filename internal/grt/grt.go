@@ -33,12 +33,12 @@ package grt
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 
 	"dfdeques/internal/om"
 	"dfdeques/internal/policy"
+	"dfdeques/internal/rtrace"
 )
 
 // Kind selects the scheduling algorithm.
@@ -97,6 +97,12 @@ type Config struct {
 	// critical section costs two clock reads per scheduling event, which
 	// would distort the very benchmarks the counters exist to explain.
 	MeasureContention bool
+	// Probe receives one event per scheduling action (see internal/rtrace
+	// for the event model); nil disables recording. Pass an
+	// *rtrace.Recorder to capture a run for export or replay verification
+	// — Run stamps the recorder's metadata automatically. Building with
+	// -tags grtnotrace compiles every hook site out regardless.
+	Probe rtrace.Probe
 }
 
 // Stats reports what a run did.
@@ -156,6 +162,7 @@ type T struct {
 	yield   chan event
 	started bool
 	dummy   bool
+	tid     int64 // stable trace id: root is 1, then fork order
 
 	// Owned by the thread goroutine:
 	unjoined []*T
@@ -186,16 +193,20 @@ func (t *T) finish() (woke *T) {
 	return woke
 }
 
-// registerWaiter records w as the thread to wake when t terminates,
+// registerWaiter records waiter as the thread to wake when t terminates,
 // unless t is already done (reported as true: the parent keeps running).
-// The parent side of the join protocol.
-func (t *T) registerWaiter(w *T) (alreadyDone bool) {
+// The parent side of the join protocol, called by worker w. The block
+// event is recorded under stateMu: the child's finish acquires the same
+// lock before its Terminate can dispatch the waiter, so the block's
+// sequence number always precedes the hand-off dispatch's.
+func (t *T) registerWaiter(w int, waiter *T) (alreadyDone bool) {
 	t.stateMu.Lock()
 	defer t.stateMu.Unlock()
 	if t.done {
 		return true
 	}
-	t.waiter = w
+	t.waiter = waiter
+	t.rt.trace(w, rtrace.EvBlock, waiter.tid, rtrace.BlockJoin, t.tid)
 	return false
 }
 
@@ -215,6 +226,12 @@ type Runtime struct {
 	// caches pol.Threshold() for the Alloc hot path.
 	pol       policy.Policy[*T]
 	threshold int64
+
+	// probe records scheduling events (nil: tracing off). Engine-side
+	// events need no lock — each is ordered by its worker's program order
+	// and the channel handoffs; the policies record structural events
+	// under their own locks.
+	probe rtrace.Probe
 
 	// gmu is the paper's single global scheduler lock, taken around every
 	// scheduling event under Config.CoarseLock and never otherwise. mu
@@ -265,24 +282,41 @@ func Run(cfg Config, root func(*T)) (Stats, error) {
 	}
 	rt := &Runtime{cfg: cfg}
 	rt.cond = sync.NewCond(&rt.mu)
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	less := func(a, b *T) bool { return rt.prioLess(a, b) }
 	switch cfg.Sched {
 	case DFDeques:
-		rt.pol = policy.NewDFD(cfg.Workers, cfg.K, less, rng)
+		rt.pol = policy.NewDFD(cfg.Workers, cfg.K, less, cfg.Seed)
 	case ADF:
 		rt.pol = policy.NewADF(cfg.Workers, cfg.K, less)
 	case FIFO:
 		rt.pol = policy.NewFIFO[*T](cfg.K)
 	case WS:
-		rt.pol = policy.NewWS[*T](cfg.Workers, rng)
+		rt.pol = policy.NewWS[*T](cfg.Workers, cfg.Seed)
 	default:
 		return Stats{}, fmt.Errorf("grt: unknown scheduler kind %d", cfg.Sched)
 	}
 	rt.threshold = rt.pol.Threshold()
 
+	if rtrace.Enabled && cfg.Probe != nil {
+		rt.probe = cfg.Probe
+		if rec, ok := cfg.Probe.(*rtrace.Recorder); ok {
+			rec.SetMeta(rtrace.Meta{
+				Policy: rt.pol.Name(), Workers: cfg.Workers,
+				K: rt.threshold, Seed: cfg.Seed,
+			})
+		}
+		// Every policy implements Instrument; the interface assertion
+		// keeps Policy itself tracing-agnostic.
+		if ip, ok := rt.pol.(interface {
+			Instrument(rtrace.Probe, func(*T) int64)
+		}); ok {
+			ip.Instrument(cfg.Probe, func(t *T) int64 { return t.tid })
+		}
+	}
+
 	rootT := rt.newT(root)
 	rootT.prio = rt.prioPushBack()
+	rootT.tid = 1
 	rt.tot.Store(1)
 	rt.live.Store(1)
 	rt.maxLive.Store(1)
@@ -337,13 +371,21 @@ func (rt *Runtime) charge(n int64) {
 }
 
 // noteFork does the bookkeeping common to both modes when child is forked
-// by curr: priority insertion and thread counters.
+// by curr: priority insertion, trace id, and thread counters.
 func (rt *Runtime) noteFork(curr, child *T) {
 	child.prio = rt.prioInsertBefore(curr.prio)
-	rt.tot.Add(1)
+	child.tid = rt.tot.Add(1)
 	atomicMax(&rt.maxLive, rt.live.Add(1))
 	if child.dummy {
 		rt.dummies.Add(1)
+	}
+}
+
+// trace records one engine-side event when tracing is on. With the
+// grtnotrace build tag the whole call compiles away.
+func (rt *Runtime) trace(w int, k rtrace.Kind, a, b, c int64) {
+	if rtrace.Enabled && rt.probe != nil {
+		rt.probe.Event(w, k, a, b, c)
 	}
 }
 

@@ -3,6 +3,8 @@ package grt
 import (
 	"errors"
 	"sync"
+
+	"dfdeques/internal/rtrace"
 )
 
 var errUnlockNotHeld = errors.New("grt: Unlock of a mutex the thread does not hold")
@@ -28,10 +30,11 @@ type Mutex struct {
 	waiters []*T
 }
 
-// acquire attempts to take m for t, reporting success; on failure t is
-// queued as a waiter and its worker must pick other work. Called by
-// workers, not threads.
-func (m *Mutex) acquire(t *T) bool {
+// acquire attempts to take m for t on worker w, reporting success; on
+// failure t is queued as a waiter and its worker must pick other work.
+// Called by workers, not threads. The block event is recorded under m.mu
+// so it is sequenced before the releasing worker's wake of t.
+func (m *Mutex) acquire(w int, t *T) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.holder == nil {
@@ -39,6 +42,7 @@ func (m *Mutex) acquire(t *T) bool {
 		return true
 	}
 	m.waiters = append(m.waiters, t)
+	t.rt.trace(w, rtrace.EvBlock, t.tid, rtrace.BlockLock, 0)
 	return false
 }
 

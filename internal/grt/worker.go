@@ -4,6 +4,9 @@ import (
 	"errors"
 	"runtime"
 	"time"
+
+	"dfdeques/internal/policy"
+	"dfdeques/internal/rtrace"
 )
 
 var errDeadlock = errors.New("grt: deadlock — all workers idle with live threads blocked")
@@ -89,11 +92,20 @@ func (rt *Runtime) worker(w int) {
 		switch ev.kind {
 		case evFork:
 			rt.noteFork(curr, ev.child)
-			curr = rt.pol.Fork(w, curr, ev.child)
+			var dummy int64
+			if ev.child.dummy {
+				dummy = 1
+			}
+			rt.trace(w, rtrace.EvFork, curr.tid, ev.child.tid, dummy)
+			nxt := rt.pol.Fork(w, curr, ev.child)
+			if nxt != curr {
+				rt.trace(w, rtrace.EvDispatch, nxt.tid, rtrace.SrcFork, 0)
+			}
+			curr = nxt
 			wake = true
 
 		case evJoin:
-			if ev.child.registerWaiter(curr) {
+			if ev.child.registerWaiter(w, curr) {
 				// Lost race resolved: the child finished before we could
 				// register; keep running the parent.
 				break
@@ -106,23 +118,33 @@ func (rt *Runtime) worker(w int) {
 				// allocation; it will be retried after a fresh dispatch
 				// (§3.3, "memory quota exhausted").
 				rt.preempts.Add(1)
+				rt.trace(w, rtrace.EvQuotaExhaust, curr.tid, ev.n, 0)
 				curr.retryAlloc = true
 				rt.pol.Preempt(w, curr)
 				wake = true
 				curr = nil
 				break
 			}
+			rt.trace(w, rtrace.EvAlloc, curr.tid, ev.n, 0)
 			rt.charge(ev.n)
 
 		case evAllocExempt:
+			if rtrace.Enabled && rt.probe != nil {
+				var leaves int64
+				if rt.threshold > 0 {
+					leaves = policy.DummyLeaves(ev.n, rt.threshold)
+				}
+				rt.trace(w, rtrace.EvAllocExempt, curr.tid, ev.n, leaves)
+			}
 			rt.charge(ev.n)
 
 		case evFree:
+			rt.trace(w, rtrace.EvFree, curr.tid, ev.n, 0)
 			rt.charge(-ev.n)
 			rt.pol.Credit(w, ev.n)
 
 		case evLock:
-			if ev.mu.acquire(curr) {
+			if ev.mu.acquire(w, curr) {
 				break // lock acquired; keep running
 			}
 			curr = rt.next(w)
@@ -150,7 +172,7 @@ func (rt *Runtime) worker(w int) {
 			wake = len(woken) > 0
 
 		case evFutureGet:
-			if ev.fut.getOrWait(curr) {
+			if ev.fut.getOrWait(w, curr) {
 				break // value available; keep running
 			}
 			curr = rt.next(w)
@@ -159,9 +181,11 @@ func (rt *Runtime) worker(w int) {
 			// §3.3: after executing a dummy thread the processor must give
 			// up its deque and steal. The dummy terminates right after
 			// this event; the policy acts at Terminate.
+			rt.trace(w, rtrace.EvDummy, curr.tid, 0, 0)
 			rt.pol.Dummy(w)
 
 		case evDone:
+			rt.trace(w, rtrace.EvComplete, curr.tid, 0, 0)
 			rt.prioDelete(curr.prio)
 			curr.prio = nil
 			woke := curr.finish()
@@ -170,6 +194,7 @@ func (rt *Runtime) worker(w int) {
 			}
 			next, ok := rt.pol.Terminate(w, woke, woke != nil)
 			if ok {
+				rt.trace(w, rtrace.EvDispatch, next.tid, rtrace.SrcTerminate, 0)
 				curr = next
 			} else {
 				// The policy may have republished work (the dummy-thread
@@ -189,6 +214,7 @@ func (rt *Runtime) worker(w int) {
 // blocked; nil sends the worker to acquire.
 func (rt *Runtime) next(w int) *T {
 	if x, ok := rt.pol.Next(w); ok {
+		rt.trace(w, rtrace.EvDispatch, x.tid, rtrace.SrcNext, 0)
 		return x
 	}
 	return nil
@@ -204,6 +230,7 @@ func (rt *Runtime) acquire(w int) *T {
 	if rt.cfg.MeasureContention {
 		start = time.Now()
 	}
+	rt.trace(w, rtrace.EvIdle, 0, 0, 0)
 	spins := 0
 	for {
 		if rt.finished.Load() {
@@ -216,6 +243,7 @@ func (rt *Runtime) acquire(w int) *T {
 			if !start.IsZero() {
 				rt.stealWaitNs.Add(time.Since(start).Nanoseconds())
 			}
+			rt.trace(w, rtrace.EvDispatch, x.tid, rtrace.SrcAcquire, 0)
 			return x
 		}
 		if rt.pol.HasWork() {

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"dfdeques/internal/rtrace"
 )
 
 // PrioQueue is the ADF ready queue: all ready threads in one list sorted
@@ -63,6 +65,10 @@ type ADF[T any] struct {
 	quota *Quota
 	k     int64
 
+	// Tracing (nil probe: disabled); queue events are recorded under mu.
+	probe rtrace.Probe
+	tidOf func(T) int64
+
 	ready   atomic.Int64 // queue length mirror: HasWork without the lock
 	steals  atomic.Int64
 	lockOps atomic.Int64
@@ -73,6 +79,13 @@ func NewADF[T any](p int, k int64, less func(a, b T) bool) *ADF[T] {
 	return &ADF[T]{q: NewPrioQueue(less), quota: NewQuota(p), k: k}
 }
 
+// Instrument attaches a trace probe (see internal/rtrace). Call before
+// the policy is shared.
+func (a *ADF[T]) Instrument(p rtrace.Probe, tid func(T) int64) {
+	a.probe = p
+	a.tidOf = tid
+}
+
 // Name implements Policy.
 func (a *ADF[T]) Name() string { return "ADF" }
 
@@ -80,12 +93,12 @@ func (a *ADF[T]) Name() string { return "ADF" }
 func (a *ADF[T]) Threshold() int64 { return a.k }
 
 // Seed implements Policy.
-func (a *ADF[T]) Seed(t T) { a.insert(t) }
+func (a *ADF[T]) Seed(t T) { a.insert(-1, t) }
 
 // Fork implements Policy: the parent re-enters the queue at its priority
 // position; the child runs next with a fresh quota.
 func (a *ADF[T]) Fork(w int, parent, child T) T {
-	a.insert(parent)
+	a.insert(w, parent)
 	a.quota.Reset(w, a.k)
 	return child
 }
@@ -97,10 +110,10 @@ func (a *ADF[T]) Charge(w int, n int64) bool { return a.quota.Charge(w, n, a.k) 
 func (a *ADF[T]) Credit(w int, n int64) { a.quota.Credit(w, n, a.k) }
 
 // Preempt implements Policy: back to the queue at its priority position.
-func (a *ADF[T]) Preempt(w int, t T) { a.insert(t) }
+func (a *ADF[T]) Preempt(w int, t T) { a.insert(w, t) }
 
 // Wake implements Policy.
-func (a *ADF[T]) Wake(w int, t T) { a.insert(t) }
+func (a *ADF[T]) Wake(w int, t T) { a.insert(w, t) }
 
 // Next implements Policy.
 func (a *ADF[T]) Next(w int) (T, bool) { return a.adfPop(w) }
@@ -130,12 +143,16 @@ func (a *ADF[T]) Stats() Stats {
 	return Stats{Steals: a.steals.Load(), LockOps: a.lockOps.Load(), MaxDeques: 1}
 }
 
-// insert publishes t. The ready mirror is raised before the caller checks
-// for idle workers, so the park protocol cannot lose the wake-up.
-func (a *ADF[T]) insert(t T) {
+// insert publishes t on behalf of worker w (-1: pre-run seed). The ready
+// mirror is raised before the caller checks for idle workers, so the park
+// protocol cannot lose the wake-up.
+func (a *ADF[T]) insert(w int, t T) {
 	a.mu.Lock()
 	a.lockOps.Add(1)
 	a.q.Insert(t)
+	if rtrace.Enabled && a.probe != nil {
+		a.probe.Event(w, rtrace.EvQueuePush, a.tidOf(t), 0, 0)
+	}
 	a.mu.Unlock()
 	a.ready.Add(1)
 }
@@ -146,6 +163,9 @@ func (a *ADF[T]) adfPop(w int) (T, bool) {
 	a.mu.Lock()
 	a.lockOps.Add(1)
 	x, ok := a.q.Take()
+	if ok && rtrace.Enabled && a.probe != nil {
+		a.probe.Event(w, rtrace.EvQueueTake, a.tidOf(x), 0, 0)
+	}
 	a.mu.Unlock()
 	if !ok {
 		return x, false

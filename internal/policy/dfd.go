@@ -1,9 +1,8 @@
 package policy
 
 import (
-	"math/rand"
-
 	"dfdeques/internal/core"
+	"dfdeques/internal/rtrace"
 )
 
 // DFD is algorithm DFDeques(K) (§3.3) as a runtime policy: the globally
@@ -19,15 +18,21 @@ type DFD[T any] struct {
 }
 
 // NewDFD builds a DFDeques(K) policy for p workers. less is the 1DF
-// priority order (it may take the caller's priority lock); rng drives
-// victim selection.
-func NewDFD[T any](p int, k int64, less func(a, b T) bool, rng *rand.Rand) *DFD[T] {
+// priority order (it may take the caller's priority lock); seed derives
+// each worker's private victim-selection stream (core.WorkerSeed).
+func NewDFD[T any](p int, k int64, less func(a, b T) bool, seed int64) *DFD[T] {
 	return &DFD[T]{
-		pool:   core.NewSharedPool(p, less, rng),
+		pool:   core.NewSharedPool(p, less, seed),
 		quota:  NewQuota(p),
 		k:      k,
 		giveUp: make([]bool, p),
 	}
+}
+
+// Instrument attaches a trace probe to the pool (see internal/rtrace).
+// Call before the policy is shared.
+func (d *DFD[T]) Instrument(p rtrace.Probe, tid func(T) int64) {
+	d.pool.Instrument(p, tid)
 }
 
 // Name implements Policy.
@@ -61,7 +66,7 @@ func (d *DFD[T]) Preempt(w int, t T) {
 }
 
 // Wake implements Policy.
-func (d *DFD[T]) Wake(w int, t T) { d.pool.PushWoken(t) }
+func (d *DFD[T]) Wake(w int, t T) { d.pool.PushWoken(w, t) }
 
 // Next implements Policy.
 func (d *DFD[T]) Next(w int) (T, bool) { return d.pool.PopOwn(w) }

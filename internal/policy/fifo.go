@@ -3,6 +3,8 @@ package policy
 import (
 	"sync"
 	"sync/atomic"
+
+	"dfdeques/internal/rtrace"
 )
 
 // FIFOQueue is the original Pthreads library's run queue: one global FIFO
@@ -52,6 +54,10 @@ type FIFO[T any] struct {
 	q  FIFOQueue[T]
 	k  int64
 
+	// Tracing (nil probe: disabled); queue events are recorded under mu.
+	probe rtrace.Probe
+	tidOf func(T) int64
+
 	ready   atomic.Int64
 	steals  atomic.Int64
 	lockOps atomic.Int64
@@ -60,6 +66,13 @@ type FIFO[T any] struct {
 // NewFIFO builds a FIFO policy with dummy-thread threshold k.
 func NewFIFO[T any](k int64) *FIFO[T] { return &FIFO[T]{k: k} }
 
+// Instrument attaches a trace probe (see internal/rtrace). Call before
+// the policy is shared.
+func (f *FIFO[T]) Instrument(p rtrace.Probe, tid func(T) int64) {
+	f.probe = p
+	f.tidOf = tid
+}
+
 // Name implements Policy.
 func (f *FIFO[T]) Name() string { return "FIFO" }
 
@@ -67,12 +80,12 @@ func (f *FIFO[T]) Name() string { return "FIFO" }
 func (f *FIFO[T]) Threshold() int64 { return f.k }
 
 // Seed implements Policy.
-func (f *FIFO[T]) Seed(t T) { f.push(t) }
+func (f *FIFO[T]) Seed(t T) { f.push(-1, t) }
 
 // Fork implements Policy: the child is enqueued, the parent continues
 // (breadth-first — no child preemption).
 func (f *FIFO[T]) Fork(w int, parent, child T) T {
-	f.push(child)
+	f.push(w, child)
 	return parent
 }
 
@@ -83,24 +96,28 @@ func (f *FIFO[T]) Charge(w int, n int64) bool { return true }
 func (f *FIFO[T]) Credit(w int, n int64) {}
 
 // Preempt implements Policy (unreachable: Charge never vetoes).
-func (f *FIFO[T]) Preempt(w int, t T) { f.push(t) }
+func (f *FIFO[T]) Preempt(w int, t T) { f.push(w, t) }
 
 // Wake implements Policy.
-func (f *FIFO[T]) Wake(w int, t T) { f.push(t) }
+func (f *FIFO[T]) Wake(w int, t T) { f.push(w, t) }
 
 // Next implements Policy.
-func (f *FIFO[T]) Next(w int) (T, bool) { return f.fifoPop() }
+func (f *FIFO[T]) Next(w int) (T, bool) { return f.fifoPop(w) }
 
 // Terminate implements Policy: a woken parent goes to the back of the
 // queue like any other runnable thread; the worker takes the queue head.
 func (f *FIFO[T]) Terminate(w int, woke T, hasWoke bool) (T, bool) {
 	if !hasWoke {
-		return f.fifoPop()
+		return f.fifoPop(w)
 	}
 	f.mu.Lock()
 	f.lockOps.Add(1)
 	f.q.Push(woke)
+	f.traceLocked(w, rtrace.EvQueuePush, woke)
 	x, ok := f.q.Pop() // never fails: woke was just pushed
+	if ok {
+		f.traceLocked(w, rtrace.EvQueueTake, x)
+	}
 	f.mu.Unlock()
 	f.steals.Add(1)
 	return x, ok
@@ -110,7 +127,7 @@ func (f *FIFO[T]) Terminate(w int, woke T, hasWoke bool) (T, bool) {
 func (f *FIFO[T]) Dummy(w int) {}
 
 // Acquire implements Policy.
-func (f *FIFO[T]) Acquire(w int) (T, bool) { return f.fifoPop() }
+func (f *FIFO[T]) Acquire(w int) (T, bool) { return f.fifoPop(w) }
 
 // HasWork implements Policy.
 func (f *FIFO[T]) HasWork() bool { return f.ready.Load() > 0 }
@@ -120,19 +137,24 @@ func (f *FIFO[T]) Stats() Stats {
 	return Stats{Steals: f.steals.Load(), LockOps: f.lockOps.Load(), MaxDeques: 1}
 }
 
-func (f *FIFO[T]) push(t T) {
+func (f *FIFO[T]) push(w int, t T) {
 	f.mu.Lock()
 	f.lockOps.Add(1)
 	f.q.Push(t)
+	f.traceLocked(w, rtrace.EvQueuePush, t)
 	f.mu.Unlock()
 	f.ready.Add(1)
 }
 
-// fifoPop takes the queue head, counting the shared-queue dispatch.
-func (f *FIFO[T]) fifoPop() (T, bool) {
+// fifoPop takes the queue head for worker w, counting the shared-queue
+// dispatch.
+func (f *FIFO[T]) fifoPop(w int) (T, bool) {
 	f.mu.Lock()
 	f.lockOps.Add(1)
 	x, ok := f.q.Pop()
+	if ok {
+		f.traceLocked(w, rtrace.EvQueueTake, x)
+	}
 	f.mu.Unlock()
 	if !ok {
 		return x, false
@@ -140,4 +162,12 @@ func (f *FIFO[T]) fifoPop() (T, bool) {
 	f.ready.Add(-1)
 	f.steals.Add(1)
 	return x, true
+}
+
+// traceLocked records a queue event; the caller holds f.mu, which is what
+// makes the sequence a linearization of the queue's history.
+func (f *FIFO[T]) traceLocked(w int, k rtrace.Kind, t T) {
+	if rtrace.Enabled && f.probe != nil {
+		f.probe.Event(w, k, f.tidOf(t), 0, 0)
+	}
 }

@@ -184,7 +184,7 @@ func TestDFDPolicyInvariants(t *testing.T) {
 	)
 	rng := rand.New(rand.NewSource(99))
 	var l om.List
-	d := policy.NewDFD(workers, 0, om.Less, rand.New(rand.NewSource(1)))
+	d := policy.NewDFD(workers, 0, om.Less, 1)
 
 	root := l.PushFront()
 	d.Seed(root)

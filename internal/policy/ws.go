@@ -2,10 +2,11 @@ package policy
 
 import (
 	"math/rand"
-	"sync"
 	"sync/atomic"
 
+	"dfdeques/internal/core"
 	"dfdeques/internal/deque"
+	"dfdeques/internal/rtrace"
 )
 
 // WSPool is the ready pool of the Blumofe & Leiserson work stealer: one
@@ -20,6 +21,11 @@ import (
 // structure single-threaded (the locks are then uncontended).
 type WSPool[T any] struct {
 	dq []*deque.Deque[T]
+
+	// Tracing (nil probe: disabled). Deque i's trace id is i — the
+	// structure is fixed, so ids need no allocation protocol.
+	probe rtrace.Probe
+	tidOf func(T) int64
 
 	ready   atomic.Int64 // total queued threads: lock-free has-work checks
 	steals  atomic.Int64
@@ -37,18 +43,41 @@ func NewWSPool[T any](p int) *WSPool[T] {
 	for i := range pl.dq {
 		pl.dq[i] = deque.NewDeque[T]()
 		pl.dq[i].Owner = i
+		pl.dq[i].ID = int64(i)
 	}
 	return pl
+}
+
+// Instrument attaches a trace probe (see internal/rtrace). Call before
+// the pool is shared.
+func (pl *WSPool[T]) Instrument(p rtrace.Probe, tid func(T) int64) {
+	pl.probe = p
+	pl.tidOf = tid
+}
+
+// trace records one event when a probe is attached; item events are
+// recorded under the deque's lock so the sequence linearizes its history.
+func (pl *WSPool[T]) trace(w int, k rtrace.Kind, a, b, c int64) {
+	if rtrace.Enabled && pl.probe != nil {
+		pl.probe.Event(w, k, a, b, c)
+	}
 }
 
 // Workers returns the number of deques (= workers).
 func (pl *WSPool[T]) Workers() int { return len(pl.dq) }
 
-// Push pushes x onto the top of w's own deque.
-func (pl *WSPool[T]) Push(w int, x T) {
+// Push pushes x onto the top of w's own deque. pusher identifies the
+// recording worker (-1 for the pre-run seed), which may differ from the
+// deque index only then.
+func (pl *WSPool[T]) Push(w int, x T) { pl.push(w, w, x) }
+
+func (pl *WSPool[T]) push(pusher, w int, x T) {
 	d := pl.dq[w]
 	d.Mu.Lock()
 	d.PushTop(x)
+	if pl.tidOf != nil {
+		pl.trace(pusher, rtrace.EvPush, pl.tidOf(x), d.ID, 0)
+	}
 	d.Mu.Unlock()
 	pl.ready.Add(1)
 }
@@ -58,6 +87,9 @@ func (pl *WSPool[T]) Pop(w int) (T, bool) {
 	d := pl.dq[w]
 	d.Mu.Lock()
 	x, ok := d.PopTop()
+	if ok && pl.tidOf != nil {
+		pl.trace(w, rtrace.EvPop, pl.tidOf(x), d.ID, 0)
+	}
 	d.Mu.Unlock()
 	if ok {
 		pl.ready.Add(-1)
@@ -71,7 +103,11 @@ func (pl *WSPool[T]) StealFrom(w, v int) (T, bool) {
 	d := pl.dq[v]
 	d.Mu.Lock()
 	pl.lockOps.Add(1)
+	pl.trace(w, rtrace.EvStealAttempt, d.ID, 0, 0)
 	x, ok := d.PopBottom()
+	if ok && pl.tidOf != nil {
+		pl.trace(w, rtrace.EvSteal, pl.tidOf(x), d.ID, -1)
+	}
 	d.Mu.Unlock()
 	if ok {
 		pl.ready.Add(-1)
@@ -82,9 +118,12 @@ func (pl *WSPool[T]) StealFrom(w, v int) (T, bool) {
 	return x, ok
 }
 
-// NoteFailed counts a steal attempt abandoned before touching a deque
-// (e.g. the thief drew itself as victim).
-func (pl *WSPool[T]) NoteFailed() { pl.failed.Add(1) }
+// NoteFailed counts worker w's steal attempt abandoned before touching a
+// deque (e.g. the thief drew itself as victim).
+func (pl *WSPool[T]) NoteFailed(w int) {
+	pl.failed.Add(1)
+	pl.trace(w, rtrace.EvStealAttempt, -1, 0, 0)
+}
 
 // HasWork reports whether any deque holds a thread — one atomic load.
 func (pl *WSPool[T]) HasWork() bool { return pl.ready.Load() > 0 }
@@ -111,14 +150,25 @@ func (pl *WSPool[T]) Stats() (steals, failed, local, lockOps int64) {
 // and Acquire never refills anything.
 type WS[T any] struct {
 	pool *WSPool[T]
-
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	rngs []*rand.Rand // rngs[w] used only by worker w
 }
 
-// NewWS builds a WS policy for p workers; rng drives victim selection.
-func NewWS[T any](p int, rng *rand.Rand) *WS[T] {
-	return &WS[T]{pool: NewWSPool[T](p), rng: rng}
+// NewWS builds a WS policy for p workers; seed derives each worker's
+// private victim-selection stream (core.WorkerSeed), so victim choices
+// are deterministic per (seed, worker) and the steal path never
+// serializes on a shared generator.
+func NewWS[T any](p int, seed int64) *WS[T] {
+	s := &WS[T]{pool: NewWSPool[T](p), rngs: make([]*rand.Rand, p)}
+	for w := range s.rngs {
+		s.rngs[w] = rand.New(rand.NewSource(core.WorkerSeed(seed, w)))
+	}
+	return s
+}
+
+// Instrument attaches a trace probe to the pool (see internal/rtrace).
+// Call before the policy is shared.
+func (s *WS[T]) Instrument(p rtrace.Probe, tid func(T) int64) {
+	s.pool.Instrument(p, tid)
 }
 
 // Name implements Policy.
@@ -127,8 +177,9 @@ func (s *WS[T]) Name() string { return "WS" }
 // Threshold implements Policy: no quota, no dummy transformation.
 func (s *WS[T]) Threshold() int64 { return 0 }
 
-// Seed implements Policy: the root starts in worker 0's deque.
-func (s *WS[T]) Seed(t T) { s.pool.Push(0, t) }
+// Seed implements Policy: the root starts in worker 0's deque (recorded
+// as a pre-run push: no worker is running yet).
+func (s *WS[T]) Seed(t T) { s.pool.push(-1, 0, t) }
 
 // Fork implements Policy: push the parent, run the child.
 func (s *WS[T]) Fork(w int, parent, child T) T {
@@ -174,11 +225,9 @@ func (s *WS[T]) Acquire(w int) (T, bool) {
 	if x, ok := s.pool.Pop(w); ok {
 		return x, true
 	}
-	s.rngMu.Lock()
-	v := s.rng.Intn(s.pool.Workers())
-	s.rngMu.Unlock()
+	v := s.rngs[w].Intn(s.pool.Workers())
 	if v == w {
-		s.pool.NoteFailed()
+		s.pool.NoteFailed(w)
 		var zero T
 		return zero, false
 	}

@@ -1,0 +1,21 @@
+package rtrace
+
+import "testing"
+
+// BenchmarkRecorderEvent isolates the per-event recording cost. "interior"
+// kinds reuse the lane's cached timestamp; "boundary" kinds pay the
+// monotonic clock read (see exactTS) — the difference is the clock.
+func BenchmarkRecorderEvent(b *testing.B) {
+	b.Run("interior", func(b *testing.B) {
+		r := NewRecorder(1, 1<<14)
+		for i := 0; i < b.N; i++ {
+			r.Event(0, EvAlloc, 1, 96, 0)
+		}
+	})
+	b.Run("boundary", func(b *testing.B) {
+		r := NewRecorder(1, 1<<14)
+		for i := 0; i < b.N; i++ {
+			r.Event(0, EvComplete, 1, 0, 0)
+		}
+	})
+}

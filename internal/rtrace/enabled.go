@@ -1,0 +1,9 @@
+//go:build !grtnotrace
+
+package rtrace
+
+// Enabled reports whether tracing hooks are compiled in. Every hook site
+// reads it as `if rtrace.Enabled && probe != nil`; building with
+// -tags grtnotrace flips it to a false constant so the compiler removes
+// the hook entirely — the "compiled out" row of the overhead benchmark.
+const Enabled = true

@@ -1,0 +1,7 @@
+//go:build grtnotrace
+
+package rtrace
+
+// Enabled is false under -tags grtnotrace: every hook site dead-codes
+// away and the runtime carries zero tracing cost.
+const Enabled = false

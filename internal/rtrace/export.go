@@ -1,0 +1,320 @@
+package rtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WorkerSummary is one worker's busy/idle breakdown over the run.
+type WorkerSummary struct {
+	Worker   int     `json:"worker"`
+	BusyNs   int64   `json:"busy_ns"`
+	IdleNs   int64   `json:"idle_ns"`
+	BusyFrac float64 `json:"busy_frac"`
+	Steals   int64   `json:"steals"`
+}
+
+// Summary is the compact per-run metrics report derived from an event
+// stream: the real-runtime counterpart of the simulator's metric printout,
+// emitted by `dfdsim -real -trace` and embedded in the trace file.
+type Summary struct {
+	Policy           string          `json:"policy"`
+	Workers          int             `json:"workers"`
+	K                int64           `json:"k"`
+	Events           int             `json:"events"`
+	Dropped          uint64          `json:"dropped"`
+	WallNs           int64           `json:"wall_ns"`
+	Threads          int64           `json:"threads"`
+	DummyThreads     int64           `json:"dummy_threads"`
+	Completed        int64           `json:"completed"`
+	Dispatches       int64           `json:"dispatches"`
+	LocalDispatches  int64           `json:"local_dispatches"`
+	Steals           int64           `json:"steals"`
+	StealAttempts    int64           `json:"steal_attempts"`
+	StealSuccessRate float64         `json:"steal_success_rate"`
+	SchedGranularity float64         `json:"sched_granularity"` // dispatches per shared acquisition
+	QuotaExhausts    int64           `json:"quota_exhausts"`
+	DummySplits      int64           `json:"dummy_splits"`
+	DequeHighWater   int             `json:"deque_high_water"`
+	PerWorker        []WorkerSummary `json:"per_worker"`
+}
+
+// Summarize derives the metrics summary from a merged stream.
+func Summarize(meta Meta, evs []Event, dropped uint64) Summary {
+	s := Summary{
+		Policy: meta.Policy, Workers: meta.Workers, K: meta.K,
+		Events: len(evs), Dropped: dropped,
+		Threads: 1, // the root exists before any fork event
+	}
+	perW := make([]WorkerSummary, meta.Workers)
+	for i := range perW {
+		perW[i].Worker = i
+	}
+	type wstate struct {
+		running bool
+		since   int64
+	}
+	ws := make([]wstate, meta.Workers)
+	liveDeques, maxDeques := 0, 0
+	sharedTakes := int64(0) // steals + queue takes: dispatches through shared structures
+	for _, e := range evs {
+		if e.TS > s.WallNs {
+			s.WallNs = e.TS
+		}
+		w := int(e.W)
+		switch e.Kind {
+		case EvFork:
+			s.Threads++
+			if e.C == 1 {
+				s.DummyThreads++
+			}
+		case EvComplete:
+			s.Completed++
+			fallthrough
+		case EvBlock, EvQuotaExhaust:
+			if e.Kind == EvQuotaExhaust {
+				s.QuotaExhausts++
+			}
+			if w >= 0 && ws[w].running {
+				perW[w].BusyNs += e.TS - ws[w].since
+				ws[w].running = false
+			}
+		case EvDispatch:
+			s.Dispatches++
+			if w >= 0 && !ws[w].running {
+				ws[w].running = true
+				ws[w].since = e.TS
+			}
+		case EvPop:
+			s.LocalDispatches++
+		case EvStealAttempt:
+			s.StealAttempts++
+		case EvSteal:
+			s.Steals++
+			sharedTakes++
+			if w >= 0 {
+				perW[w].Steals++
+			}
+			if e.C >= 0 {
+				liveDeques++
+				if liveDeques > maxDeques {
+					maxDeques = liveDeques
+				}
+			}
+		case EvQueueTake:
+			sharedTakes++
+		case EvAllocExempt:
+			s.DummySplits++
+		case EvDequeCreate:
+			liveDeques++
+			if liveDeques > maxDeques {
+				maxDeques = liveDeques
+			}
+		case EvDequeRetire:
+			liveDeques--
+		}
+	}
+	for w := range ws {
+		if ws[w].running { // close at end of run
+			perW[w].BusyNs += s.WallNs - ws[w].since
+		}
+	}
+	for i := range perW {
+		perW[i].IdleNs = s.WallNs - perW[i].BusyNs
+		if s.WallNs > 0 {
+			perW[i].BusyFrac = float64(perW[i].BusyNs) / float64(s.WallNs)
+		}
+	}
+	s.PerWorker = perW
+	switch meta.Policy {
+	case "WS":
+		s.DequeHighWater = meta.Workers
+	case "ADF", "FIFO":
+		s.DequeHighWater = 1
+	default:
+		s.DequeHighWater = maxDeques
+	}
+	if s.StealAttempts > 0 {
+		s.StealSuccessRate = float64(s.Steals) / float64(s.StealAttempts)
+	}
+	if sharedTakes > 0 {
+		s.SchedGranularity = float64(s.Dispatches) / float64(sharedTakes)
+	}
+	return s
+}
+
+// traceFile is the on-disk format: valid Chrome trace_event JSON (object
+// form, loadable in chrome://tracing and Perfetto, which ignore the dfd*
+// keys) carrying the raw stream and metadata for post-hoc replay.
+type traceFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	DfdMeta         Meta          `json:"dfdMeta"`
+	DfdEvents       [][7]int64    `json:"dfdEvents"`
+	DfdDropped      uint64        `json:"dfdDropped"`
+	DfdSummary      *Summary      `json:"dfdSummary,omitempty"`
+}
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const tracePID = 1
+
+// us converts an event timestamp to Chrome's microsecond scale.
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+// Export writes the stream as Chrome trace_event JSON: one timeline row
+// per worker with a slice per thread-execution segment, instant markers
+// for steals, quota exhaustions and dummy splits, and counter tracks for
+// the deque population and live heap. The raw stream rides along under
+// the dfdEvents key so `dfdtrace -verify` can replay the same file.
+func Export(w io.Writer, meta Meta, evs []Event, dropped uint64) error {
+	sum := Summarize(meta, evs, dropped)
+	tf := traceFile{
+		DisplayTimeUnit: "ms",
+		DfdMeta:         meta,
+		DfdDropped:      dropped,
+		DfdSummary:      &sum,
+		DfdEvents:       make([][7]int64, 0, len(evs)),
+	}
+	for _, e := range evs {
+		tf.DfdEvents = append(tf.DfdEvents,
+			[7]int64{int64(e.Seq), e.TS, int64(e.Kind), int64(e.W), e.A, e.B, e.C})
+	}
+
+	out := &tf.TraceEvents
+	*out = append(*out, chromeEvent{
+		Name: "process_name", Ph: "M", PID: tracePID, TID: 0,
+		Args: map[string]any{"name": fmt.Sprintf("grt %s p=%d K=%d seed=%d",
+			meta.Policy, meta.Workers, meta.K, meta.Seed)},
+	})
+	*out = append(*out, chromeEvent{
+		Name: "thread_name", Ph: "M", PID: tracePID, TID: 0,
+		Args: map[string]any{"name": "scheduler (pre-run)"},
+	})
+	for i := 0; i < meta.Workers; i++ {
+		*out = append(*out, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: i + 1,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", i)},
+		})
+	}
+
+	dummy := map[int64]bool{}
+	type open struct {
+		tid   int64
+		since int64
+	}
+	running := map[int32]*open{}
+	closeSlice := func(wk int32, end int64) {
+		o := running[wk]
+		if o == nil {
+			return
+		}
+		name := fmt.Sprintf("t%d", o.tid)
+		if dummy[o.tid] {
+			name = fmt.Sprintf("dummy t%d", o.tid)
+		}
+		d := us(end - o.since)
+		*out = append(*out, chromeEvent{
+			Name: name, Ph: "X", TS: us(o.since), Dur: &d,
+			PID: tracePID, TID: int(wk) + 1,
+		})
+		delete(running, wk)
+	}
+	instant := func(e Event, name string, args map[string]any) {
+		*out = append(*out, chromeEvent{
+			Name: name, Ph: "i", TS: us(e.TS), PID: tracePID, TID: int(e.W) + 1,
+			Args: args,
+		})
+	}
+	counter := func(ts int64, name string, val int64) {
+		*out = append(*out, chromeEvent{
+			Name: name, Ph: "C", TS: us(ts), PID: tracePID, TID: 0,
+			Args: map[string]any{name: val},
+		})
+	}
+
+	var heapLive int64
+	var liveDeques int64
+	lastTS := int64(0)
+	for _, e := range evs {
+		if e.TS > lastTS {
+			lastTS = e.TS
+		}
+		switch e.Kind {
+		case EvFork:
+			if e.C == 1 {
+				dummy[e.B] = true
+			}
+		case EvDispatch:
+			closeSlice(e.W, e.TS)
+			running[e.W] = &open{tid: e.A, since: e.TS}
+		case EvBlock, EvComplete, EvQuotaExhaust:
+			closeSlice(e.W, e.TS)
+			if e.Kind == EvQuotaExhaust {
+				instant(e, "quota-exhaust", map[string]any{"tid": e.A, "bytes": e.B})
+			}
+		case EvSteal:
+			instant(e, "steal", map[string]any{"tid": e.A, "victim_deque": e.B, "new_deque": e.C})
+			if e.C >= 0 {
+				liveDeques++
+				counter(e.TS, "deques", liveDeques)
+			}
+		case EvAllocExempt:
+			instant(e, "dummy-split", map[string]any{"tid": e.A, "bytes": e.B, "leaves": e.C})
+			heapLive += e.B
+			counter(e.TS, "heap", heapLive)
+		case EvAlloc:
+			heapLive += e.B
+			counter(e.TS, "heap", heapLive)
+		case EvFree:
+			heapLive -= e.B
+			counter(e.TS, "heap", heapLive)
+		case EvDequeCreate:
+			liveDeques++
+			counter(e.TS, "deques", liveDeques)
+		case EvDequeRetire:
+			liveDeques--
+			counter(e.TS, "deques", liveDeques)
+		}
+	}
+	for wk := range running {
+		closeSlice(wk, lastTS)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&tf)
+}
+
+// Load reads a trace file written by Export and returns the run metadata
+// and the raw event stream for replay verification.
+func Load(r io.Reader) (Meta, []Event, uint64, error) {
+	var tf struct {
+		DfdMeta    Meta       `json:"dfdMeta"`
+		DfdEvents  [][7]int64 `json:"dfdEvents"`
+		DfdDropped uint64     `json:"dfdDropped"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tf); err != nil {
+		return Meta{}, nil, 0, fmt.Errorf("rtrace: malformed trace file: %w", err)
+	}
+	if tf.DfdMeta.Workers == 0 {
+		return Meta{}, nil, 0, fmt.Errorf("rtrace: trace file has no dfdMeta (not written by Export?)")
+	}
+	evs := make([]Event, len(tf.DfdEvents))
+	for i, r7 := range tf.DfdEvents {
+		evs[i] = Event{
+			Seq: uint64(r7[0]), TS: r7[1], Kind: Kind(r7[2]), W: int32(r7[3]),
+			A: r7[4], B: r7[5], C: r7[6],
+		}
+	}
+	return tf.DfdMeta, evs, tf.DfdDropped, nil
+}

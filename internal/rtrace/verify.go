@@ -1,0 +1,638 @@
+package rtrace
+
+import (
+	"fmt"
+
+	"dfdeques/internal/om"
+)
+
+// Verify replays a recorded event stream against an independent model of
+// the scheduler and checks, on the *real* runtime's history, the three
+// properties the simulator's per-timestep checker proves per step:
+//
+//   - Lemma 3.1 ordering: the deque list R stays priority-sorted left to
+//     right, every deque is internally sorted (top = highest 1DF
+//     priority), and a worker's executing thread has higher priority than
+//     everything in its own deque. The 1DF order itself is reconstructed
+//     from the fork events (child immediately before parent, exactly the
+//     runtime's om-list discipline).
+//   - Dispatch conservation: every thread is dispatched exactly
+//     1 + suspensions times (a suspension is a join/lock/future block, a
+//     quota preemption, or a fork pushing the running parent back into
+//     its deque), threads only run from a legal
+//     source (fork handoff, own-deque pop, steal, queue take, join
+//     wake-up of a completed child's waiter), never on two workers at
+//     once, and every thread completes exactly once.
+//   - Quota accounting: replaying the per-worker K-byte quota (reset on
+//     steal for DFDeques, on dispatch for ADF; credits clamped to K),
+//     every recorded allocation must fit the modeled remainder and every
+//     recorded quota-exhaust preemption must be forced by it; dummy
+//     trees must carry exactly ⌈n/K⌉ leaves.
+//
+// The quota and deque models here are deliberately *reimplementations*,
+// not imports of internal/policy: the verifier proves the runtime and the
+// policy layer did what the paper says, so it must not share their code.
+//
+// Structural events are recorded while the mutating lock is held and
+// sequenced by one atomic counter, so replaying in Seq order replays a
+// true linearization of the scheduler's history. Programs that block on
+// Mutexes or Futures (the §5 extension beyond nested parallelism) have
+// weaker ordering guarantees; on the first non-join block the ordering
+// checks are disabled (Report.OrderingExact=false) while conservation and
+// quota checks continue.
+func Verify(meta Meta, evs []Event, dropped uint64) (Report, error) {
+	v := &verifier{meta: meta, rep: Report{Events: len(evs), OrderingExact: true}}
+	if dropped > 0 {
+		return v.rep, fmt.Errorf("rtrace: %d events dropped by ring wrap-around; raise the trace buffer to verify this run", dropped)
+	}
+	if len(evs) == 0 {
+		return v.rep, fmt.Errorf("rtrace: empty event stream")
+	}
+	switch meta.Policy {
+	case "DFDeques", "WS", "ADF", "FIFO":
+	default:
+		return v.rep, fmt.Errorf("rtrace: unknown policy %q in trace metadata", meta.Policy)
+	}
+	if meta.Workers < 1 {
+		return v.rep, fmt.Errorf("rtrace: bad worker count %d in trace metadata", meta.Workers)
+	}
+	v.init()
+	var last uint64
+	for i := range evs {
+		e := &evs[i]
+		if e.Seq <= last {
+			return v.rep, fmt.Errorf("rtrace: stream not strictly Seq-ordered at #%d (after #%d): duplicate or reordered records", e.Seq, last)
+		}
+		last = e.Seq
+		if err := v.step(e); err != nil {
+			return v.rep, err
+		}
+	}
+	return v.rep, v.final()
+}
+
+// Report summarizes what a Verify pass established.
+type Report struct {
+	Events        int
+	Threads       int64
+	DummyThreads  int64
+	Dispatches    int64
+	Steals        int64
+	QuotaExhausts int64
+	Checks        int64 // individual assertions evaluated
+	OrderingExact bool  // false when lock/future blocks disabled ordering checks
+	Notes         []string
+}
+
+// Thread lifecycle states in the replay model.
+type tstate uint8
+
+const (
+	tNew      tstate = iota // forked, never scheduled
+	tReady                  // in a deque or queue
+	tRunning                // executing on a worker
+	tBlocked                // suspended on a join/lock/future
+	tPreempt                // preempted by a quota veto, not yet republished
+	tInflight               // removed from a structure, dispatch pending
+	tDone
+)
+
+type vthread struct {
+	state      tstate
+	on         int // worker (tRunning/tInflight)
+	dummy      bool
+	waitee     int64 // tid being joined (tBlocked on join), else -1
+	rec        *om.Record
+	dispatches int64
+	suspends   int64 // blocks + preemptions + fork pushes of the parent
+}
+
+type vdeque struct {
+	items []int64 // bottom..top
+	owner int     // -1 unowned
+}
+
+type verifier struct {
+	meta meta2
+	rep  Report
+
+	prios   om.List
+	threads map[int64]*vthread
+
+	// DFDeques: the ordered list R. WS: fixed per-worker deques (no R
+	// order). ADF/FIFO: the global queue.
+	deques map[int64]*vdeque
+	r      []int64 // deque ids left (highest priority) to right
+	queue  []int64 // tids in arrival order (FIFO) / checked by priority (ADF)
+
+	running []int64 // running tid per worker, -1 if none
+	owned   []int64 // owned deque id per worker, -1 if none (DFDeques)
+	quota   []int64 // modeled remaining quota per worker
+
+	ordered bool // ordering checks active
+}
+
+// meta2 aliases Meta so verifier literals stay short.
+type meta2 = Meta
+
+func (v *verifier) init() {
+	v.threads = map[int64]*vthread{}
+	v.deques = map[int64]*vdeque{}
+	v.running = make([]int64, v.meta.Workers)
+	v.owned = make([]int64, v.meta.Workers)
+	v.quota = make([]int64, v.meta.Workers)
+	for i := range v.running {
+		v.running[i], v.owned[i] = -1, -1
+	}
+	v.ordered = true
+	// The root thread (tid 1) exists before any event.
+	v.threads[1] = &vthread{state: tNew, on: -1, waitee: -1, rec: v.prios.PushBack()}
+	v.rep.Threads = 1
+	if v.meta.Policy == "WS" {
+		for i := 0; i < v.meta.Workers; i++ {
+			v.deques[int64(i)] = &vdeque{owner: i}
+		}
+	}
+}
+
+func (v *verifier) fail(e *Event, format string, args ...any) error {
+	return fmt.Errorf("rtrace: replay violation at %s: %s", e, fmt.Sprintf(format, args...))
+}
+
+func (v *verifier) thread(e *Event, tid int64) (*vthread, error) {
+	t, ok := v.threads[tid]
+	if !ok {
+		return nil, v.fail(e, "unknown thread t%d", tid)
+	}
+	return t, nil
+}
+
+func (v *verifier) deque(e *Event, did int64) (*vdeque, error) {
+	d, ok := v.deques[did]
+	if !ok {
+		return nil, v.fail(e, "unknown deque %d", did)
+	}
+	return d, nil
+}
+
+// before reports whether thread a has higher 1DF priority than b.
+func (v *verifier) before(a, b int64) bool {
+	return om.Less(v.threads[a].rec, v.threads[b].rec)
+}
+
+// hasQuota reports whether the traced policy runs a memory quota.
+func (v *verifier) hasQuota() bool {
+	return v.meta.K > 0 && (v.meta.Policy == "DFDeques" || v.meta.Policy == "ADF")
+}
+
+func (v *verifier) step(e *Event) error {
+	w := int(e.W)
+	if w < -1 || w >= v.meta.Workers {
+		return v.fail(e, "worker index out of range")
+	}
+	v.rep.Checks++
+	switch e.Kind {
+	case EvFork:
+		parent, err := v.thread(e, e.A)
+		if err != nil {
+			return err
+		}
+		if parent.state != tRunning || parent.on != w {
+			return v.fail(e, "fork by t%d which is not running on w%d", e.A, w)
+		}
+		if _, dup := v.threads[e.B]; dup {
+			return v.fail(e, "forked thread t%d already exists", e.B)
+		}
+		v.threads[e.B] = &vthread{
+			state: tNew, on: -1, waitee: -1, dummy: e.C == 1,
+			rec: v.prios.InsertBefore(parent.rec),
+		}
+		v.rep.Threads++
+		if e.C == 1 {
+			v.rep.DummyThreads++
+		}
+
+	case EvDispatch:
+		t, err := v.thread(e, e.A)
+		if err != nil {
+			return err
+		}
+		if w < 0 {
+			return v.fail(e, "dispatch outside a worker")
+		}
+		if v.running[w] != -1 {
+			return v.fail(e, "dispatch on w%d which is already running t%d", w, v.running[w])
+		}
+		switch {
+		case t.state == tInflight && t.on == w:
+		case e.B == SrcFork && t.state == tNew:
+		case e.B == SrcTerminate && t.state == tBlocked:
+			// Join hand-off: the waitee must have terminated.
+			if t.waitee >= 0 && v.threads[t.waitee].state != tDone {
+				return v.fail(e, "t%d dispatched while its join target t%d is not done", e.A, t.waitee)
+			}
+		default:
+			return v.fail(e, "t%d dispatched from illegal state %d (src %d)", e.A, t.state, e.B)
+		}
+		t.state, t.on, t.waitee = tRunning, w, -1
+		t.dispatches++
+		v.rep.Dispatches++
+		v.running[w] = e.A
+		if v.meta.Policy == "ADF" {
+			v.quota[w] = v.meta.K // fresh quota per dispatch (footnote 14)
+		}
+		return v.checkOrdering(e)
+
+	case EvBlock:
+		t, err := v.thread(e, e.A)
+		if err != nil {
+			return err
+		}
+		if t.state != tRunning || t.on != w {
+			return v.fail(e, "block of t%d which is not running on w%d", e.A, w)
+		}
+		t.state = tBlocked
+		t.suspends++
+		if e.B == BlockJoin {
+			if _, err := v.thread(e, e.C); err != nil {
+				return err
+			}
+			t.waitee = e.C
+		} else if v.ordered {
+			v.ordered = false
+			v.rep.OrderingExact = false
+			v.rep.Notes = append(v.rep.Notes,
+				"stream contains lock/future blocks (§5 extension): ordering checks disabled from "+e.String())
+		}
+		v.running[w] = -1
+
+	case EvComplete:
+		t, err := v.thread(e, e.A)
+		if err != nil {
+			return err
+		}
+		if t.state != tRunning || t.on != w {
+			return v.fail(e, "completion of t%d which is not running on w%d", e.A, w)
+		}
+		t.state = tDone
+		v.running[w] = -1
+
+	case EvAlloc:
+		t, err := v.thread(e, e.A)
+		if err != nil {
+			return err
+		}
+		if t.state != tRunning || t.on != w {
+			return v.fail(e, "alloc by t%d which is not running on w%d", e.A, w)
+		}
+		if v.hasQuota() {
+			if e.B > v.quota[w] {
+				return v.fail(e, "alloc of %d bytes exceeds w%d's modeled quota %d — the policy should have preempted", e.B, w, v.quota[w])
+			}
+			v.quota[w] -= e.B
+		}
+
+	case EvAllocExempt:
+		t, err := v.thread(e, e.A)
+		if err != nil {
+			return err
+		}
+		if t.state != tRunning || t.on != w {
+			return v.fail(e, "exempt alloc by t%d which is not running on w%d", e.A, w)
+		}
+		if k := v.meta.K; k > 0 {
+			if want := (e.B + k - 1) / k; e.C != want {
+				return v.fail(e, "dummy tree for %d bytes has %d leaves, want ⌈n/K⌉ = %d", e.B, e.C, want)
+			}
+		}
+
+	case EvFree:
+		if v.hasQuota() {
+			v.quota[w] += e.B
+			if v.quota[w] > v.meta.K {
+				v.quota[w] = v.meta.K // credits bound *net* allocation
+			}
+		}
+
+	case EvQuotaExhaust:
+		t, err := v.thread(e, e.A)
+		if err != nil {
+			return err
+		}
+		if t.state != tRunning || t.on != w {
+			return v.fail(e, "preemption of t%d which is not running on w%d", e.A, w)
+		}
+		if !v.hasQuota() {
+			return v.fail(e, "quota exhaustion under policy %s with K=%d, which has no quota", v.meta.Policy, v.meta.K)
+		}
+		if e.B <= v.quota[w] {
+			return v.fail(e, "quota exhaustion on an alloc of %d bytes that fits w%d's modeled quota %d", e.B, w, v.quota[w])
+		}
+		t.state = tPreempt
+		t.suspends++
+		v.running[w] = -1
+		v.rep.QuotaExhausts++
+
+	case EvDummy:
+		t, err := v.thread(e, e.A)
+		if err != nil {
+			return err
+		}
+		if !t.dummy {
+			return v.fail(e, "dummy execution by t%d which was not forked as a dummy", e.A)
+		}
+		if v.meta.Policy == "ADF" {
+			v.quota[w] = 0 // the dummy consumed the dispatch's quota
+		}
+
+	case EvIdle:
+		// Informational only.
+
+	case EvStealAttempt:
+		// Informational only (success is a separate EvSteal).
+
+	case EvSteal:
+		t, err := v.thread(e, e.A)
+		if err != nil {
+			return err
+		}
+		victim, err := v.deque(e, e.B)
+		if err != nil {
+			return err
+		}
+		if len(victim.items) == 0 || victim.items[0] != e.A {
+			return v.fail(e, "steal of t%d which is not the bottom of deque %d", e.A, e.B)
+		}
+		victim.items = victim.items[1:]
+		if t.state != tReady {
+			return v.fail(e, "stolen thread t%d was not ready", e.A)
+		}
+		t.state, t.on = tInflight, w
+		v.rep.Steals++
+		if v.meta.Policy == "DFDeques" {
+			if v.owned[w] != -1 {
+				return v.fail(e, "w%d stole while owning deque %d", w, v.owned[w])
+			}
+			if e.C < 0 {
+				return v.fail(e, "DFDeques steal without a new deque")
+			}
+			if _, dup := v.deques[e.C]; dup {
+				return v.fail(e, "new deque %d already exists", e.C)
+			}
+			v.deques[e.C] = &vdeque{owner: w}
+			if err := v.insertRight(e, e.B, e.C); err != nil {
+				return err
+			}
+			v.owned[w] = e.C
+			v.quota[w] = v.meta.K // fresh quota per steal (§3.3)
+		}
+		return v.checkOrdering(e)
+
+	case EvDequeCreate:
+		if v.meta.Policy != "DFDeques" {
+			return v.fail(e, "deque creation under policy %s", v.meta.Policy)
+		}
+		if _, dup := v.deques[e.A]; dup {
+			return v.fail(e, "created deque %d already exists", e.A)
+		}
+		v.deques[e.A] = &vdeque{owner: -1}
+		if e.B < 0 {
+			v.r = append([]int64{e.A}, v.r...)
+		} else if err := v.insertRight(e, e.B, e.A); err != nil {
+			return err
+		}
+		return v.checkOrdering(e)
+
+	case EvDequeRelease:
+		d, err := v.deque(e, e.A)
+		if err != nil {
+			return err
+		}
+		if d.owner != w {
+			return v.fail(e, "deque %d released by w%d but owned by %d", e.A, w, d.owner)
+		}
+		d.owner = -1
+		v.owned[w] = -1
+
+	case EvDequeRetire:
+		d, err := v.deque(e, e.A)
+		if err != nil {
+			return err
+		}
+		if len(d.items) != 0 {
+			return v.fail(e, "retirement of non-empty deque %d (%d items)", e.A, len(d.items))
+		}
+		if d.owner >= 0 {
+			v.owned[d.owner] = -1
+		}
+		delete(v.deques, e.A)
+		for i, id := range v.r {
+			if id == e.A {
+				v.r = append(v.r[:i], v.r[i+1:]...)
+				break
+			}
+		}
+
+	case EvPush:
+		t, err := v.thread(e, e.A)
+		if err != nil {
+			return err
+		}
+		d, err := v.deque(e, e.B)
+		if err != nil {
+			return err
+		}
+		if w >= 0 && d.owner != w && d.owner != -1 {
+			return v.fail(e, "push into deque %d owned by %d from w%d", e.B, d.owner, w)
+		}
+		switch t.state {
+		case tRunning:
+			if t.on != w {
+				return v.fail(e, "push of t%d running on another worker", e.A)
+			}
+			v.running[w] = -1 // the fork path: the parent's segment ends here
+			t.suspends++
+		case tPreempt, tBlocked:
+		case tNew:
+			if w != -1 {
+				return v.fail(e, "push of never-dispatched t%d outside the pre-run seed", e.A)
+			}
+		default:
+			return v.fail(e, "push of t%d from illegal state %d", e.A, t.state)
+		}
+		if v.ordered && len(d.items) > 0 && !v.before(e.A, d.items[len(d.items)-1]) {
+			return v.fail(e, "push of t%d under-prioritizes deque %d's top t%d", e.A, e.B, d.items[len(d.items)-1])
+		}
+		d.items = append(d.items, e.A)
+		t.state, t.on = tReady, -1
+		return v.checkOrdering(e)
+
+	case EvPop:
+		t, err := v.thread(e, e.A)
+		if err != nil {
+			return err
+		}
+		d, err := v.deque(e, e.B)
+		if err != nil {
+			return err
+		}
+		if d.owner != w {
+			return v.fail(e, "pop from deque %d owned by %d on w%d", e.B, d.owner, w)
+		}
+		if len(d.items) == 0 || d.items[len(d.items)-1] != e.A {
+			return v.fail(e, "pop of t%d which is not the top of deque %d", e.A, e.B)
+		}
+		d.items = d.items[:len(d.items)-1]
+		if t.state != tReady {
+			return v.fail(e, "popped thread t%d was not ready", e.A)
+		}
+		t.state, t.on = tInflight, w
+
+	case EvQueuePush:
+		t, err := v.thread(e, e.A)
+		if err != nil {
+			return err
+		}
+		switch t.state {
+		case tRunning:
+			if t.on != w {
+				return v.fail(e, "queue push of t%d running on another worker", e.A)
+			}
+			v.running[w] = -1
+			t.suspends++
+		case tNew, tPreempt, tBlocked:
+		default:
+			return v.fail(e, "queue push of t%d from illegal state %d", e.A, t.state)
+		}
+		t.state, t.on = tReady, -1
+		v.queue = append(v.queue, e.A)
+
+	case EvQueueTake:
+		t, err := v.thread(e, e.A)
+		if err != nil {
+			return err
+		}
+		idx := -1
+		for i, tid := range v.queue {
+			if tid == e.A {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return v.fail(e, "take of t%d which is not queued", e.A)
+		}
+		if v.ordered {
+			switch v.meta.Policy {
+			case "ADF":
+				for _, tid := range v.queue {
+					if tid != e.A && v.before(tid, e.A) {
+						return v.fail(e, "ADF take of t%d while higher-priority t%d is queued", e.A, tid)
+					}
+				}
+			case "FIFO":
+				if idx != 0 {
+					return v.fail(e, "FIFO take of t%d which is not the queue head (t%d is)", e.A, v.queue[0])
+				}
+			}
+		}
+		v.queue = append(v.queue[:idx], v.queue[idx+1:]...)
+		if t.state != tReady {
+			return v.fail(e, "taken thread t%d was not ready", e.A)
+		}
+		t.state, t.on = tInflight, w
+
+	default:
+		return v.fail(e, "unknown event kind %d", e.Kind)
+	}
+	return nil
+}
+
+// insertRight places deque did immediately to the right of after in R.
+func (v *verifier) insertRight(e *Event, after, did int64) error {
+	for i, id := range v.r {
+		if id == after {
+			v.r = append(v.r, 0)
+			copy(v.r[i+2:], v.r[i+1:])
+			v.r[i+1] = did
+			return nil
+		}
+	}
+	return v.fail(e, "insert right of deque %d which is not in R", after)
+}
+
+// checkOrdering verifies the Lemma 3.1 invariants over the replayed
+// structure after a structural event.
+func (v *verifier) checkOrdering(e *Event) error {
+	if !v.ordered {
+		return nil
+	}
+	v.rep.Checks++
+	// Each deque internally sorted: top (last) is the highest priority.
+	for did, d := range v.deques {
+		for i := 0; i+1 < len(d.items); i++ {
+			if !v.before(d.items[i+1], d.items[i]) {
+				return v.fail(e, "deque %d not internally sorted: t%d above t%d", did, d.items[i+1], d.items[i])
+			}
+		}
+	}
+	if v.meta.Policy == "DFDeques" {
+		// R sorted left to right: everything in a deque has higher
+		// priority than everything right of it. Comparing each deque's
+		// bottom (its lowest) with the next non-empty deque's top (its
+		// highest) covers all pairs.
+		prevBottom := int64(-1)
+		for _, did := range v.r {
+			d := v.deques[did]
+			if len(d.items) == 0 {
+				continue
+			}
+			top := d.items[len(d.items)-1]
+			if prevBottom >= 0 && !v.before(prevBottom, top) {
+				return v.fail(e, "R out of order: t%d (left) does not precede t%d (right)", prevBottom, top)
+			}
+			prevBottom = d.items[0]
+		}
+		// An executing thread has higher priority than everything in its
+		// worker's deque.
+		for w, tid := range v.running {
+			if tid < 0 || v.owned[w] < 0 {
+				continue
+			}
+			d := v.deques[v.owned[w]]
+			if len(d.items) > 0 {
+				top := d.items[len(d.items)-1]
+				if !v.before(tid, top) {
+					return v.fail(e, "running t%d on w%d under-prioritizes its deque top t%d", tid, w, top)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// final checks end-of-run conservation: everything completed, nothing
+// left in any structure, and the per-thread dispatch count identity.
+func (v *verifier) final() error {
+	for tid, t := range v.threads {
+		if t.state != tDone {
+			return fmt.Errorf("rtrace: thread t%d never completed (final state %d): truncated or corrupt stream", tid, t.state)
+		}
+		if t.dispatches != 1+t.suspends {
+			return fmt.Errorf("rtrace: dispatch conservation violated for t%d: %d dispatches, %d suspensions (want dispatches = 1 + suspensions)",
+				tid, t.dispatches, t.suspends)
+		}
+	}
+	for did, d := range v.deques {
+		if len(d.items) != 0 {
+			return fmt.Errorf("rtrace: deque %d still holds %d threads at end of run", did, len(d.items))
+		}
+	}
+	if v.meta.Policy == "DFDeques" && len(v.deques) != 0 {
+		return fmt.Errorf("rtrace: %d deques never retired", len(v.deques))
+	}
+	if len(v.queue) != 0 {
+		return fmt.Errorf("rtrace: %d threads still queued at end of run", len(v.queue))
+	}
+	return nil
+}

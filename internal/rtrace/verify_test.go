@@ -1,0 +1,251 @@
+package rtrace_test
+
+// End-to-end replay verification: record real concurrent runs of the
+// grt runtime and replay them through the verifier. Every workload here
+// is nested-parallel and lock-free, so the Lemma 3.1 ordering checks run
+// at full strength (Report.OrderingExact).
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dfdeques/internal/grt"
+	"dfdeques/internal/rtrace"
+)
+
+// The three verification workloads: a balanced fork-join tree, a
+// sequential fork-join chain, and a divide-and-conquer allocator whose
+// big allocations trigger the dummy-thread transformation and whose
+// small ones exhaust the quota.
+
+func tree(depth int) func(*grt.T) {
+	var node func(t *grt.T, d int)
+	node = func(t *grt.T, d int) {
+		if d == 0 {
+			t.Alloc(48)
+			t.Free(48)
+			return
+		}
+		l := t.Fork(func(c *grt.T) { node(c, d-1) })
+		r := t.Fork(func(c *grt.T) { node(c, d-1) })
+		t.Join(r)
+		t.Join(l)
+	}
+	return func(t *grt.T) { node(t, depth) }
+}
+
+func chain(n int) func(*grt.T) {
+	var link func(t *grt.T, i int)
+	link = func(t *grt.T, i int) {
+		if i == 0 {
+			return
+		}
+		t.Alloc(96)
+		t.ForkJoin(func(c *grt.T) { link(c, i-1) })
+		t.Free(96)
+	}
+	return func(t *grt.T) { link(t, n) }
+}
+
+func bigAllocs(n int) func(*grt.T) {
+	var node func(t *grt.T, i int)
+	node = func(t *grt.T, i int) {
+		if i == 0 {
+			t.Alloc(1000) // > K for the K=256 runs: forks a dummy tree
+			t.Free(1000)
+			return
+		}
+		t.ForkJoin(func(c *grt.T) { node(c, i-1) })
+		t.ForkJoin(func(c *grt.T) { node(c, i-1) })
+	}
+	return func(t *grt.T) { node(t, n) }
+}
+
+// record runs the workload under tracing and returns the recorder.
+func record(t *testing.T, cfg grt.Config, body func(*grt.T)) *rtrace.Recorder {
+	t.Helper()
+	rec := rtrace.NewRecorder(cfg.Workers, 1<<16)
+	cfg.Probe = rec
+	if _, err := grt.Run(cfg, body); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("ring dropped %d events; raise the buffer", rec.Dropped())
+	}
+	return rec
+}
+
+// TestVerifyRealRuns replays seeded real runs of three workloads under
+// each scheduling policy and requires every invariant to hold.
+func TestVerifyRealRuns(t *testing.T) {
+	workloads := []struct {
+		name string
+		body func(*grt.T)
+	}{
+		{"tree", tree(6)},
+		{"chain", chain(24)},
+		{"bigalloc", bigAllocs(4)},
+	}
+	scheds := []struct {
+		name string
+		kind grt.Kind
+		k    int64
+	}{
+		{"DFD", grt.DFDeques, 256},
+		{"DFD-inf", grt.DFDeques, 0},
+		{"WS", grt.WS, 0},
+		{"ADF", grt.ADF, 256},
+		{"FIFO", grt.FIFO, 256},
+	}
+	for _, wl := range workloads {
+		for _, sc := range scheds {
+			t.Run(wl.name+"/"+sc.name, func(t *testing.T) {
+				t.Parallel()
+				rec := record(t, grt.Config{
+					Workers: 4, Sched: sc.kind, K: sc.k, Seed: 11,
+				}, wl.body)
+				rep, err := rtrace.Verify(rec.Meta(), rec.Events(), rec.Dropped())
+				if err != nil {
+					t.Fatalf("replay verification failed: %v", err)
+				}
+				if !rep.OrderingExact {
+					t.Fatalf("ordering checks degraded on a lock-free workload: %v", rep.Notes)
+				}
+				if rep.Threads < 2 {
+					t.Fatalf("replay saw %d threads", rep.Threads)
+				}
+				if sc.k > 0 && sc.kind == grt.DFDeques && wl.name == "bigalloc" && rep.DummyThreads == 0 {
+					t.Fatal("bigalloc run produced no dummy threads")
+				}
+			})
+		}
+	}
+}
+
+// TestVerifyCoarseLock replays the paper's serialized §5 protocol: the
+// same invariants must hold under the global scheduler lock.
+func TestVerifyCoarseLock(t *testing.T) {
+	rec := record(t, grt.Config{
+		Workers: 4, Sched: grt.DFDeques, K: 256, Seed: 3, CoarseLock: true,
+	}, tree(6))
+	if _, err := rtrace.Verify(rec.Meta(), rec.Events(), rec.Dropped()); err != nil {
+		t.Fatalf("replay verification failed under CoarseLock: %v", err)
+	}
+}
+
+// TestVerifyLockProgramDegradesGracefully: programs using Mutex leave the
+// nested-parallel model, so the verifier must disable the ordering checks
+// (§5) but still prove conservation and quota accounting.
+func TestVerifyLockProgramDegradesGracefully(t *testing.T) {
+	var mu grt.Mutex
+	body := func(t *grt.T) {
+		var hs []*grt.T
+		for i := 0; i < 6; i++ {
+			hs = append(hs, t.Fork(func(c *grt.T) {
+				mu.Lock(c)
+				c.Alloc(32)
+				c.Free(32)
+				mu.Unlock(c)
+			}))
+		}
+		for i := len(hs) - 1; i >= 0; i-- {
+			t.Join(hs[i])
+		}
+	}
+	rec := record(t, grt.Config{Workers: 4, Sched: grt.DFDeques, K: 256, Seed: 5}, body)
+	rep, err := rtrace.Verify(rec.Meta(), rec.Events(), rec.Dropped())
+	if err != nil {
+		t.Fatalf("replay verification failed on a locking program: %v", err)
+	}
+	// Contention is scheduling-dependent: only assert degradation when a
+	// lock block actually occurred.
+	for _, e := range rec.Events() {
+		if e.Kind == rtrace.EvBlock && e.B == rtrace.BlockLock {
+			if rep.OrderingExact {
+				t.Fatal("ordering still exact despite lock blocks")
+			}
+			return
+		}
+	}
+}
+
+// TestVerifyRejectsCorruptedStreams tampers with a genuine recorded
+// stream in several ways; the verifier must reject every mutation.
+func TestVerifyRejectsCorruptedStreams(t *testing.T) {
+	rec := record(t, grt.Config{Workers: 4, Sched: grt.DFDeques, K: 256, Seed: 9}, tree(5))
+	meta, good := rec.Meta(), rec.Events()
+	if _, err := rtrace.Verify(meta, good, 0); err != nil {
+		t.Fatalf("baseline stream must verify: %v", err)
+	}
+	clone := func() []rtrace.Event { return append([]rtrace.Event(nil), good...) }
+	idxOf := func(k rtrace.Kind) int {
+		for i := len(good) - 1; i >= 0; i-- {
+			if good[i].Kind == k {
+				return i
+			}
+		}
+		t.Fatalf("stream has no %v event", k)
+		return -1
+	}
+
+	cases := []struct {
+		name   string
+		mutate func([]rtrace.Event) []rtrace.Event
+	}{
+		{"phantom-thread-push", func(evs []rtrace.Event) []rtrace.Event {
+			evs[idxOf(rtrace.EvPush)].A = 1 << 40
+			return evs
+		}},
+		{"truncated-completion", func(evs []rtrace.Event) []rtrace.Event {
+			i := idxOf(rtrace.EvComplete)
+			return append(evs[:i], evs[i+1:]...)
+		}},
+		{"duplicated-sequence", func(evs []rtrace.Event) []rtrace.Event {
+			evs[len(evs)/2].Seq = evs[len(evs)/2-1].Seq
+			return evs
+		}},
+		{"stolen-wrong-end", func(evs []rtrace.Event) []rtrace.Event {
+			// Claim the steal removed a different thread than the
+			// victim's bottom.
+			i := idxOf(rtrace.EvSteal)
+			evs[i].A++
+			return evs
+		}},
+		{"forged-quota", func(evs []rtrace.Event) []rtrace.Event {
+			// An allocation far beyond K could never fit the quota.
+			i := idxOf(rtrace.EvAlloc)
+			evs[i].B = meta.K * 100
+			return evs
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := rtrace.Verify(meta, tc.mutate(clone()), 0); err == nil {
+				t.Fatal("verifier accepted a corrupted stream")
+			} else if !strings.Contains(err.Error(), "rtrace:") {
+				t.Fatalf("unexpected error shape: %v", err)
+			}
+		})
+	}
+	if _, err := rtrace.Verify(meta, good, 1); err == nil {
+		t.Fatal("verifier accepted a stream with drops")
+	}
+}
+
+// TestExportRealRunLoadsBack exports a real run and checks the file both
+// loads back for replay and verifies.
+func TestExportRealRunLoadsBack(t *testing.T) {
+	rec := record(t, grt.Config{Workers: 2, Sched: grt.DFDeques, K: 512, Seed: 2}, tree(5))
+	var buf bytes.Buffer
+	if err := rtrace.Export(&buf, rec.Meta(), rec.Events(), rec.Dropped()); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	meta, evs, dropped, err := rtrace.Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if _, err := rtrace.Verify(meta, evs, dropped); err != nil {
+		t.Fatalf("replay of exported file failed: %v", err)
+	}
+}

@@ -17,8 +17,14 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run='^$' -benchtime="$benchtime" -benchmem \
-	-bench='^(BenchmarkGrtContention|BenchmarkRuntimeForkJoin|BenchmarkSimulatorPerScheduler)$' \
+	-bench='^(BenchmarkGrtContention|BenchmarkGrtTrace|BenchmarkRuntimeForkJoin|BenchmarkSimulatorPerScheduler)$' \
 	. | tee "$tmp"
+# Second pass with the rtrace hook sites compiled out entirely: the
+# BenchmarkGrtTrace/pN/compiledout row is the true zero-instrumentation
+# baseline for the tracing-overhead comparison.
+go test -tags grtnotrace -run='^$' -benchtime="$benchtime" -benchmem \
+	-bench='^BenchmarkGrtTrace$' \
+	. | tee -a "$tmp"
 go test -run='^$' -benchtime="$benchtime" -benchmem \
 	-bench='^(BenchmarkListKth|BenchmarkListInsertDelete|BenchmarkStealPattern)$' \
 	./internal/deque/ | tee -a "$tmp"
@@ -44,6 +50,7 @@ awk -v label="$label" '
 	engine = "struct"
 	if (name ~ /\/coarse/) engine = "coarse"
 	else if (name ~ /\/fine/) engine = "fine"
+	else if (name ~ /^BenchmarkGrtTrace/) engine = "fine"
 	else if (name ~ /^BenchmarkRuntimeForkJoin/) { engine = "fine"; workers = 4 }
 	else if (name ~ /^BenchmarkSimulator/) { engine = "sim"; workers = 8 }
 	printf "%s{\"op\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"workers\": %s, \"engine\": \"%s\"}",

@@ -11,4 +11,7 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/grt/... ./internal/deque/... ./internal/core/... ./internal/policy/...
+go test -race ./internal/grt/... ./internal/deque/... ./internal/core/... ./internal/policy/... ./internal/rtrace/...
+# The tracing hooks must also compile out cleanly (-tags grtnotrace folds
+# every hook site away behind the rtrace.Enabled constant).
+go build -tags grtnotrace ./...
