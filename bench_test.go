@@ -8,6 +8,7 @@ package dfdeques_test
 // experiment.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -282,4 +283,50 @@ func BenchmarkRuntimeForkJoin(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkGrtSubmit measures the runtime lifecycle split the persistent
+// API exists for: "cold" pays New + Submit + Wait + Shutdown per job (the
+// one-shot Run), "warm" submits every job to one long-lived runtime so
+// worker start-up amortizes away. The same fork-join tree runs either way.
+func BenchmarkGrtSubmit(b *testing.B) {
+	const workers = 4
+	body := func(t *dfdeques.Thread) {
+		var rec func(t *dfdeques.Thread, n int)
+		rec = func(t *dfdeques.Thread, n int) {
+			if n == 0 {
+				return
+			}
+			h := t.Fork(func(c *dfdeques.Thread) { rec(c, n-1) })
+			rec(t, n-1)
+			t.Join(h)
+		}
+		rec(t, 6)
+	}
+	cfg := dfdeques.RuntimeConfig{Workers: workers, Sched: dfdeques.SchedDFDeques, K: 4096, Seed: 1}
+
+	b.Run(fmt.Sprintf("p%d/cold", workers), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dfdeques.Run(cfg, body); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("p%d/warm", workers), func(b *testing.B) {
+		rt, err := dfdeques.NewRuntime(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rt.Shutdown(context.Background())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j, err := rt.Submit(context.Background(), body)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := j.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -35,14 +35,19 @@
 //	              chrome://tracing; also replayable by dfdtrace -verify)
 //	-tracebuf N   real mode: per-worker trace ring capacity in events
 //	              (default 131072, rounded up to a power of two)
+//	-timeout D    real mode: cancel the run if it exceeds this duration
+//	              (e.g. 30s); the job's threads are poisoned and drained,
+//	              and dfdsim exits non-zero with the deadline error
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dfdeques/internal/cache"
 	"dfdeques/internal/dag"
@@ -70,6 +75,7 @@ func main() {
 	measure := flag.Bool("measure", false, "real mode: time lock holds and steal waits")
 	traceFile := flag.String("trace", "", "real mode: write Chrome trace_event JSON to FILE")
 	tracebuf := flag.Int("tracebuf", 1<<17, "real mode: per-worker trace ring capacity (events)")
+	timeout := flag.Duration("timeout", 0, "real mode: cancel the run after this duration (0 = none)")
 	flag.Parse()
 
 	// Scheduler names are case-insensitive; canonicalize to the printed
@@ -112,12 +118,16 @@ func main() {
 			sched: *schedName, procs: *procs, workers: *workers, k: *k,
 			seed: *seed, coarse: *coarse, measure: *measure,
 			trace: *traceFile, tracebuf: *tracebuf, json: *jsonOut,
-			grain: g, bench: *bench,
+			grain: g, bench: *bench, timeout: *timeout,
 		})
 		return
 	}
 	if *traceFile != "" {
 		fmt.Fprintln(os.Stderr, "dfdsim: -trace records the real runtime; add -real (the simulator's lens is dfdtrace)")
+		os.Exit(2)
+	}
+	if *timeout != 0 {
+		fmt.Fprintln(os.Stderr, "dfdsim: -timeout cancels the real runtime's job; add -real (the simulator is deterministic)")
 		os.Exit(2)
 	}
 
@@ -228,6 +238,7 @@ type realCfg struct {
 	json            bool
 	grain           workload.Grain
 	bench           string
+	timeout         time.Duration
 }
 
 // runReal executes the workload on the real goroutine-backed runtime and
@@ -275,11 +286,37 @@ func runReal(spec *dag.ThreadSpec, rc realCfg) {
 		rec = rtrace.NewRecorder(workers, rc.tracebuf)
 		cfg.Probe = rec
 	}
-	st, err := grt.RunSpec(cfg, spec, 1)
+	// The lifecycle API: a deadline context cancels the job mid-flight —
+	// its threads are poisoned at their next scheduling points and the
+	// runtime drains before Shutdown returns.
+	root, err := grt.SpecBody(spec, 1)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dfdsim: %v\n", err)
 		os.Exit(1)
 	}
+	ctx := context.Background()
+	if rc.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rc.timeout)
+		defer cancel()
+	}
+	rt, err := grt.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dfdsim: %v\n", err)
+		os.Exit(1)
+	}
+	job, err := rt.Submit(ctx, root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dfdsim: %v\n", err)
+		os.Exit(1)
+	}
+	js, jerr := job.Wait()
+	rt.Shutdown(context.Background())
+	if jerr != nil {
+		fmt.Fprintf(os.Stderr, "dfdsim: %v\n", jerr)
+		os.Exit(1)
+	}
+	st := rt.Stats(js)
 
 	var sum *rtrace.Summary
 	if rec != nil {

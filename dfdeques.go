@@ -10,7 +10,10 @@
 //   - Run executes real Go code on a user-level thread runtime with a
 //     pluggable scheduler (DFDeques(K), the depth-first ADF(K), or the
 //     FIFO scheduler of classic Pthreads libraries). This is the paper's
-//     modified Pthreads library, §5.
+//     modified Pthreads library, §5. For long-lived services, NewRuntime
+//     starts the worker pool once and Submit runs any number of jobs on
+//     it — each with its own stats, panic isolation, and context
+//     cancellation — until Shutdown drains and joins everything.
 //
 //   - Simulate executes a declarative Program on a deterministic
 //     p-processor machine simulator under the paper's §4.1 cost model
@@ -79,21 +82,9 @@ const (
 	SchedWS       = grt.WS
 )
 
-// RuntimeConfig configures the real runtime.
-type RuntimeConfig = grt.Config
-
-// Run executes root as the root thread of a fresh runtime; see grt.Run.
-func Run(cfg RuntimeConfig, root func(*Thread)) (RunStats, error) {
-	return grt.Run(cfg, root)
-}
-
-// RunProgram interprets a declarative Program on the real runtime: the
-// same workload definition a Simulate call measures under the cost model
-// executes here as genuine concurrency. workScale sets spin iterations per
-// unit action (0 = default).
-func RunProgram(cfg RuntimeConfig, p *Program, workScale int) (RunStats, error) {
-	return grt.RunSpec(cfg, p, workScale)
-}
+// RuntimeConfig, Run, RunProgram and the persistent Runtime/Job lifecycle
+// live in runtime.go; the tracing surface (NewTraceRecorder, ExportTrace,
+// VerifyTrace) in trace.go.
 
 // ---- Simulation ----------------------------------------------------------
 

@@ -31,7 +31,9 @@ type Future struct {
 }
 
 // put writes the value and returns the readers to wake. Called by
-// workers, not threads.
+// workers, not threads. Emptying the waiter list under f.mu is what
+// arbitrates against the cancel sweep: whichever side removes a reader
+// owns its republication.
 func (f *Future) put(v any) ([]*T, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -42,13 +44,18 @@ func (f *Future) put(v any) ([]*T, error) {
 	f.value = v
 	woken := f.waiters
 	f.waiters = nil
+	for _, t := range woken {
+		t.job.unregisterBlocked(t)
+	}
 	return woken, nil
 }
 
 // getOrWait reports whether the value is already set; if not, t is queued
 // as a reader to wake and its worker (w) must pick other work. Called by
 // workers, not threads. The block event is recorded under f.mu so it is
-// sequenced before the setting worker's wake of t.
+// sequenced before the setting worker's wake of t; the reader is also
+// registered with its job for the cancel sweep (see Mutex.acquire for the
+// poisoning race this resolves).
 func (f *Future) getOrWait(w int, t *T) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -56,7 +63,26 @@ func (f *Future) getOrWait(w int, t *T) bool {
 		return true
 	}
 	f.waiters = append(f.waiters, t)
+	if !t.job.registerBlocked(t, f) {
+		f.waiters = f.waiters[:len(f.waiters)-1]
+		return true // poisoned: keep "running"; the next resume kills t
+	}
 	t.rt.trace(w, rtrace.EvBlock, t.tid, rtrace.BlockFuture, 0)
+	return false
+}
+
+// cancelWait implements blocker: the job cancel sweep removes t from the
+// reader list so it can be republished to die. False means a concurrent
+// put already claimed (and is waking) t.
+func (f *Future) cancelWait(t *T) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, wt := range f.waiters {
+		if wt == t {
+			f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+			return true
+		}
+	}
 	return false
 }
 

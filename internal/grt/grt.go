@@ -29,9 +29,23 @@
 // goroutine and sleeps until the thread reports its next scheduling event,
 // so at most Workers user goroutines execute user code at any instant —
 // the runtime schedules threads, not the Go scheduler.
+//
+// The runtime is a long-lived service: New starts the worker pool once,
+// Submit runs any number of root computations (concurrently and
+// back-to-back) on the same warm workers — each job its own fork-join
+// tree with its own stats, panic isolation, and context
+// cancellation/deadline — and Shutdown drains or aborts the in-flight
+// jobs and joins every worker. Cancellation is a poison flag checked with
+// one atomic load at the paper's existing scheduling points (fork, join,
+// quota-checked allocation, lock/future block, dummy execution), so the
+// DFDeques(K) protocol and its scheduling bounds are untouched on the
+// uncanceled path. Run remains the one-shot convenience wrapper:
+// New + Submit + Wait + Shutdown.
 package grt
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -156,13 +170,14 @@ type event struct {
 // T must only be called from within that thread's body.
 type T struct {
 	rt      *Runtime
+	job     *Job
 	body    func(*T)
 	prio    *om.Record
 	resume  chan struct{}
 	yield   chan event
 	started bool
 	dummy   bool
-	tid     int64 // stable trace id: root is 1, then fork order
+	tid     int64 // stable trace id: first root is 1, then submit/fork order
 
 	// Owned by the thread goroutine:
 	unjoined []*T
@@ -217,7 +232,9 @@ func (t *T) isDone() bool {
 	return t.done
 }
 
-// Runtime executes nested-parallel computations under one scheduler.
+// Runtime executes nested-parallel computations under one scheduler. It
+// is a persistent service: build one with New, feed it jobs with Submit,
+// and stop it with Shutdown. The one-shot Run wraps that whole lifecycle.
 type Runtime struct {
 	cfg Config
 
@@ -230,7 +247,8 @@ type Runtime struct {
 	// probe records scheduling events (nil: tracing off). Engine-side
 	// events need no lock — each is ordered by its worker's program order
 	// and the channel handoffs; the policies record structural events
-	// under their own locks.
+	// under their own locks; scheduler-side (lane -1) events are
+	// serialized by extMu.
 	probe rtrace.Probe
 
 	// gmu is the paper's single global scheduler lock, taken around every
@@ -241,46 +259,59 @@ type Runtime struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
+	// extMu serializes every scheduler interaction that does not come
+	// from a worker: Submit's publication, the cancel sweep's
+	// republications, and the deadlock confirmation. It gives lane -1 of
+	// the trace a single writer mid-run, and it is what makes a Submit
+	// atomic against the deadlock detector (counters and publication
+	// become visible together). Order: extMu → gmu → rt.mu.
+	extMu sync.Mutex
+
+	// jobsMu guards the job registry and the draining flag; it is a leaf
+	// lock (taken under extMu by Submit, bare by job completion).
+	jobsMu   sync.Mutex
+	jobs     map[int64]*Job
+	draining bool
+
 	// prioMu guards the om priority list for every policy (leaf lock).
 	prioMu sync.RWMutex
 	prios  om.List
 
 	// Accounting: atomics, so the hot paths (fork, alloc) never need a
-	// lock for bookkeeping.
-	heapLive, heapHW   atomic.Int64
-	live, maxLive, tot atomic.Int64
-	dummies            atomic.Int64
-	preempts           atomic.Int64
-	lockOps, lockNs    atomic.Int64
-	stealWaitNs        atomic.Int64
+	// lock for bookkeeping. Per-job counters live on Job; the runtime
+	// keeps only what scheduling itself needs — the global live-thread
+	// count (deadlock detection), the trace id and job id wells, and the
+	// contention counters.
+	live            atomic.Int64
+	tids, jobIDs    atomic.Int64
+	lockOps, lockNs atomic.Int64
+	stealWaitNs     atomic.Int64
 
 	// Idle parking (guarded by mu) plus a lock-free mirror of the waiter
 	// count so publishers can skip the wake-up lock when nobody sleeps.
 	idleWaiters int
 	idlers      atomic.Int64
-	finished    atomic.Bool
+	stopped     atomic.Bool
 
-	failMu  sync.Mutex
-	failure error
+	wg sync.WaitGroup
+
+	// shutMu serializes Shutdown calls (idempotence).
+	shutMu   sync.Mutex
+	shutdown bool
 }
 
-// setFailure records the first failure.
-func (rt *Runtime) setFailure(err error) {
-	rt.failMu.Lock()
-	if rt.failure == nil {
-		rt.failure = err
-	}
-	rt.failMu.Unlock()
-}
+// ErrShutdown is returned by Submit after Shutdown has begun, and is the
+// error of jobs aborted by a shutdown whose context expired.
+var ErrShutdown = errors.New("grt: runtime is shut down")
 
-// Run executes root as the root thread of a new runtime and blocks until
-// the computation completes. It returns the run's statistics and an error
-// if any thread body panicked or violated the nested-parallel discipline.
-func Run(cfg Config, root func(*T)) (Stats, error) {
+// New builds a runtime and starts its worker pool. The workers idle
+// (parked, not spinning) until Submit gives them work; call Shutdown to
+// join them.
+func New(cfg Config) (*Runtime, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
-	rt := &Runtime{cfg: cfg}
+	rt := &Runtime{cfg: cfg, jobs: make(map[int64]*Job)}
 	rt.cond = sync.NewCond(&rt.mu)
 	less := func(a, b *T) bool { return rt.prioLess(a, b) }
 	switch cfg.Sched {
@@ -293,7 +324,7 @@ func Run(cfg Config, root func(*T)) (Stats, error) {
 	case WS:
 		rt.pol = policy.NewWS[*T](cfg.Workers, cfg.Seed)
 	default:
-		return Stats{}, fmt.Errorf("grt: unknown scheduler kind %d", cfg.Sched)
+		return nil, fmt.Errorf("grt: unknown scheduler kind %d", cfg.Sched)
 	}
 	rt.threshold = rt.pol.Threshold()
 
@@ -314,43 +345,182 @@ func Run(cfg Config, root func(*T)) (Stats, error) {
 		}
 	}
 
-	rootT := rt.newT(root)
-	rootT.prio = rt.prioPushBack()
-	rootT.tid = 1
-	rt.tot.Store(1)
-	rt.live.Store(1)
-	rt.maxLive.Store(1)
-	rt.pol.Seed(rootT)
-
-	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
+		rt.wg.Add(1)
 		go func(w int) {
-			defer wg.Done()
+			defer rt.wg.Done()
 			rt.worker(w)
 		}(w)
 	}
-	wg.Wait()
+	return rt, nil
+}
 
+// Submit starts root as the root thread of a new job on the warm worker
+// pool and returns immediately. The job runs until its tree completes or
+// ctx is canceled — cancellation and deadlines poison the job's threads,
+// which then die at their next scheduling point; Job.Wait reports the
+// outcome. Submit fails with ErrShutdown once Shutdown has begun.
+func (rt *Runtime) Submit(ctx context.Context, root func(*T)) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	j := &Job{rt: rt, ctx: ctx, done: make(chan struct{})}
+	rootT := rt.newT(root)
+	rootT.job = j
+	j.live.Store(1)
+	j.tot.Store(1)
+	j.maxLive.Store(1)
+
+	// Publication is atomic under extMu: the deadlock detector confirms
+	// under the same lock, so it can never observe the raised live count
+	// without the published root (or vice versa). Job roots take the
+	// lowest 1DF priority — they come after everything already running —
+	// and enter the ready structure through the policy's
+	// priority-positioned injection, preserving Lemma 3.1.
+	rt.extMu.Lock()
+	rt.jobsMu.Lock()
+	if rt.draining {
+		rt.jobsMu.Unlock()
+		rt.extMu.Unlock()
+		return nil, ErrShutdown
+	}
+	j.id = rt.jobIDs.Add(1)
+	rt.jobs[j.id] = j
+	rt.jobsMu.Unlock()
+
+	rootT.prio = rt.prioPushBack()
+	rootT.tid = rt.tids.Add(1)
+	rt.live.Add(1)
+	rt.trace(-1, rtrace.EvJobBegin, j.id, rootT.tid, 0)
+	gl := rt.beginEvent()
+	rt.pol.Inject(rootT)
+	rt.endEvent(gl)
+	rt.extMu.Unlock()
+	rt.wakeIdlers()
+
+	if ctx.Done() != nil {
+		// The context watcher: poison the job the moment ctx fires. It
+		// exits when the job drains, so Shutdown leaves no goroutine
+		// behind.
+		go func() {
+			select {
+			case <-ctx.Done():
+				j.cancel(ctx.Err())
+			case <-j.done:
+			}
+		}()
+	}
+	return j, nil
+}
+
+// finishJob retires a job whose last thread just completed on worker w.
+func (rt *Runtime) finishJob(w int, j *Job) {
+	var failed int64
+	if j.Err() != nil {
+		failed = 1
+	}
+	rt.trace(w, rtrace.EvJobEnd, j.id, failed, 0)
+	rt.jobsMu.Lock()
+	delete(rt.jobs, j.id)
+	rt.jobsMu.Unlock()
+	close(j.done)
+}
+
+// Shutdown stops the runtime: it refuses new submissions, waits for the
+// in-flight jobs to drain, and joins every worker. If ctx is canceled
+// first, the remaining jobs are aborted (poisoned with ErrShutdown),
+// their threads drained at their next scheduling points, and ctx's error
+// returned; the workers are joined either way, so a returned Shutdown
+// leaves no runtime goroutine behind. Idempotent.
+func (rt *Runtime) Shutdown(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rt.shutMu.Lock()
+	defer rt.shutMu.Unlock()
+
+	rt.jobsMu.Lock()
+	rt.draining = true
+	inflight := make([]*Job, 0, len(rt.jobs))
+	for _, j := range rt.jobs {
+		inflight = append(inflight, j)
+	}
+	rt.jobsMu.Unlock()
+
+	var ctxErr error
+	for _, j := range inflight {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+		}
+		if ctxErr != nil {
+			break
+		}
+	}
+	if ctxErr != nil {
+		for _, j := range inflight {
+			j.cancel(ErrShutdown)
+		}
+		// Poisoned threads still need a scheduling point to die at; the
+		// drain is bounded by the job's longest event-free stretch.
+		for _, j := range inflight {
+			<-j.done
+		}
+	}
+
+	rt.stopped.Store(true)
+	rt.mu.Lock()
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+	rt.wg.Wait()
+	rt.shutdown = true
+	return ctxErr
+}
+
+// Run executes root as the root thread of a fresh one-job runtime and
+// blocks until the computation completes: New + Submit + Wait + Shutdown.
+// It returns the run's statistics and an error if any thread body
+// panicked or violated the nested-parallel discipline.
+func Run(cfg Config, root func(*T)) (Stats, error) {
+	rt, err := New(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	j, err := rt.Submit(context.Background(), root)
+	if err != nil {
+		rt.Shutdown(context.Background())
+		return Stats{}, err
+	}
+	js, jerr := j.Wait()
+	rt.Shutdown(context.Background())
+	return rt.Stats(js), jerr
+}
+
+// Stats merges a job's accounting with the runtime's scheduler-wide
+// counters into the flat one-shot report Run returns. For a single-job
+// runtime the result is exactly the historical Run stats; with several
+// jobs the scheduler counters span all of them.
+func (rt *Runtime) Stats(js JobStats) Stats {
 	ps := rt.pol.Stats()
-	st := Stats{
-		TotalThreads:    rt.tot.Load(),
-		MaxLiveThreads:  rt.maxLive.Load(),
-		DummyThreads:    rt.dummies.Load(),
+	return Stats{
+		TotalThreads:    js.TotalThreads,
+		MaxLiveThreads:  js.MaxLiveThreads,
+		DummyThreads:    js.DummyThreads,
 		Steals:          ps.Steals,
 		FailedSteals:    ps.FailedSteals,
 		LocalDispatches: ps.LocalDispatches,
-		Preemptions:     rt.preempts.Load(),
-		HeapHW:          rt.heapHW.Load(),
-		HeapLive:        rt.heapLive.Load(),
+		Preemptions:     js.Preemptions,
+		HeapHW:          js.HeapHW,
+		HeapLive:        js.HeapLive,
 		MaxDeques:       int64(ps.MaxDeques),
 		SchedLockOps:    rt.lockOps.Load() + ps.LockOps,
 		SchedLockNs:     rt.lockNs.Load(),
 		StealWaitNs:     rt.stealWaitNs.Load(),
 	}
-	rt.failMu.Lock()
-	defer rt.failMu.Unlock()
-	return st, rt.failure
 }
 
 func (rt *Runtime) newT(body func(*T)) *T {
@@ -362,22 +532,17 @@ func (rt *Runtime) newT(body func(*T)) *T {
 	}
 }
 
-// charge adjusts the heap accounting. Lock-free; safe from any path.
-func (rt *Runtime) charge(n int64) {
-	v := rt.heapLive.Add(n)
-	if n > 0 {
-		atomicMax(&rt.heapHW, v)
-	}
-}
-
 // noteFork does the bookkeeping common to both modes when child is forked
 // by curr: priority insertion, trace id, and thread counters.
 func (rt *Runtime) noteFork(curr, child *T) {
 	child.prio = rt.prioInsertBefore(curr.prio)
-	child.tid = rt.tot.Add(1)
-	atomicMax(&rt.maxLive, rt.live.Add(1))
+	child.tid = rt.tids.Add(1)
+	rt.live.Add(1)
+	j := curr.job
+	j.tot.Add(1)
+	atomicMax(&j.maxLive, j.live.Add(1))
 	if child.dummy {
-		rt.dummies.Add(1)
+		j.dummies.Add(1)
 	}
 }
 
@@ -442,25 +607,50 @@ func (t *T) step() event {
 	return <-t.yield
 }
 
+// poisonSentinel is the panic value that unwinds a poisoned thread's
+// goroutine: when a canceled job's thread is resumed, do panics with it,
+// user frames unwind (their defers run), and main's recover swallows it —
+// a poison unwind is the cancellation working, not a failure.
+type poisonUnwind struct{}
+
+var poisonSentinel poisonUnwind
+
 // main is the thread goroutine's body.
 func (t *T) main() {
 	<-t.resume
 	defer func() {
 		if r := recover(); r != nil {
-			t.rt.setFailure(fmt.Errorf("grt: thread panicked: %v", r))
+			if _, unwound := r.(poisonUnwind); !unwound {
+				// Panic isolation: a panicking body fails and cancels its
+				// own job — the rest of the job's tree drains (including
+				// any threads parked on its locks); other jobs and the
+				// workers are untouched.
+				err := fmt.Errorf("grt: thread panicked: %v", r)
+				t.job.fail(err)
+				t.job.cancel(err)
+			}
 		}
 		t.yield <- event{kind: evDone}
 	}()
+	if t.job.poisoned.Load() {
+		return // canceled before its first dispatch: die without running
+	}
 	t.body(t)
 	if len(t.unjoined) > 0 {
 		panic(fmt.Sprintf("nested-parallel violation: %d forked children not joined", len(t.unjoined)))
 	}
 }
 
-// do yields an event to the current worker and blocks until resumed.
+// do yields an event to the current worker and blocks until resumed. If
+// the job was poisoned, resumption kills the thread instead of returning
+// to user code: the sentinel panic unwinds the goroutine (running user
+// defers on the way) and main reports the termination.
 func (t *T) do(ev event) {
 	t.yield <- ev
 	<-t.resume
+	if t.job.poisoned.Load() {
+		panic(poisonSentinel)
+	}
 }
 
 // Fork creates a child thread running body. The child preempts the parent
@@ -472,6 +662,7 @@ func (t *T) Fork(body func(*T)) *T {
 
 func (t *T) fork(body func(*T), dummy bool) *T {
 	child := t.rt.newT(body)
+	child.job = t.job
 	child.dummy = dummy
 	t.unjoined = append(t.unjoined, child)
 	t.do(event{kind: evFork, child: child})

@@ -17,14 +17,26 @@ import (
 //
 // WorkScale sets the spin iterations per unit action (0 = 8).
 func RunSpec(cfg Config, spec *dag.ThreadSpec, workScale int) (Stats, error) {
-	if err := dag.Validate(spec); err != nil {
+	root, err := SpecBody(spec, workScale)
+	if err != nil {
 		return Stats{}, err
+	}
+	return Run(cfg, root)
+}
+
+// SpecBody validates a declarative program and returns it as a root
+// thread body, so callers that need lifecycle control (Submit with a
+// deadline, several specs on one warm runtime) can feed specs through the
+// persistent API instead of the one-shot RunSpec.
+func SpecBody(spec *dag.ThreadSpec, workScale int) (func(*T), error) {
+	if err := dag.Validate(spec); err != nil {
+		return nil, err
 	}
 	if workScale <= 0 {
 		workScale = 8
 	}
 	in := &interp{scale: workScale, locks: make(map[dag.LockID]*Mutex)}
-	return Run(cfg, func(t *T) { in.thread(t, spec) })
+	return func(t *T) { in.thread(t, spec) }, nil
 }
 
 type interp struct {

@@ -33,7 +33,11 @@ type Mutex struct {
 // acquire attempts to take m for t on worker w, reporting success; on
 // failure t is queued as a waiter and its worker must pick other work.
 // Called by workers, not threads. The block event is recorded under m.mu
-// so it is sequenced before the releasing worker's wake of t.
+// so it is sequenced before the releasing worker's wake of t. The waiter
+// is also registered with its job for the cancel sweep — under m.mu, so
+// registration and parking are atomic against the sweep: if the job was
+// poisoned first, the park is rolled back and t runs on to its death at
+// the next resume instead of waiting beyond the sweep's reach.
 func (m *Mutex) acquire(w int, t *T) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -42,13 +46,19 @@ func (m *Mutex) acquire(w int, t *T) bool {
 		return true
 	}
 	m.waiters = append(m.waiters, t)
+	if !t.job.registerBlocked(t, m) {
+		m.waiters = m.waiters[:len(m.waiters)-1]
+		return true // poisoned: keep "running"; the next resume kills t
+	}
 	t.rt.trace(w, rtrace.EvBlock, t.tid, rtrace.BlockLock, 0)
 	return false
 }
 
 // release drops t's hold on m and hands the lock to the longest waiter,
 // returning that waiter for re-publication to the scheduler (nil if none).
-// Called by workers, not threads.
+// Called by workers, not threads. Removing the waiter from the list under
+// m.mu is what arbitrates against the cancel sweep: whichever side
+// removes it owns its republication.
 func (m *Mutex) release(t *T) (*T, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -62,7 +72,23 @@ func (m *Mutex) release(t *T) (*T, error) {
 	next := m.waiters[0]
 	m.waiters = m.waiters[1:]
 	m.holder = next // hand the lock to the woken thread
+	next.job.unregisterBlocked(next)
 	return next, nil
+}
+
+// cancelWait implements blocker: the job cancel sweep removes t from the
+// waiter list so it can be republished to die. False means a concurrent
+// release already claimed (and is waking) t.
+func (m *Mutex) cancelWait(t *T) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, wt := range m.waiters {
+		if wt == t {
+			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // Lock acquires m, suspending t until it is available.

@@ -78,10 +78,23 @@ func (rt *Runtime) worker(w int) {
 		if curr == nil {
 			curr = rt.acquire(w)
 			if curr == nil {
-				return // computation finished
+				return // runtime shut down
 			}
 		}
 		ev := curr.step()
+
+		// Cancellation check: one atomic load per scheduling event, the
+		// lifecycle's entire cost on the hot path. A poisoned thread's
+		// event has no effects — no child is created, no waiter queued,
+		// no quota charged — and the thread dies at its next resume (do
+		// panics with the poison sentinel), which yields the evDone
+		// handled normally below. Threads already in deques or queues
+		// drain the same way: dispatch, poison check, death — so the
+		// ready structures purge themselves through ordinary pops and
+		// steals, never violating the Lemma 3.1 order.
+		if ev.kind != evDone && curr.job.poisoned.Load() {
+			continue
+		}
 
 		gl := rt.beginEvent()
 		// wake is set by the branches that publish work a parked worker
@@ -117,7 +130,7 @@ func (rt *Runtime) worker(w int) {
 				// Quota exhausted: preempt without performing the
 				// allocation; it will be retried after a fresh dispatch
 				// (§3.3, "memory quota exhausted").
-				rt.preempts.Add(1)
+				curr.job.preempts.Add(1)
 				rt.trace(w, rtrace.EvQuotaExhaust, curr.tid, ev.n, 0)
 				curr.retryAlloc = true
 				rt.pol.Preempt(w, curr)
@@ -126,7 +139,7 @@ func (rt *Runtime) worker(w int) {
 				break
 			}
 			rt.trace(w, rtrace.EvAlloc, curr.tid, ev.n, 0)
-			rt.charge(ev.n)
+			curr.job.charge(ev.n)
 
 		case evAllocExempt:
 			if rtrace.Enabled && rt.probe != nil {
@@ -136,11 +149,11 @@ func (rt *Runtime) worker(w int) {
 				}
 				rt.trace(w, rtrace.EvAllocExempt, curr.tid, ev.n, leaves)
 			}
-			rt.charge(ev.n)
+			curr.job.charge(ev.n)
 
 		case evFree:
 			rt.trace(w, rtrace.EvFree, curr.tid, ev.n, 0)
-			rt.charge(-ev.n)
+			curr.job.charge(-ev.n)
 			rt.pol.Credit(w, ev.n)
 
 		case evLock:
@@ -152,7 +165,7 @@ func (rt *Runtime) worker(w int) {
 		case evUnlock:
 			next, err := ev.mu.release(curr)
 			if err != nil {
-				rt.setFailure(err)
+				curr.job.fail(err)
 				break
 			}
 			if next != nil {
@@ -163,7 +176,7 @@ func (rt *Runtime) worker(w int) {
 		case evFutureSet:
 			woken, err := ev.fut.put(ev.val)
 			if err != nil {
-				rt.setFailure(err)
+				curr.job.fail(err)
 				break
 			}
 			for _, wt := range woken {
@@ -189,8 +202,9 @@ func (rt *Runtime) worker(w int) {
 			rt.prioDelete(curr.prio)
 			curr.prio = nil
 			woke := curr.finish()
-			if rt.live.Add(-1) == 0 {
-				rt.finishRun()
+			rt.live.Add(-1)
+			if j := curr.job; j.live.Add(-1) == 0 {
+				rt.finishJob(w, j)
 			}
 			next, ok := rt.pol.Terminate(w, woke, woke != nil)
 			if ok {
@@ -221,10 +235,12 @@ func (rt *Runtime) next(w int) *T {
 }
 
 // acquire blocks until it can hand the worker a thread (a steal for the
-// deque policies; a queue take otherwise) or the computation finishes
+// deque policies; a queue take otherwise) or the runtime shuts down
 // (nil). Work polling is lock-free (the policies' atomic ready counters);
 // rt.mu and the cond are only touched to park when there is provably
-// nothing to do.
+// nothing to do. In a persistent runtime an empty pool is the normal idle
+// state — workers park here between jobs and Submit's wakeIdlers revives
+// them.
 func (rt *Runtime) acquire(w int) *T {
 	var start time.Time
 	if rt.cfg.MeasureContention {
@@ -233,7 +249,7 @@ func (rt *Runtime) acquire(w int) *T {
 	rt.trace(w, rtrace.EvIdle, 0, 0, 0)
 	spins := 0
 	for {
-		if rt.finished.Load() {
+		if rt.stopped.Load() {
 			return nil
 		}
 		gl := rt.beginEvent()
@@ -263,34 +279,65 @@ func (rt *Runtime) acquire(w int) *T {
 		rt.mu.Lock()
 		rt.idleWaiters++
 		rt.idlers.Add(1)
-		if rt.pol.HasWork() || rt.finished.Load() {
+		if rt.pol.HasWork() || rt.stopped.Load() {
 			rt.idleWaiters--
 			rt.idlers.Add(-1)
 			rt.mu.Unlock()
-			if rt.finished.Load() {
+			if rt.stopped.Load() {
 				return nil
 			}
 			continue
 		}
 		if rt.idleWaiters == rt.cfg.Workers && rt.live.Load() > 0 {
-			// Every worker is parked, nothing is published, and threads
-			// remain live: nothing can ever publish work again — the
-			// program deadlocked (possible only outside the
-			// nested-parallel model, e.g. lock cycles or a Future nobody
-			// sets). Report it instead of hanging; the blocked thread
-			// goroutines are abandoned.
-			rt.setFailure(errDeadlock)
+			// Deadlock candidate: every worker is parked, nothing is
+			// published, and threads remain live. Confirm before acting.
 			rt.idleWaiters--
 			rt.idlers.Add(-1)
 			rt.mu.Unlock()
-			rt.finishRun()
-			return nil
+			if rt.confirmDeadlock() {
+				return nil
+			}
+			continue
 		}
 		rt.cond.Wait()
 		rt.idleWaiters--
 		rt.idlers.Add(-1)
 		rt.mu.Unlock()
 	}
+}
+
+// confirmDeadlock re-checks a deadlock candidate under extMu — Submit
+// publishes a job's live count and its root atomically under the same
+// lock, so a Submit racing the candidate either already published work
+// (the re-check sees it: no deadlock) or has not started (its job is not
+// in the live count). On confirmation every in-flight job is canceled
+// with errDeadlock: the poison sweep republishes the lock/future-blocked
+// threads, workers retire them, and the jobs drain — the runtime survives
+// a deadlocked program (possible only outside the nested-parallel model,
+// e.g. lock cycles or a Future nobody sets) with no abandoned goroutines.
+// Returns true when this worker should exit (shutdown), false to retry.
+func (rt *Runtime) confirmDeadlock() bool {
+	rt.extMu.Lock()
+	rt.mu.Lock()
+	confirmed := rt.idleWaiters == rt.cfg.Workers-1 && !rt.pol.HasWork() &&
+		rt.live.Load() > 0 && !rt.stopped.Load()
+	rt.mu.Unlock()
+	rt.extMu.Unlock()
+	if !confirmed {
+		return rt.stopped.Load()
+	}
+	rt.jobsMu.Lock()
+	jobs := make([]*Job, 0, len(rt.jobs))
+	for _, j := range rt.jobs {
+		jobs = append(jobs, j)
+	}
+	rt.jobsMu.Unlock()
+	for _, j := range jobs {
+		j.cancel(errDeadlock)
+	}
+	// The sweep republished the blocked threads; go back to the acquire
+	// loop and help retire them.
+	return false
 }
 
 // wakeIdlers wakes parked workers after new work was published. The
@@ -300,14 +347,6 @@ func (rt *Runtime) wakeIdlers() {
 	if rt.idlers.Load() == 0 {
 		return
 	}
-	rt.mu.Lock()
-	rt.cond.Broadcast()
-	rt.mu.Unlock()
-}
-
-// finishRun marks the computation complete and releases every worker.
-func (rt *Runtime) finishRun() {
-	rt.finished.Store(true)
 	rt.mu.Lock()
 	rt.cond.Broadcast()
 	rt.mu.Unlock()

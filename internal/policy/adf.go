@@ -95,6 +95,10 @@ func (a *ADF[T]) Threshold() int64 { return a.k }
 // Seed implements Policy.
 func (a *ADF[T]) Seed(t T) { a.insert(-1, t) }
 
+// Inject implements Policy: the priority-positioned insert already serves
+// mid-run injection.
+func (a *ADF[T]) Inject(t T) { a.insert(-1, t) }
+
 // Fork implements Policy: the parent re-enters the queue at its priority
 // position; the child runs next with a fresh quota.
 func (a *ADF[T]) Fork(w int, parent, child T) T {

@@ -44,6 +44,12 @@ func (d *DFD[T]) Threshold() int64 { return d.k }
 // Seed implements Policy.
 func (d *DFD[T]) Seed(t T) { d.pool.Seed(t) }
 
+// Inject implements Policy: the thread gets a new deque at its priority
+// position in R (the woken-thread insertion path), so mid-run injection —
+// a submitted job root, a canceled job's republished thread — preserves
+// the Lemma 3.1 left-to-right order.
+func (d *DFD[T]) Inject(t T) { d.pool.PushWoken(-1, t) }
+
 // Fork implements Policy: push the parent on the owned deque, run the
 // child (depth-first order); the quota spans steals, not dispatches.
 func (d *DFD[T]) Fork(w int, parent, child T) T {

@@ -82,6 +82,10 @@ func (f *FIFO[T]) Threshold() int64 { return f.k }
 // Seed implements Policy.
 func (f *FIFO[T]) Seed(t T) { f.push(-1, t) }
 
+// Inject implements Policy: injected threads join the tail like any other
+// runnable thread.
+func (f *FIFO[T]) Inject(t T) { f.push(-1, t) }
+
 // Fork implements Policy: the child is enqueued, the parent continues
 // (breadth-first — no child preemption).
 func (f *FIFO[T]) Fork(w int, parent, child T) T {

@@ -56,6 +56,13 @@ type Policy[T any] interface {
 	Threshold() int64
 	// Seed publishes the root thread before any worker runs.
 	Seed(t T)
+	// Inject publishes a thread from outside any worker while workers may
+	// be running: a newly submitted job's root, or a canceled job's
+	// blocked thread being republished so a worker can retire it. The
+	// thread enters the ready structure at its priority position (a new
+	// deque for DFDeques, the priority slot for ADF), so Lemma 3.1
+	// ordering survives mid-run injection.
+	Inject(t T)
 	// Fork handles a fork event on worker w and returns the thread the
 	// worker runs next (the child under depth-first policies, the parent
 	// under FIFO). Policies with a per-dispatch quota reset w's here.

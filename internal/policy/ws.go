@@ -181,6 +181,10 @@ func (s *WS[T]) Threshold() int64 { return 0 }
 // as a pre-run push: no worker is running yet).
 func (s *WS[T]) Seed(t T) { s.pool.push(-1, 0, t) }
 
+// Inject implements Policy: WS has no global priority order, so injected
+// threads land in worker 0's deque like the seed; thieves spread them.
+func (s *WS[T]) Inject(t T) { s.pool.push(-1, 0, t) }
+
 // Fork implements Policy: push the parent, run the child.
 func (s *WS[T]) Fork(w int, parent, child T) T {
 	s.pool.Push(w, parent)

@@ -27,6 +27,8 @@ type Summary struct {
 	WallNs           int64           `json:"wall_ns"`
 	Threads          int64           `json:"threads"`
 	DummyThreads     int64           `json:"dummy_threads"`
+	Jobs             int64           `json:"jobs,omitempty"`
+	CanceledJobs     int64           `json:"canceled_jobs,omitempty"`
 	Completed        int64           `json:"completed"`
 	Dispatches       int64           `json:"dispatches"`
 	LocalDispatches  int64           `json:"local_dispatches"`
@@ -69,6 +71,13 @@ func Summarize(meta Meta, evs []Event, dropped uint64) Summary {
 			if e.C == 1 {
 				s.DummyThreads++
 			}
+		case EvJobBegin:
+			s.Jobs++
+			if s.Jobs > 1 {
+				s.Threads++ // a late root; the first is the pre-counted 1
+			}
+		case EvJobCancel:
+			s.CanceledJobs++
 		case EvComplete:
 			s.Completed++
 			fallthrough
@@ -262,6 +271,12 @@ func Export(w io.Writer, meta Meta, evs []Event, dropped uint64) error {
 			if e.Kind == EvQuotaExhaust {
 				instant(e, "quota-exhaust", map[string]any{"tid": e.A, "bytes": e.B})
 			}
+		case EvJobBegin:
+			instant(e, "job-begin", map[string]any{"job": e.A, "root": e.B})
+		case EvJobCancel:
+			instant(e, "job-cancel", map[string]any{"job": e.A})
+		case EvJobEnd:
+			instant(e, "job-end", map[string]any{"job": e.A, "failed": e.B == 1})
 		case EvSteal:
 			instant(e, "steal", map[string]any{"tid": e.A, "victim_deque": e.B, "new_deque": e.C})
 			if e.C >= 0 {

@@ -88,6 +88,20 @@ const (
 	EvQueuePush
 	// EvQueueTake: worker W took thread A from the global queue.
 	EvQueueTake
+	// EvJobBegin: job A was submitted with root thread B. Recorded on the
+	// scheduler lane (W = -1) under the runtime's submission lock, before
+	// the root is published, so replay always learns a root tid before its
+	// first push. Appears once per Submit; single-job streams recorded
+	// before the persistent-runtime API predate this kind and the verifier
+	// pre-registers their root (tid 1) instead.
+	EvJobBegin
+	// EvJobCancel: job A was canceled (context cancellation, deadline,
+	// shutdown abort, or deadlock recovery); its threads die at their next
+	// scheduling point. Recorded on the scheduler lane (W = -1).
+	EvJobCancel
+	// EvJobEnd: job A's last thread completed on worker W; B = 1 if the
+	// job finished with an error (panic, violation, or cancellation).
+	EvJobEnd
 
 	numKinds
 )
@@ -111,7 +125,7 @@ var kindNames = [numKinds]string{
 	"fork", "dispatch", "block", "complete", "alloc", "alloc-exempt",
 	"free", "quota-exhaust", "dummy", "idle", "steal-attempt", "steal",
 	"deque-create", "deque-release", "deque-retire", "push", "pop",
-	"queue-push", "queue-take",
+	"queue-push", "queue-take", "job-begin", "job-cancel", "job-end",
 }
 
 func (k Kind) String() string {
@@ -132,7 +146,7 @@ type Event struct {
 	TS      int64
 	A, B, C int64
 	Kind    Kind
-	W       int32 // recording worker; -1 for pre-run (seed) events
+	W       int32 // recording worker; -1 for scheduler-side (non-worker) events
 }
 
 func (e Event) String() string {
@@ -144,7 +158,9 @@ func (e Event) String() string {
 // through. A nil Probe disables recording at every hook site; *Recorder is
 // the real implementation. Event must be safe for concurrent use under the
 // runtime's discipline: each worker index is used by one goroutine at a
-// time (w = -1 only before the workers start).
+// time, and every w = -1 record (submission, cancellation, and any other
+// scheduler-side action) is serialized behind the runtime's submission
+// lock.
 type Probe interface {
 	Event(w int, kind Kind, a, b, c int64)
 }
@@ -167,7 +183,8 @@ type Meta struct {
 // the same scheduling burst — reuses the lane's most recent timestamp.
 // Replay verification orders by Seq, never TS.
 const exactTS = 1<<EvBlock | 1<<EvComplete |
-	1<<EvQuotaExhaust | 1<<EvIdle | 1<<EvSteal | 1<<EvAllocExempt
+	1<<EvQuotaExhaust | 1<<EvIdle | 1<<EvSteal | 1<<EvAllocExempt |
+	1<<EvJobBegin | 1<<EvJobCancel | 1<<EvJobEnd
 
 // lane is one worker's private ring buffer. Only that worker writes it;
 // the merger reads it after the run (the runtime's WaitGroup provides the

@@ -40,6 +40,17 @@ import (
 // weaker ordering guarantees; on the first non-join block the ordering
 // checks are disabled (Report.OrderingExact=false) while conservation and
 // quota checks continue.
+//
+// Persistent-runtime streams carry job lifecycle events: each EvJobBegin
+// introduces a root thread (lowest 1DF priority — the runtime appends new
+// roots at the tail of its order-maintenance list), EvJobEnd asserts every
+// thread of that job completed, and EvJobCancel marks a poison-canceled
+// job — canceled threads still drain through ordinary dispatches and
+// completions, so conservation and quota checks hold for them unchanged.
+// Streams predating job events (a single pre-registered root, tid 1)
+// still verify. Under WS a second job's root is appended to deque 0
+// regardless of priority (WS has no priority order to keep), so multi-job
+// WS streams disable the ordering checks like lock programs do.
 func Verify(meta Meta, evs []Event, dropped uint64) (Report, error) {
 	v := &verifier{meta: meta, rep: Report{Events: len(evs), OrderingExact: true}}
 	if dropped > 0 {
@@ -76,6 +87,8 @@ type Report struct {
 	Events        int
 	Threads       int64
 	DummyThreads  int64
+	Jobs          int64 // job-begin events (0 on pre-lifecycle streams)
+	CanceledJobs  int64 // jobs poison-canceled before completion
 	Dispatches    int64
 	Steals        int64
 	QuotaExhausts int64
@@ -99,12 +112,20 @@ const (
 
 type vthread struct {
 	state      tstate
-	on         int // worker (tRunning/tInflight)
+	on         int   // worker (tRunning/tInflight)
+	job        int64 // owning job id (0 on pre-lifecycle streams)
 	dummy      bool
 	waitee     int64 // tid being joined (tBlocked on join), else -1
 	rec        *om.Record
 	dispatches int64
 	suspends   int64 // blocks + preemptions + fork pushes of the parent
+}
+
+// vjob tracks one submitted job's lifecycle through the replay.
+type vjob struct {
+	root     int64
+	canceled bool
+	ended    bool
 }
 
 type vdeque struct {
@@ -118,6 +139,7 @@ type verifier struct {
 
 	prios   om.List
 	threads map[int64]*vthread
+	jobs    map[int64]*vjob
 
 	// DFDeques: the ordered list R. WS: fixed per-worker deques (no R
 	// order). ADF/FIFO: the global queue.
@@ -137,6 +159,7 @@ type meta2 = Meta
 
 func (v *verifier) init() {
 	v.threads = map[int64]*vthread{}
+	v.jobs = map[int64]*vjob{}
 	v.deques = map[int64]*vdeque{}
 	v.running = make([]int64, v.meta.Workers)
 	v.owned = make([]int64, v.meta.Workers)
@@ -204,7 +227,7 @@ func (v *verifier) step(e *Event) error {
 			return v.fail(e, "forked thread t%d already exists", e.B)
 		}
 		v.threads[e.B] = &vthread{
-			state: tNew, on: -1, waitee: -1, dummy: e.C == 1,
+			state: tNew, on: -1, waitee: -1, dummy: e.C == 1, job: parent.job,
 			rec: v.prios.InsertBefore(parent.rec),
 		}
 		v.rep.Threads++
@@ -343,6 +366,64 @@ func (v *verifier) step(e *Event) error {
 		}
 		if v.meta.Policy == "ADF" {
 			v.quota[w] = 0 // the dummy consumed the dispatch's quota
+		}
+
+	case EvJobBegin:
+		if w != -1 {
+			return v.fail(e, "job begin on a worker lane (must be scheduler-side)")
+		}
+		if _, dup := v.jobs[e.A]; dup {
+			return v.fail(e, "job %d already begun", e.A)
+		}
+		if t, ok := v.threads[e.B]; ok {
+			// The verifier pre-registers tid 1 so pre-lifecycle streams
+			// still replay; the first job adopts it as its root.
+			if len(v.jobs) > 0 || e.B != 1 || t.state != tNew || t.dispatches != 0 {
+				return v.fail(e, "job %d root t%d already exists", e.A, e.B)
+			}
+			t.job = e.A
+		} else {
+			// Late roots are appended at the tail of the runtime's
+			// order-maintenance list: lowest 1DF priority.
+			v.threads[e.B] = &vthread{
+				state: tNew, on: -1, waitee: -1, job: e.A, rec: v.prios.PushBack(),
+			}
+			v.rep.Threads++
+		}
+		v.jobs[e.A] = &vjob{root: e.B}
+		v.rep.Jobs++
+		if len(v.jobs) > 1 && v.meta.Policy == "WS" && v.ordered {
+			v.ordered = false
+			v.rep.OrderingExact = false
+			v.rep.Notes = append(v.rep.Notes,
+				"multiple jobs under WS: late roots join deque 0 regardless of priority; ordering checks disabled from "+e.String())
+		}
+
+	case EvJobCancel:
+		j, ok := v.jobs[e.A]
+		if !ok {
+			return v.fail(e, "cancel of unknown job %d", e.A)
+		}
+		// A cancel can land just after the job's natural completion (the
+		// context watcher races the last thread); it is then a no-op.
+		if !j.ended && !j.canceled {
+			j.canceled = true
+			v.rep.CanceledJobs++
+		}
+
+	case EvJobEnd:
+		j, ok := v.jobs[e.A]
+		if !ok {
+			return v.fail(e, "end of unknown job %d", e.A)
+		}
+		if j.ended {
+			return v.fail(e, "job %d ended twice", e.A)
+		}
+		j.ended = true
+		for tid, t := range v.threads {
+			if t.job == e.A && t.state != tDone {
+				return v.fail(e, "job %d ended with t%d in state %d (not done)", e.A, tid, t.state)
+			}
 		}
 
 	case EvIdle:
@@ -633,6 +714,11 @@ func (v *verifier) final() error {
 	}
 	if len(v.queue) != 0 {
 		return fmt.Errorf("rtrace: %d threads still queued at end of run", len(v.queue))
+	}
+	for id, j := range v.jobs {
+		if !j.ended {
+			return fmt.Errorf("rtrace: job %d (root t%d) never ended: truncated stream or leaked job", id, j.root)
+		}
 	}
 	return nil
 }

@@ -7,6 +7,8 @@ package rtrace_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -247,5 +249,110 @@ func TestExportRealRunLoadsBack(t *testing.T) {
 	}
 	if _, err := rtrace.Verify(meta, evs, dropped); err != nil {
 		t.Fatalf("replay of exported file failed: %v", err)
+	}
+}
+
+// TestVerifyMultiJobStreamWithCancellation records a persistent runtime
+// serving three jobs — two completing, one canceled mid-flight — and
+// requires the replay to track each job's lifecycle: every thread
+// attributed to its job, the canceled job drained through ordinary
+// dispatches and completions, and all three jobs ended. Under DFDeques
+// the late roots enter through priority-positioned injection, so the
+// Lemma 3.1 ordering checks stay at full strength; under WS a late root
+// joins deque 0 regardless of priority, and the verifier must degrade
+// ordering the way it does for lock programs. The exported file must
+// round-trip through Load and verify identically (the dfdtrace -verify
+// path).
+func TestVerifyMultiJobStreamWithCancellation(t *testing.T) {
+	spin := func(t *grt.T) {
+		for {
+			t.ForkJoin(func(*grt.T) {})
+		}
+	}
+	for _, sc := range []struct {
+		name  string
+		kind  grt.Kind
+		k     int64
+		exact bool
+	}{
+		{"DFD", grt.DFDeques, 256, true},
+		{"WS", grt.WS, 0, false},
+	} {
+		t.Run(sc.name, func(t *testing.T) {
+			rec := rtrace.NewRecorder(4, 1<<18)
+			rt, err := grt.New(grt.Config{
+				Workers: 4, Sched: sc.kind, K: sc.k, Seed: 13, Probe: rec,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			jA, err := rt.Submit(context.Background(), tree(6))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctxB, cancelB := context.WithCancel(context.Background())
+			defer cancelB()
+			jB, err := rt.Submit(ctxB, spin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jC, err := rt.Submit(context.Background(), chain(12))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := jA.Wait(); err != nil {
+				t.Fatalf("job A: %v", err)
+			}
+			if _, err := jC.Wait(); err != nil {
+				t.Fatalf("job C: %v", err)
+			}
+			cancelB()
+			if _, err := jB.Wait(); !errors.Is(err, context.Canceled) {
+				t.Fatalf("job B: %v, want context.Canceled", err)
+			}
+			if err := rt.Shutdown(context.Background()); err != nil {
+				t.Fatalf("Shutdown: %v", err)
+			}
+			if rec.Dropped() != 0 {
+				t.Fatalf("ring dropped %d events; raise the buffer", rec.Dropped())
+			}
+
+			rep, err := rtrace.Verify(rec.Meta(), rec.Events(), rec.Dropped())
+			if err != nil {
+				t.Fatalf("replay verification failed: %v", err)
+			}
+			if rep.Jobs != 3 {
+				t.Fatalf("replay saw %d jobs, want 3", rep.Jobs)
+			}
+			if rep.CanceledJobs != 1 {
+				t.Fatalf("replay saw %d canceled jobs, want 1", rep.CanceledJobs)
+			}
+			if rep.OrderingExact != sc.exact {
+				t.Fatalf("OrderingExact = %v, want %v (notes: %v)", rep.OrderingExact, sc.exact, rep.Notes)
+			}
+
+			var buf bytes.Buffer
+			if err := rtrace.Export(&buf, rec.Meta(), rec.Events(), rec.Dropped()); err != nil {
+				t.Fatalf("Export: %v", err)
+			}
+			meta, evs, dropped, err := rtrace.Load(&buf)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			rep2, err := rtrace.Verify(meta, evs, dropped)
+			if err != nil {
+				t.Fatalf("replay of exported multi-job file failed: %v", err)
+			}
+			if rep2.Jobs != 3 || rep2.CanceledJobs != 1 {
+				t.Fatalf("exported replay saw %d jobs / %d canceled, want 3 / 1", rep2.Jobs, rep2.CanceledJobs)
+			}
+			sum := rtrace.Summarize(meta, evs, dropped)
+			if sum.Jobs != 3 || sum.CanceledJobs != 1 {
+				t.Fatalf("summary has %d jobs / %d canceled, want 3 / 1", sum.Jobs, sum.CanceledJobs)
+			}
+			if sum.Threads != rep2.Threads {
+				t.Fatalf("summary counts %d threads, replay %d", sum.Threads, rep2.Threads)
+			}
+		})
 	}
 }

@@ -1,0 +1,182 @@
+package dfdeques
+
+import (
+	"context"
+	"fmt"
+
+	"dfdeques/internal/grt"
+)
+
+// RuntimeConfig configures the real runtime. The zero value is usable: one
+// worker, DFDeques with no memory quota (K = 0 means ∞). Validate reports
+// configuration mistakes eagerly; NewRuntime, Run and RunProgram call it
+// for you.
+type RuntimeConfig struct {
+	// Workers is the number of scheduler workers (virtual processors);
+	// 0 means 1.
+	Workers int
+	// Sched selects the scheduling algorithm.
+	Sched SchedKind
+	// K is the memory threshold in bytes; 0 means no quota (∞). For
+	// DFDeques it bounds net allocation per steal; for ADF, per thread
+	// dispatch. WS takes no K — it is DFDeques(∞) by definition, so a
+	// nonzero K with SchedWS is a configuration error.
+	K int64
+	// Seed drives steal-victim randomness.
+	Seed int64
+	// CoarseLock serializes every scheduling decision behind one global
+	// mutex — the paper's §5 protocol, kept for differential testing and
+	// contention measurement. The default (false) is the fine-grained
+	// runtime.
+	CoarseLock bool
+	// MeasureContention enables the wall-clock contention counters in
+	// RunStats (StealWaitNs, SchedLockNs). Off by default — timing every
+	// critical section would distort the benchmarks the counters explain.
+	MeasureContention bool
+	// Probe receives one event per scheduling action; nil disables
+	// recording. Pass a *TraceRecorder (see NewTraceRecorder) to capture
+	// the run for ExportTrace, SummarizeTrace, or VerifyTrace — the
+	// runtime stamps the recorder's metadata automatically. Building with
+	// -tags grtnotrace compiles every hook site out regardless.
+	Probe TraceProbe
+}
+
+// ConfigError describes an invalid RuntimeConfig field.
+type ConfigError struct {
+	Field  string // the RuntimeConfig field name
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("dfdeques: invalid RuntimeConfig.%s: %s", e.Field, e.Reason)
+}
+
+// Validate reports the first configuration mistake as a *ConfigError, or
+// nil if the configuration is usable.
+func (c RuntimeConfig) Validate() error {
+	if c.Workers < 0 {
+		return &ConfigError{Field: "Workers", Reason: fmt.Sprintf("must be >= 0 (0 means 1), got %d", c.Workers)}
+	}
+	if c.K < 0 {
+		return &ConfigError{Field: "K", Reason: fmt.Sprintf("must be >= 0 (0 means no quota), got %d", c.K)}
+	}
+	switch c.Sched {
+	case SchedDFDeques, SchedADF, SchedFIFO, SchedWS:
+	default:
+		return &ConfigError{Field: "Sched", Reason: fmt.Sprintf("unknown scheduler kind %d", c.Sched)}
+	}
+	if c.Sched == SchedWS && c.K != 0 {
+		return &ConfigError{Field: "K", Reason: "SchedWS is DFDeques(∞) and takes no memory threshold; use SchedDFDeques for a finite K"}
+	}
+	return nil
+}
+
+// grtConfig lowers the public configuration to the internal runtime's.
+func (c RuntimeConfig) grtConfig() grt.Config {
+	return grt.Config{
+		Workers: c.Workers, Sched: c.Sched, K: c.K, Seed: c.Seed,
+		CoarseLock: c.CoarseLock, MeasureContention: c.MeasureContention,
+		Probe: c.Probe,
+	}
+}
+
+// Runtime is a persistent scheduling service: a warm worker pool that runs
+// any number of submitted jobs, concurrently and back-to-back, without
+// paying the pool start-up cost per computation. Build one with
+// NewRuntime, feed it with Submit, stop it with Shutdown.
+type Runtime struct {
+	rt *grt.Runtime
+}
+
+// Job is one root computation in flight on a Runtime: its own fork-join
+// tree with its own statistics, failure state, and cancellation. See
+// Runtime.Submit.
+type Job struct {
+	j *grt.Job
+}
+
+// JobStats reports what one job did; scheduler-wide counters (steals, lock
+// operations) are in RunStats, shared by all of a Runtime's jobs.
+type JobStats = grt.JobStats
+
+// ErrShutdown is returned by Submit after Shutdown has begun, and is the
+// error of jobs aborted by a shutdown whose context expired.
+var ErrShutdown = grt.ErrShutdown
+
+// NewRuntime validates cfg, builds a runtime, and starts its worker pool.
+// The workers idle (parked, not spinning) until Submit gives them work.
+// Callers must eventually call Shutdown to join them.
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rt, err := grt.New(cfg.grtConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{rt: rt}, nil
+}
+
+// Submit starts root as the root thread of a new job and returns without
+// waiting. The job runs until its tree completes or ctx is canceled;
+// cancellation (or a deadline) poisons the job's threads, which die at
+// their next scheduling point, and Job.Wait then returns ctx's error. A
+// panicking thread body fails only its own job — the workers and other
+// jobs are untouched. Submit fails with ErrShutdown once Shutdown has
+// begun.
+func (r *Runtime) Submit(ctx context.Context, root func(*Thread)) (*Job, error) {
+	j, err := r.rt.Submit(ctx, root)
+	if err != nil {
+		return nil, err
+	}
+	return &Job{j: j}, nil
+}
+
+// Stats merges one job's accounting with the runtime's scheduler-wide
+// counters into the flat RunStats report the one-shot Run returns.
+func (r *Runtime) Stats(js JobStats) RunStats { return r.rt.Stats(js) }
+
+// Shutdown stops the runtime: it refuses new submissions, waits for
+// in-flight jobs to drain, and joins every worker. If ctx is canceled
+// first, the remaining jobs are aborted with ErrShutdown and drained, and
+// ctx's error is returned; either way no runtime goroutine survives a
+// returned Shutdown. Idempotent.
+func (r *Runtime) Shutdown(ctx context.Context) error { return r.rt.Shutdown(ctx) }
+
+// Wait blocks until the job completes or its submission context fires,
+// returning the job's stats and its first error: nil on success, the
+// panic or discipline-violation error on failure, ctx's error on
+// cancellation, ErrShutdown on an aborted shutdown.
+func (j *Job) Wait() (JobStats, error) { return j.j.Wait() }
+
+// Done returns a channel closed when the job's last thread completes.
+func (j *Job) Done() <-chan struct{} { return j.j.Done() }
+
+// Err returns the job's first recorded error (nil while running cleanly).
+func (j *Job) Err() error { return j.j.Err() }
+
+// Stats returns the job's accounting: stable after Done, a live snapshot
+// before.
+func (j *Job) Stats() JobStats { return j.j.Stats() }
+
+// Run executes root as the root thread of a fresh one-job runtime and
+// blocks until it completes: NewRuntime + Submit + Wait + Shutdown. For
+// running many computations, build one Runtime and Submit to it — the
+// warm pool amortizes worker start-up across jobs.
+func Run(cfg RuntimeConfig, root func(*Thread)) (RunStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return RunStats{}, err
+	}
+	return grt.Run(cfg.grtConfig(), root)
+}
+
+// RunProgram interprets a declarative Program on the real runtime: the
+// same workload definition a Simulate call measures under the cost model
+// executes here as genuine concurrency. workScale sets spin iterations per
+// unit action (0 = default).
+func RunProgram(cfg RuntimeConfig, p *Program, workScale int) (RunStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return RunStats{}, err
+	}
+	return grt.RunSpec(cfg.grtConfig(), p, workScale)
+}

@@ -1,0 +1,153 @@
+package dfdeques_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"dfdeques"
+)
+
+func TestRuntimeConfigValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   dfdeques.RuntimeConfig
+		field string // "" means valid
+	}{
+		{"zero value", dfdeques.RuntimeConfig{}, ""},
+		{"typical", dfdeques.RuntimeConfig{Workers: 8, Sched: dfdeques.SchedDFDeques, K: 50_000}, ""},
+		{"ws without k", dfdeques.RuntimeConfig{Workers: 2, Sched: dfdeques.SchedWS}, ""},
+		{"negative workers", dfdeques.RuntimeConfig{Workers: -1}, "Workers"},
+		{"negative k", dfdeques.RuntimeConfig{K: -5}, "K"},
+		{"unknown sched", dfdeques.RuntimeConfig{Sched: dfdeques.SchedKind(99)}, "Sched"},
+		{"ws with k", dfdeques.RuntimeConfig{Sched: dfdeques.SchedWS, K: 1000}, "K"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("Validate = %v, want nil", err)
+				}
+				return
+			}
+			var ce *dfdeques.ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Validate = %v (%T), want *ConfigError", err, err)
+			}
+			if ce.Field != tc.field {
+				t.Fatalf("ConfigError.Field = %q, want %q", ce.Field, tc.field)
+			}
+			if !strings.Contains(err.Error(), "RuntimeConfig."+tc.field) {
+				t.Fatalf("error %q does not name the field", err)
+			}
+		})
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	var ce *dfdeques.ConfigError
+	_, err := dfdeques.Run(dfdeques.RuntimeConfig{Sched: dfdeques.SchedWS, K: 7}, func(*dfdeques.Thread) {})
+	if !errors.As(err, &ce) {
+		t.Fatalf("Run = %v, want *ConfigError", err)
+	}
+	if _, err := dfdeques.NewRuntime(dfdeques.RuntimeConfig{Workers: -2}); !errors.As(err, &ce) {
+		t.Fatalf("NewRuntime = %v, want *ConfigError", err)
+	}
+}
+
+func TestRuntimeLifecycleFacade(t *testing.T) {
+	rt, err := dfdeques.NewRuntime(dfdeques.RuntimeConfig{Workers: 4, Sched: dfdeques.SchedDFDeques, K: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(n int64, out *int64) func(*dfdeques.Thread) {
+		return func(r *dfdeques.Thread) {
+			var rec func(t *dfdeques.Thread, lo, hi int64) int64
+			rec = func(t *dfdeques.Thread, lo, hi int64) int64 {
+				if hi-lo <= 4 {
+					var s int64
+					for i := lo; i < hi; i++ {
+						s += i
+					}
+					return s
+				}
+				mid := (lo + hi) / 2
+				var left int64
+				h := t.Fork(func(c *dfdeques.Thread) { left = rec(c, lo, mid) })
+				right := rec(t, mid, hi)
+				t.Join(h)
+				return left + right
+			}
+			*out = rec(r, 0, n)
+		}
+	}
+	var a, b int64
+	j1, err := rt.Submit(context.Background(), sum(100, &a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := rt.Submit(context.Background(), sum(200, &b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err1 := j1.Wait()
+	s2, err2 := j2.Wait()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("waits: %v, %v", err1, err2)
+	}
+	if a != 4950 || b != 19900 {
+		t.Fatalf("sums = %d, %d; want 4950, 19900", a, b)
+	}
+	if s1.TotalThreads < 2 || s2.TotalThreads < 2 {
+		t.Fatalf("per-job thread counts = %d, %d; want > 1", s1.TotalThreads, s2.TotalThreads)
+	}
+	if rs := rt.Stats(s1); rs.TotalThreads != s1.TotalThreads {
+		t.Fatalf("Stats merge lost the job accounting: %d vs %d", rs.TotalThreads, s1.TotalThreads)
+	}
+	if err := rt.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := rt.Submit(context.Background(), func(*dfdeques.Thread) {}); !errors.Is(err, dfdeques.ErrShutdown) {
+		t.Fatalf("Submit after Shutdown = %v, want ErrShutdown", err)
+	}
+}
+
+func TestPublicTraceSurface(t *testing.T) {
+	rec := dfdeques.NewTraceRecorder(2, 1<<14)
+	_, err := dfdeques.Run(dfdeques.RuntimeConfig{
+		Workers: 2, Sched: dfdeques.SchedDFDeques, K: 256, Seed: 3, Probe: rec,
+	}, func(r *dfdeques.Thread) {
+		h := r.Fork(func(c *dfdeques.Thread) { c.Alloc(64); c.Free(64) })
+		r.Alloc(1000) // > K: dummy transformation
+		r.Free(1000)
+		r.Join(h)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dfdeques.VerifyTrace(rec)
+	if err != nil {
+		t.Fatalf("VerifyTrace: %v", err)
+	}
+	if !rep.OrderingExact || rep.Jobs != 1 {
+		t.Fatalf("report = %+v, want exact ordering and 1 job", rep)
+	}
+	sum := dfdeques.SummarizeTrace(rec)
+	if sum.Threads != rep.Threads {
+		t.Fatalf("summary threads %d != replay threads %d", sum.Threads, rep.Threads)
+	}
+	var buf bytes.Buffer
+	if err := dfdeques.ExportTrace(&buf, rec); err != nil {
+		t.Fatalf("ExportTrace: %v", err)
+	}
+	rep2, err := dfdeques.VerifyTraceFile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("VerifyTraceFile: %v", err)
+	}
+	if rep2.Threads != rep.Threads {
+		t.Fatalf("file replay threads %d != in-memory %d", rep2.Threads, rep.Threads)
+	}
+}

@@ -10,8 +10,17 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+# staticcheck when available (CI installs it; local runs skip silently so
+# the script stays dependency-free).
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+fi
 go test ./...
 go test -race ./internal/grt/... ./internal/deque/... ./internal/core/... ./internal/policy/... ./internal/rtrace/...
+# Lifecycle stress: cancellation, shutdown and drain paths repeated under
+# the race detector — the park/wake, poison-sweep and job-retirement
+# races only show up across many runs.
+go test -race -run 'Cancel|Shutdown|Drain' -count=5 ./internal/grt/...
 # The tracing hooks must also compile out cleanly (-tags grtnotrace folds
 # every hook site away behind the rtrace.Enabled constant).
 go build -tags grtnotrace ./...
