@@ -10,6 +10,7 @@ package dfdeques_test
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"dfdeques"
@@ -211,6 +212,61 @@ func BenchmarkGrtContention(b *testing.B) {
 				}
 				b.ReportMetric(float64(lockOps)/float64(b.N), "lockops/op")
 				b.ReportMetric(float64(steals)/float64(b.N), "steals/op")
+			})
+		}
+	}
+}
+
+// BenchmarkGrtSpeedup runs one fixed CPU-bound fork-join workload — a
+// binary tree of depth 6 whose 64 leaves each burn a fixed arithmetic
+// spin — across worker counts and the three depth-first schedulers, so
+// the recorded perf trajectory (BENCH_*.json) captures parallel
+// efficiency (ns/op falling, or at least flat, as p grows) rather than
+// only per-op scheduling latency. The leaf spin feeds a package-level
+// sink so the compiler cannot elide the work.
+var speedupSink atomic.Int64
+
+func BenchmarkGrtSpeedup(b *testing.B) {
+	const (
+		depth     = 6    // 2^6 = 64 leaves
+		leafIters = 4000 // ~tens of µs of integer mixing per leaf
+	)
+	leafWork := func(seed int64) int64 {
+		x := uint64(seed)*0x9E3779B97F4A7C15 + 1
+		for i := 0; i < leafIters; i++ {
+			x ^= x >> 12
+			x ^= x << 25
+			x ^= x >> 27
+			x *= 0x2545F4914F6CDD1D
+		}
+		return int64(x)
+	}
+	var rec func(t *dfdeques.Thread, d int, seed int64)
+	rec = func(t *dfdeques.Thread, d int, seed int64) {
+		if d == 0 {
+			speedupSink.Add(leafWork(seed))
+			return
+		}
+		h := t.Fork(func(c *dfdeques.Thread) { rec(c, d-1, 2*seed) })
+		rec(t, d-1, 2*seed+1)
+		t.Join(h)
+	}
+	for _, k := range []dfdeques.SchedKind{dfdeques.SchedDFDeques, dfdeques.SchedWS, dfdeques.SchedADF} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			var kbytes int64 = 1 << 20
+			if k == dfdeques.SchedWS {
+				kbytes = 0 // WS is DFDeques(∞): no memory threshold
+			}
+			b.Run(fmt.Sprintf("%s/p%d", k, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := dfdeques.Run(dfdeques.RuntimeConfig{
+						Workers: workers, Sched: k, K: kbytes, Seed: int64(i),
+					}, func(r *dfdeques.Thread) {
+						rec(r, depth, 1)
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
 			})
 		}
 	}

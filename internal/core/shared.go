@@ -16,18 +16,27 @@ import (
 //
 // Synchronization design (see DESIGN.md §5, "beyond the paper"):
 //
-//   - Every deque carries its own lock (deque.Deque.Mu). The owner's hot
-//     path — PushOwn on fork, PopOwn on block — takes only that lock, so
-//     forks and joins on different workers never contend with each other
-//     or with the rest of the runtime.
+//   - Every deque carries its own lock (deque.Deque.Mu) plus the biased
+//     owner fast path (deque.OwnerAcquire): the owner's hot path — PushOwn
+//     on fork, PopOwn on block — runs lock-free while no thief has
+//     targeted the deque, and falls back to Mu (rebiasing on the way out)
+//     once one has. Thieves always take Mu and Share the deque first.
 //   - R's spine (membership and left-to-right order) is guarded by an
 //     RWMutex. Only operations that change membership take it exclusively:
 //     Steal (pop-bottom + insert-right must be one linearization point, or
 //     two thieves hitting one victim could insert their deques in inverted
 //     priority order), deque deletion, and the woken-thread insert. The
-//     read side covers cheap observations.
+//     read side covers cheap observations — including Steal's screening
+//     phase, which rejects an empty victim via SizeHint without ever
+//     taking the spine exclusively.
 //   - A pool-wide atomic counter of ready threads makes HasWork lock-free,
 //     so idle workers can poll for work without touching any lock.
+//   - Deques deleted from R are Reset onto a freelist (guarded by the
+//     spine lock, which already covers every membership change) and reused
+//     by the next steal or wake, so the steady-state steal cycle
+//     allocates nothing. A deque is recycled only under the exclusive
+//     spine lock and only after its owner pointer is cleared, so no
+//     stale reference can observe the reuse.
 //
 // Lock order, here and in internal/grt: R spine → deque.Mu → (the
 // runtime's priority-list lock, taken inside the less callback). All pool
@@ -44,8 +53,16 @@ type SharedPool[T any] struct {
 	// rngs[w] is worker w's private victim-selection stream, derived
 	// deterministically from (run seed, w) by WorkerSeed: same-seed runs
 	// draw the same victim sequences per worker, and the steal path never
-	// serializes on a shared generator.
+	// serializes on a shared generator. Seeded lazily at w's first steal
+	// (each slot is touched only by its worker): math/rand's seeding fills
+	// a 607-word feedback register, and paying that p times up front
+	// dominates short runs' construction cost.
 	rngs []*rand.Rand
+	seed int64
+
+	// free is the deque freelist, guarded by the spine lock: deques only
+	// leave R under it, and only then may they be recycled.
+	free []*deque.Deque[T]
 
 	// Tracing (nil probe: disabled). deqID is the next deque id, advanced
 	// under the spine lock where every deque is created.
@@ -69,16 +86,24 @@ func NewSharedPool[T any](p int, less func(a, b T) bool, seed int64) *SharedPool
 	if p < 1 {
 		panic("core: pool needs at least one worker")
 	}
-	pl := &SharedPool[T]{
+	return &SharedPool[T]{
 		p:    p,
 		less: less,
 		own:  make([]atomic.Pointer[deque.Deque[T]], p),
 		rngs: make([]*rand.Rand, p),
+		seed: seed,
 	}
-	for w := range pl.rngs {
-		pl.rngs[w] = rand.New(rand.NewSource(WorkerSeed(seed, w)))
+}
+
+// rng returns worker w's private victim-selection stream, seeding it on
+// first use. Only worker w may call it.
+func (pl *SharedPool[T]) rng(w int) *rand.Rand {
+	r := pl.rngs[w]
+	if r == nil {
+		r = rand.New(rand.NewSource(WorkerSeed(pl.seed, w)))
+		pl.rngs[w] = r
 	}
-	return pl
+	return r
 }
 
 // WorkerSeed derives worker w's private RNG seed from the run seed with a
@@ -117,13 +142,40 @@ func (pl *SharedPool[T]) lockList() {
 	pl.listOps.Add(1)
 }
 
+// takeFree returns a reusable deque with a fresh ID. The caller must hold
+// the spine lock exclusively and insert the deque into R before releasing
+// it.
+func (pl *SharedPool[T]) takeFree() *deque.Deque[T] {
+	var d *deque.Deque[T]
+	if n := len(pl.free); n > 0 {
+		d = pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+	} else {
+		d = deque.NewDeque[T]()
+	}
+	pl.deqID++
+	d.ID = pl.deqID
+	return d
+}
+
+// retire deletes d from R and recycles it. The caller must hold the spine
+// lock exclusively but not d's Mu, and d must be empty and its own
+// pointer already cleared: every other accessor reaches a deque through R
+// under the spine lock, so nothing can observe the Reset or the reuse.
+func (pl *SharedPool[T]) retire(w int, d *deque.Deque[T]) {
+	pl.r.Delete(d)
+	pl.trace(w, rtrace.EvDequeRetire, d.ID, 0, 0)
+	d.Reset()
+	pl.free = append(pl.free, d)
+}
+
 // Seed places the root thread into a fresh, unowned deque at the left end
 // of R, ready to be stolen by the first idle worker.
 func (pl *SharedPool[T]) Seed(root T) {
 	pl.lockList()
-	d := pl.r.PushLeft()
-	pl.deqID++
-	d.ID = pl.deqID
+	d := pl.takeFree()
+	pl.r.PushLeftReuse(d)
 	pl.trace(-1, rtrace.EvDequeCreate, d.ID, -1, 0)
 	d.Mu.Lock()
 	d.PushTop(root)
@@ -137,94 +189,131 @@ func (pl *SharedPool[T]) Seed(root T) {
 }
 
 // PushOwn pushes x onto worker w's deque top (the fork and preemption
-// path). It touches only the deque's own lock. The worker must own a
-// deque.
+// path). While the deque is unshared this is entirely lock-free (the
+// biased fast path); once a thief has targeted it, it takes the deque's
+// own lock and rebiases. The worker must own a deque. Traces are emitted
+// inside the protected window either way, so a thief's later steal of x
+// gets a later global sequence number than this push.
 func (pl *SharedPool[T]) PushOwn(w int, x T) {
 	d := pl.own[w].Load()
 	if d == nil {
 		panic("core: PushOwn without an owned deque")
 	}
-	d.Mu.Lock()
-	d.PushTop(x)
-	if pl.tidOf != nil {
-		pl.trace(w, rtrace.EvPush, pl.tidOf(x), d.ID, 0)
+	if d.OwnerAcquire() {
+		d.PushTop(x)
+		if pl.tidOf != nil {
+			pl.trace(w, rtrace.EvPush, pl.tidOf(x), d.ID, 0)
+		}
+		d.OwnerRelease()
+	} else {
+		d.Mu.Lock()
+		d.PushTop(x)
+		if pl.tidOf != nil {
+			pl.trace(w, rtrace.EvPush, pl.tidOf(x), d.ID, 0)
+		}
+		d.Rebias()
+		d.Mu.Unlock()
 	}
-	d.Mu.Unlock()
 	pl.ready.Add(1)
 }
 
-// PopOwn pops the top of w's deque. The non-empty case takes only the
-// deque's lock; when the deque turns out empty it is deleted from R under
-// the spine lock (only the owner adds items, so emptiness is stable once
-// the owner observes it) and ok is false — the worker must steal next.
+// PopOwn pops the top of w's deque. The non-empty case is lock-free on
+// the biased fast path (or takes only the deque's lock once shared); when
+// the deque turns out empty it is deleted from R under the spine lock
+// (only the owner adds items, so emptiness is stable once the owner
+// observes it) and ok is false — the worker must steal next.
 func (pl *SharedPool[T]) PopOwn(w int) (x T, ok bool) {
 	d := pl.own[w].Load()
 	if d == nil {
 		return x, false
 	}
-	d.Mu.Lock()
-	x, ok = d.PopTop()
-	if ok && pl.tidOf != nil {
-		pl.trace(w, rtrace.EvPop, pl.tidOf(x), d.ID, 0)
+	if d.OwnerAcquire() {
+		x, ok = d.PopTop()
+		if ok && pl.tidOf != nil {
+			pl.trace(w, rtrace.EvPop, pl.tidOf(x), d.ID, 0)
+		}
+		d.OwnerRelease()
+	} else {
+		d.Mu.Lock()
+		x, ok = d.PopTop()
+		if ok && pl.tidOf != nil {
+			pl.trace(w, rtrace.EvPop, pl.tidOf(x), d.ID, 0)
+		}
+		d.Rebias()
+		d.Mu.Unlock()
 	}
-	d.Mu.Unlock()
 	if ok {
 		pl.ready.Add(-1)
 		pl.local.Add(1)
 		return x, true
 	}
+	// Empty: drop ownership and retire the deque. The own pointer is
+	// cleared before the spine unlocks so no reference to the recycled
+	// deque survives the critical section.
 	pl.lockList()
-	d.Mu.Lock()
-	if d.InList() { // a thief may have deleted it after draining it
-		pl.r.Delete(d)
-		pl.trace(w, rtrace.EvDequeRetire, d.ID, 0, 0)
-	}
-	d.Mu.Unlock()
-	pl.listMu.Unlock()
 	pl.own[w].Store(nil)
+	if d.InList() { // a thief may have deleted it after draining it
+		pl.retire(w, d)
+	}
+	pl.listMu.Unlock()
 	return x, false
 }
 
 // GiveUp releases ownership of w's deque without popping (the
 // quota-exhaustion and dummy-thread paths): the deque stays in R, unowned
-// and stealable. An empty deque is deleted instead.
+// and stealable. An empty deque is deleted instead. The exclusive spine
+// lock alone freezes the deque here: thieves and invariant checkers reach
+// deques only through R under the spine, and the one goroutine that works
+// without it — the owner's biased fast path — is the caller itself.
 func (pl *SharedPool[T]) GiveUp(w int) {
 	d := pl.own[w].Load()
 	if d == nil {
 		return
 	}
 	pl.lockList()
-	d.Mu.Lock()
+	pl.own[w].Store(nil)
 	if d.Empty() {
 		if d.InList() {
-			pl.r.Delete(d)
-			pl.trace(w, rtrace.EvDequeRetire, d.ID, 0, 0)
+			pl.retire(w, d)
 		}
 	} else {
 		d.Owner = -1
 		pl.trace(w, rtrace.EvDequeRelease, d.ID, 0, 0)
 	}
-	d.Mu.Unlock()
 	pl.listMu.Unlock()
-	pl.own[w].Store(nil)
 }
 
 // Steal performs one steal attempt for worker w: pick a uniformly random
 // deque among the leftmost p in R, pop its bottom thread, and become
-// owner of a new deque placed immediately to the victim's right. The
-// whole attempt holds the spine lock exclusively — pop-bottom and
-// insert-right form the steal's single linearization point, which is what
-// keeps Lemma 3.1's left-to-right order intact when two thieves race on
-// one victim — but it never blocks owners running on their own deques.
+// owner of a new deque placed immediately to the victim's right.
+//
+// The attempt runs in two phases. A screening phase under the read lock
+// checks the pick exists and its SizeHint is nonzero; the common failed
+// attempt — an out-of-range pick or a provably empty victim — costs no
+// exclusive spine acquisition at all, so a storm of unlucky thieves never
+// serializes the owners' membership changes. Only a promising pick takes
+// the spine exclusively and re-validates: pop-bottom and insert-right
+// form the steal's single linearization point, which is what keeps Lemma
+// 3.1's left-to-right order intact when two thieves race on one victim —
+// but it never blocks owners running on their own deques.
+//
 // ok is false if the attempt failed (nonexistent or empty victim). The
 // worker must not own a deque.
 func (pl *SharedPool[T]) Steal(w int) (x T, ok bool) {
 	if pl.own[w].Load() != nil {
 		panic("core: Steal while owning a deque")
 	}
-	c := pl.rngs[w].Intn(pl.p)
+	c := pl.rng(w).Intn(pl.p)
+	pl.listMu.RLock()
+	promising := c < pl.r.Len() && pl.r.Kth(c).SizeHint() > 0
+	pl.listMu.RUnlock()
+	if !promising {
+		pl.trace(w, rtrace.EvStealAttempt, -1, 0, 0)
+		pl.failed.Add(1)
+		return x, false
+	}
 	pl.lockList()
-	if c >= pl.r.Len() {
+	if c >= pl.r.Len() { // R shrank between the phases
 		pl.trace(w, rtrace.EvStealAttempt, -1, 0, 0)
 		pl.listMu.Unlock()
 		pl.failed.Add(1)
@@ -232,6 +321,7 @@ func (pl *SharedPool[T]) Steal(w int) (x T, ok bool) {
 	}
 	victim := pl.r.Kth(c)
 	victim.Mu.Lock()
+	victim.Share()
 	pl.trace(w, rtrace.EvStealAttempt, victim.ID, 0, 0)
 	x, ok = victim.PopBottom()
 	if !ok {
@@ -241,21 +331,20 @@ func (pl *SharedPool[T]) Steal(w int) (x T, ok bool) {
 		return x, false
 	}
 	pl.ready.Add(-1)
-	nd := pl.r.InsertRight(victim)
+	nd := pl.takeFree()
+	pl.r.InsertRightReuse(victim, nd)
 	nd.Owner = w
-	pl.deqID++
-	nd.ID = pl.deqID
 	if pl.tidOf != nil {
 		pl.trace(w, rtrace.EvSteal, pl.tidOf(x), victim.ID, nd.ID)
 	}
-	if victim.Empty() && victim.Owner == -1 {
-		pl.r.Delete(victim)
-		pl.trace(w, rtrace.EvDequeRetire, victim.ID, 0, 0)
-	}
+	stale := victim.Empty() && victim.Owner == -1
 	victim.Mu.Unlock()
+	if stale {
+		pl.retire(w, victim)
+	}
 	pl.noteR()
-	pl.listMu.Unlock()
 	pl.own[w].Store(nd)
+	pl.listMu.Unlock()
 	pl.steals.Add(1)
 	return x, true
 }
@@ -270,6 +359,7 @@ func (pl *SharedPool[T]) PushWoken(w int, x T) {
 	for i := 0; i < pl.r.Len(); i++ {
 		d := pl.r.Kth(i)
 		d.Mu.Lock()
+		d.Share() // waits out the owner's in-flight fast-path op
 		top, ok := d.PeekTop()
 		d.Mu.Unlock()
 		if !ok {
@@ -280,17 +370,15 @@ func (pl *SharedPool[T]) PushWoken(w int, x T) {
 			break
 		}
 	}
-	var nd *deque.Deque[T]
+	nd := pl.takeFree()
 	var after int64 = -1
 	if insertAt == 0 {
-		nd = pl.r.PushLeft()
+		pl.r.PushLeftReuse(nd)
 	} else {
 		left := pl.r.Kth(insertAt - 1)
 		after = left.ID
-		nd = pl.r.InsertRight(left)
+		pl.r.InsertRightReuse(left, nd)
 	}
-	pl.deqID++
-	nd.ID = pl.deqID
 	pl.trace(w, rtrace.EvDequeCreate, nd.ID, after, 1)
 	nd.Mu.Lock()
 	nd.PushTop(x)
@@ -349,11 +437,15 @@ func (pl *SharedPool[T]) CheckInvariants(curr func(w int) (T, bool)) error {
 	pl.lockList()
 	defer pl.listMu.Unlock()
 	// The spine lock freezes membership but not contents — owners push
-	// and pop under only their deque's lock — so freeze every deque too.
-	// Spine → deque is the normal order, and no pool path holds a deque
-	// lock while waiting for the spine, so this cannot deadlock.
+	// and pop under only their deque's lock or the biased fast path — so
+	// freeze every deque too: lock it and Share it, which waits out any
+	// in-flight owner fast-path op and forces the owner onto the (held)
+	// Mu. Spine → deque is the normal order, and no pool path holds a
+	// deque lock while waiting for the spine, so this cannot deadlock.
 	for i := 0; i < pl.r.Len(); i++ {
-		pl.r.Kth(i).Mu.Lock()
+		d := pl.r.Kth(i)
+		d.Mu.Lock()
+		d.Share()
 	}
 	defer func() {
 		for i := 0; i < pl.r.Len(); i++ {

@@ -311,3 +311,42 @@ func TestSharedPoolConcurrentInvariants(t *testing.T) {
 		t.Fatalf("concurrent invariant check failed: %v", checkerErr)
 	}
 }
+
+// TestStealCycleAllocs pins the steady-state allocation cost of the full
+// scheduler cycle — seed, steal, fork-push, cross-worker steal, give-up,
+// drain — at zero. The deque freelist and the lazily seeded per-worker
+// rngs make every structure reusable once the first cycle has warmed
+// them up (AllocsPerRun runs the closure once before measuring).
+func TestStealCycleAllocs(t *testing.T) {
+	pl := intSharedPool(2, 11)
+	fail := false
+	steal := func(w int) int {
+		for i := 0; i < 1000; i++ {
+			if x, ok := pl.Steal(w); ok {
+				return x
+			}
+		}
+		fail = true
+		return 0
+	}
+	cycle := func() {
+		pl.Seed(10)
+		x := steal(0) // root deque drains and is retired inside Steal
+		pl.PushOwn(0, x+1)
+		pl.PushOwn(0, x+2)
+		steal(1)      // takes x+1 from the bottom of worker 0's deque
+		pl.GiveUp(1)  // empty deque retired to the freelist
+		pl.PopOwn(0)  // x+2
+		pl.PopOwn(0)  // empty: drops ownership, retires the deque
+		if pl.HasWork() || pl.Deques() != 0 {
+			fail = true
+		}
+	}
+	allocs := testing.AllocsPerRun(100, cycle)
+	if fail {
+		t.Fatal("cycle did not complete as scripted")
+	}
+	if allocs >= 1 {
+		t.Fatalf("steady-state steal cycle allocates %.1f allocs/run, want 0", allocs)
+	}
+}

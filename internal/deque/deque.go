@@ -14,8 +14,15 @@
 package deque
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
+)
+
+// Deque state-word bits (see the "Biased owner fast path" section below).
+const (
+	sharedBit = 1 << 0 // a thief has targeted this deque: owner must use Mu
+	ownerBit  = 1 << 1 // the owner is inside a lock-free item operation
 )
 
 // Deque is a doubly-ended queue. The zero value is an empty deque, but
@@ -23,9 +30,33 @@ import (
 // List.PushLeft so their position bookkeeping is initialized.
 //
 // A Deque is not safe for concurrent use by itself. Concurrent schedulers
-// (core.SharedPool) serialize item operations through Mu; single-threaded
-// engines (the simulator, the coarse-locked runtime) ignore it. SizeHint
-// is the one operation that is always safe without Mu.
+// (core.SharedPool, policy.WSPool) serialize item operations through Mu,
+// with the biased owner fast path below letting the owner skip Mu while
+// the deque is unshared; single-threaded engines (the simulator, the
+// coarse-locked runtime) ignore both. SizeHint is the one operation that
+// is always safe without any protocol.
+//
+// # Biased owner fast path
+//
+// A concurrent owner brackets its raw item operations (PushTop, PopTop,
+// PeekTop) with OwnerAcquire/OwnerRelease; a thief, or any goroutine that
+// is not the owner, locks Mu and then calls Share before touching items.
+// The state word makes the two compose into mutual exclusion:
+//
+//	owner fast path:  OwnerAcquire = CAS(state, 0, ownerBit) — fails the
+//	                  moment the deque is shared; op; OwnerRelease.
+//	owner slow path:  Mu.Lock; op; Rebias (state = 0, reclaiming the fast
+//	                  path: every thief re-asserts under Mu); Mu.Unlock.
+//	thief:            Mu.Lock; Share = set sharedBit, then spin until
+//	                  ownerBit clears; op; Mu.Unlock (sharedBit stays).
+//
+// While sharedBit is set the owner's CAS fails, so every access happens
+// under Mu; while it is clear no thief has reached items since the last
+// Rebias (thieves set it under Mu before their first access), so the
+// owner is alone. Both transfer directions are ordered: thief → owner
+// through Mu (the owner's slow path locks it), owner → thief through the
+// state word itself (OwnerRelease's atomic write, observed by Share's
+// spin). The spin is bounded by one raw deque operation.
 type Deque[T any] struct {
 	items []T // items[0] is the bottom, items[len-1] is the top
 
@@ -44,7 +75,8 @@ type Deque[T any] struct {
 	// share a deque across goroutines must.
 	Mu sync.Mutex
 
-	size atomic.Int64 // mirrors len(items) for lock-free observation
+	size  atomic.Int64  // mirrors len(items) for lock-free observation
+	state atomic.Uint32 // sharedBit | ownerBit (owner fast-path protocol)
 
 	list *List[T]
 	pos  int // index within list.deques, maintained by List
@@ -53,6 +85,67 @@ type Deque[T any] struct {
 // NewDeque returns an empty, unowned, stand-alone deque.
 func NewDeque[T any]() *Deque[T] {
 	return &Deque[T]{Owner: -1, pos: -1}
+}
+
+// Reset reinitializes d for reuse from a freelist: empty, unowned,
+// unbiased, out of any list. The item storage is retained (popped slots
+// were already zeroed, so no stale references survive) — except when
+// PopBottom's front-reslicing has eroded the backing array's capacity
+// too far, in which case a fresh array is allocated so recycled deques
+// stay amortized alloc-free instead of reallocating on every push. The
+// caller must guarantee no other goroutine can still reach d —
+// schedulers recycle a deque only after deleting it from R under the
+// spine lock.
+func (d *Deque[T]) Reset() {
+	if cap(d.items) < 8 {
+		d.items = make([]T, 0, 32)
+	} else {
+		d.items = d.items[:0]
+	}
+	d.Owner = -1
+	d.ID = 0
+	d.size.Store(0)
+	d.state.Store(0)
+	d.list = nil
+	d.pos = -1
+}
+
+// OwnerAcquire tries to enter the owner's lock-free fast path, reporting
+// success. On true the caller may use the raw item operations without Mu
+// and must call OwnerRelease afterwards; on false the deque is shared and
+// the caller must fall back to Mu (and may Rebias under it). Only the
+// deque's single owner goroutine may call it.
+func (d *Deque[T]) OwnerAcquire() bool {
+	return d.state.CompareAndSwap(0, ownerBit)
+}
+
+// OwnerRelease leaves the owner fast path entered by OwnerAcquire.
+func (d *Deque[T]) OwnerRelease() {
+	d.state.Add(^uint32(ownerBit - 1)) // subtract ownerBit
+}
+
+// Share marks the deque as shared and waits out any in-flight owner
+// fast-path operation. The caller must hold Mu and must call Share before
+// touching items from any goroutine other than the owner's; the mark
+// survives Mu.Unlock, keeping the owner on the slow path until it
+// Rebiases.
+func (d *Deque[T]) Share() {
+	if d.state.Or(sharedBit)&ownerBit == 0 {
+		return
+	}
+	for spins := 0; d.state.Load()&ownerBit != 0; spins++ {
+		if spins%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Rebias clears the shared mark, handing the fast path back to the owner.
+// Only the owner may call it, holding Mu: thieves assert sharedBit under
+// Mu on every operation, so a rebias can never strand a thief that is
+// already past its Share.
+func (d *Deque[T]) Rebias() {
+	d.state.Store(0)
 }
 
 // Len reports the number of items in the deque.
@@ -120,10 +213,13 @@ func (d *Deque[T]) PeekBottom() (T, bool) {
 	return d.items[0], true
 }
 
-// Items returns the deque's contents from bottom to top. The slice aliases
-// internal storage and must not be modified; it is intended for invariant
-// checkers and tests.
-func (d *Deque[T]) Items() []T { return d.items }
+// UnsafeItems returns the deque's contents from bottom to top. The slice
+// aliases internal storage — it must not be modified, and it is invalid
+// the moment any deque operation runs — which is the point: invariant
+// checkers and serial engines read it without copying. Concurrent callers
+// must hold Mu (and Share the deque) for as long as they read it. Code
+// that needs a stable snapshot must copy.
+func (d *Deque[T]) UnsafeItems() []T { return d.items }
 
 // InList reports whether the deque is currently a member of a List.
 func (d *Deque[T]) InList() bool { return d.list != nil }
@@ -164,6 +260,16 @@ func (l *List[T]) PushLeft() *Deque[T] {
 	return d
 }
 
+// PushLeftReuse inserts d — a fresh or Reset freelist deque not in any
+// list — at the left end of R. Schedulers with deque freelists use the
+// *Reuse variants to keep membership changes allocation-free.
+func (l *List[T]) PushLeftReuse(d *Deque[T]) {
+	if d.list != nil {
+		panic("deque: PushLeftReuse deque already in a list")
+	}
+	l.insertAt(0, d)
+}
+
 // PushRight creates a new deque at the right end of R and returns it.
 func (l *List[T]) PushRight() *Deque[T] {
 	d := NewDeque[T]()
@@ -180,6 +286,18 @@ func (l *List[T]) InsertRight(victim *Deque[T]) *Deque[T] {
 	d := NewDeque[T]()
 	l.insertAt(victim.pos+1, d)
 	return d
+}
+
+// InsertRightReuse inserts d — a fresh or Reset freelist deque not in any
+// list — immediately to the right of victim (which must be in R).
+func (l *List[T]) InsertRightReuse(victim, d *Deque[T]) {
+	if victim.list != l {
+		panic("deque: InsertRightReuse victim not in this list")
+	}
+	if d.list != nil {
+		panic("deque: InsertRightReuse deque already in a list")
+	}
+	l.insertAt(victim.pos+1, d)
 }
 
 func (l *List[T]) insertAt(i int, d *Deque[T]) {

@@ -231,3 +231,64 @@ func BenchmarkStealPattern(b *testing.B) {
 		d.PopBottom()
 	}
 }
+
+// TestPopZeroesVacatedSlots pins the memory-retention contract: PopTop
+// and PopBottom must zero the slot an item vacates, so popped thread
+// frames become collectable instead of lingering live in the deque's
+// backing array — retention there directly skews the paper's space
+// measurements. The test keeps its own alias of the backing array and
+// checks every vacated slot through it.
+func TestPopZeroesVacatedSlots(t *testing.T) {
+	d := NewDeque[*int]()
+	const n = 8
+	for i := 0; i < n; i++ {
+		d.PushTop(new(int))
+	}
+	backing := d.UnsafeItems() // aliases all n slots
+	for i := 0; i < n/2; i++ {
+		if _, ok := d.PopTop(); !ok {
+			t.Fatal("PopTop failed")
+		}
+	}
+	for i := 0; i < n/2; i++ {
+		if _, ok := d.PopBottom(); !ok {
+			t.Fatal("PopBottom failed")
+		}
+	}
+	if !d.Empty() {
+		t.Fatalf("deque not drained: %d left", d.Len())
+	}
+	for i, p := range backing {
+		if p != nil {
+			t.Errorf("vacated slot %d still holds a live pointer", i)
+		}
+	}
+}
+
+// TestResetClearsState pins Reset's freelist contract: a recycled deque
+// is empty, unowned, unbiased, and detached.
+func TestResetClearsState(t *testing.T) {
+	var l List[int]
+	d := l.PushLeft()
+	d.Owner = 3
+	d.ID = 17
+	d.PushTop(1)
+	if !d.OwnerAcquire() {
+		t.Fatal("OwnerAcquire on fresh deque failed")
+	}
+	d.OwnerRelease()
+	d.Mu.Lock()
+	d.Share()
+	d.Mu.Unlock()
+	l.Delete(d)
+	d.Reset()
+	if d.Len() != 0 || d.SizeHint() != 0 || d.Owner != -1 || d.ID != 0 ||
+		d.InList() || d.Pos() != -1 {
+		t.Fatalf("Reset left state behind: len=%d hint=%d owner=%d id=%d inlist=%v pos=%d",
+			d.Len(), d.SizeHint(), d.Owner, d.ID, d.InList(), d.Pos())
+	}
+	if !d.OwnerAcquire() {
+		t.Fatal("Reset did not clear the shared bit: owner fast path unavailable")
+	}
+	d.OwnerRelease()
+}

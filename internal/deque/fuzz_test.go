@@ -17,6 +17,7 @@ package deque_test
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -67,6 +68,10 @@ func FuzzDequeConcurrent(f *testing.F) {
 	f.Add([]byte{4, 0, 0, 0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 1, 0, 1, 1, 2, 1, 3, 1})
 	f.Add([]byte{3, 2, 5, 0, 0, 0, 0, 3, 0, 2, 1, 2, 2, 0, 1, 1, 2, 3, 3})
 	f.Add([]byte{1, 0, 0, 0, 0, 1, 0, 1, 0, 1, 0})
+	// Biased-protocol interleavings: share-marks (op 4) force the
+	// owner's next fork/terminate through the Mu + Rebias slow path.
+	f.Add([]byte{2, 0, 0, 0, 0, 4, 0, 0, 0, 0, 0, 2, 1, 1, 0, 1, 1})
+	f.Add([]byte{1, 0, 0, 0, 0, 4, 0, 1, 0, 0, 0, 4, 0, 0, 0, 1, 0, 1, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 2 {
@@ -82,6 +87,35 @@ func FuzzDequeConcurrent(f *testing.F) {
 		r := &deque.List[*item]{}
 		curr := make([]*item, p)              // running thread per worker
 		own := make([]*deque.Deque[*item], p) // owned deque per worker
+
+		// shared models each deque's bias word: present ⇔ a thief has
+		// Share()d it since the owner last Rebias()ed. In this serial
+		// fuzzer no goroutine holds ownerBit concurrently, so
+		// OwnerAcquire must succeed exactly when the model says the
+		// deque is unshared — a direct oracle for the state machine.
+		shared := map[*deque.Deque[*item]]bool{}
+
+		// ownerOp performs f under the owner protocol: the lock-free
+		// fast path while the deque is biased, the Mu + Rebias slow
+		// path once a thief has shared it.
+		ownerOp := func(step int, d *deque.Deque[*item], f func()) {
+			if d.OwnerAcquire() {
+				if shared[d] {
+					t.Fatalf("step %d: OwnerAcquire succeeded on a shared deque", step)
+				}
+				f()
+				d.OwnerRelease()
+			} else {
+				if !shared[d] {
+					t.Fatalf("step %d: OwnerAcquire failed on an unshared deque", step)
+				}
+				d.Mu.Lock()
+				f()
+				d.Rebias()
+				d.Mu.Unlock()
+				delete(shared, d)
+			}
+		}
 
 		// Seed: worker 0 runs the root thread from a fresh leftmost deque.
 		root := &item{id: -1}
@@ -107,7 +141,7 @@ func FuzzDequeConcurrent(f *testing.F) {
 			// decreasing priority (strictly increasing oracle index).
 			last := -1
 			for i := 0; i < r.Len(); i++ {
-				items := r.Kth(i).Items() // bottom → top
+				items := r.Kth(i).UnsafeItems() // bottom → top
 				for j := len(items) - 1; j >= 0; j-- {
 					idx := oracle.idx(items[j])
 					if idx < 0 {
@@ -138,13 +172,13 @@ func FuzzDequeConcurrent(f *testing.F) {
 
 		for step := 0; step+1 < len(data); step += 2 {
 			w := int(data[step+1]) % p
-			switch data[step] % 4 {
-			case 0: // fork: push continuation, run the child
+			switch data[step] % 5 {
+			case 0: // fork: push continuation, run the child (owner protocol)
 				if curr[w] == nil {
 					continue
 				}
 				child := oracle.insertBefore(curr[w])
-				own[w].PushTop(curr[w])
+				ownerOp(step, own[w], func() { own[w].PushTop(curr[w]) })
 				curr[w] = child
 				check(step, "fork")
 
@@ -153,15 +187,19 @@ func FuzzDequeConcurrent(f *testing.F) {
 					continue
 				}
 				oracle.remove(curr[w])
-				if x, ok := own[w].PopTop(); ok {
+				var x *item
+				var ok bool
+				ownerOp(step, own[w], func() { x, ok = own[w].PopTop() })
+				if ok {
 					curr[w] = x
 				} else {
+					delete(shared, own[w])
 					r.Delete(own[w])
 					own[w], curr[w] = nil, nil
 				}
 				check(step, "terminate")
 
-			case 2: // steal: PopBottom a leftmost-p victim, InsertRight
+			case 2: // steal: Share + PopBottom a leftmost-p victim, InsertRight
 				if curr[w] != nil || r.Len() == 0 {
 					continue
 				}
@@ -170,10 +208,15 @@ func FuzzDequeConcurrent(f *testing.F) {
 					win = p
 				}
 				victim := r.Kth((int(data[step+1]) / p) % win)
+				victim.Mu.Lock()
+				victim.Share()
+				shared[victim] = true
 				x, ok := victim.PopBottom()
+				victim.Mu.Unlock()
 				if !ok {
 					// Empty victim: delete it if abandoned, else retry later.
 					if victim.Owner < 0 {
+						delete(shared, victim)
 						r.Delete(victim)
 					}
 					check(step, "steal-miss")
@@ -183,6 +226,7 @@ func FuzzDequeConcurrent(f *testing.F) {
 				nd.Owner = w
 				own[w], curr[w] = nd, x
 				if victim.Empty() && victim.Owner < 0 {
+					delete(shared, victim)
 					r.Delete(victim)
 				}
 				check(step, "steal")
@@ -193,12 +237,26 @@ func FuzzDequeConcurrent(f *testing.F) {
 				}
 				oracle.remove(curr[w])
 				if own[w].Empty() {
+					delete(shared, own[w])
 					r.Delete(own[w])
 				} else {
 					own[w].Owner = -1
 				}
 				own[w], curr[w] = nil, nil
 				check(step, "giveup")
+
+			case 4: // share-mark: a thief screens a victim, shares it,
+				// takes nothing — the state the owner's next op must
+				// detect and recover from via Rebias.
+				if r.Len() == 0 {
+					continue
+				}
+				d := r.Kth(int(data[step+1]) % r.Len())
+				d.Mu.Lock()
+				d.Share()
+				d.Mu.Unlock()
+				shared[d] = true
+				check(step, "share")
 			}
 		}
 	})
@@ -261,4 +319,90 @@ func TestDequeConcurrentHammer(t *testing.T) {
 	if d.SizeHint() != d.Len() {
 		t.Errorf("SizeHint %d out of sync with Len %d", d.SizeHint(), d.Len())
 	}
+}
+
+// TestDequeBiasedHammer exercises the owner fast path under real
+// concurrency: the owner brackets raw pushes and pops with
+// OwnerAcquire/OwnerRelease (falling back to Mu + Rebias when a thief
+// has shared the deque), while three thieves follow the thief protocol —
+// Mu + Share — stealing bottoms. The deque therefore cycles between
+// biased and shared many times per run. Conservation certifies mutual
+// exclusion; -race certifies both handoff directions' happens-before
+// edges (thief→owner through Mu, owner→thief through the state word).
+func TestDequeBiasedHammer(t *testing.T) {
+	const pushes = 5000
+	d := deque.NewDeque[int]()
+	var popped, stolen, fastOps, slowOps atomic.Int64
+	done := make(chan struct{})
+	stop := make(chan struct{})
+
+	go func() { // owner
+		defer close(done)
+		rng := rand.New(rand.NewSource(2))
+		for n := 0; n < pushes; {
+			if rng.Intn(16) == 0 {
+				runtime.Gosched() // let thieves in even on GOMAXPROCS=1
+			}
+			push := rng.Intn(3) > 0
+			if d.OwnerAcquire() {
+				if push {
+					d.PushTop(n)
+					n++
+				} else if _, ok := d.PopTop(); ok {
+					popped.Add(1)
+				}
+				d.OwnerRelease()
+				fastOps.Add(1)
+			} else {
+				d.Mu.Lock()
+				if push {
+					d.PushTop(n)
+					n++
+				} else if _, ok := d.PopTop(); ok {
+					popped.Add(1)
+				}
+				d.Rebias()
+				d.Mu.Unlock()
+				slowOps.Add(1)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ { // thieves
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if d.SizeHint() == 0 {
+					runtime.Gosched() // avoid starving the owner on GOMAXPROCS=1
+					continue
+				}
+				d.Mu.Lock()
+				d.Share()
+				if _, ok := d.PopBottom(); ok {
+					stolen.Add(1)
+				}
+				d.Mu.Unlock()
+			}
+		}()
+	}
+	<-done
+	close(stop)
+	wg.Wait()
+
+	if got := popped.Load() + stolen.Load() + int64(d.Len()); got != pushes {
+		t.Errorf("items not conserved: popped %d + stolen %d + left %d = %d, want %d",
+			popped.Load(), stolen.Load(), d.Len(), got, pushes)
+	}
+	if d.SizeHint() != d.Len() {
+		t.Errorf("SizeHint %d out of sync with Len %d", d.SizeHint(), d.Len())
+	}
+	t.Logf("owner ops: %d fast, %d slow (rebias); %d stolen",
+		fastOps.Load(), slowOps.Load(), stolen.Load())
 }

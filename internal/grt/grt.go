@@ -177,6 +177,7 @@ type T struct {
 	yield   chan event
 	started bool
 	dummy   bool
+	root    bool  // job root: released by evDone (nothing ever joins it)
 	tid     int64 // stable trace id: first root is 1, then submit/fork order
 
 	// Owned by the thread goroutine:
@@ -289,8 +290,16 @@ type Runtime struct {
 
 	// Idle parking (guarded by mu) plus a lock-free mirror of the waiter
 	// count so publishers can skip the wake-up lock when nobody sleeps.
+	// spinning counts workers awake inside acquire but not yet holding a
+	// thread: publishers skip the wake-up while one exists, and a
+	// successful spinner wakes its own successor — the single-spinner
+	// protocol that keeps a fork burst from broadcasting to every
+	// sleeper (see acquire and wakeIdlers for the ordering argument).
 	idleWaiters int
 	idlers      atomic.Int64
+	spinning    atomic.Int64
+	futileWakes atomic.Int64 // consecutive wakes that acquired nothing
+	wakeSkips   atomic.Int64 // publications skipped while throttled
 	stopped     atomic.Bool
 
 	wg sync.WaitGroup
@@ -370,6 +379,7 @@ func (rt *Runtime) Submit(ctx context.Context, root func(*T)) (*Job, error) {
 	j := &Job{rt: rt, ctx: ctx, done: make(chan struct{})}
 	rootT := rt.newT(root)
 	rootT.job = j
+	rootT.root = true
 	j.live.Store(1)
 	j.tot.Store(1)
 	j.maxLive.Store(1)
@@ -399,7 +409,7 @@ func (rt *Runtime) Submit(ctx context.Context, root func(*T)) (*Job, error) {
 	rt.pol.Inject(rootT)
 	rt.endEvent(gl)
 	rt.extMu.Unlock()
-	rt.wakeIdlers()
+	rt.forceWake()
 
 	if ctx.Done() != nil {
 		// The context watcher: poison the job the moment ctx fires. It
@@ -523,13 +533,43 @@ func (rt *Runtime) Stats(js JobStats) Stats {
 	}
 }
 
+// tPool recycles thread frames across forks. A terminated thread's frame
+// goes back to the pool once the last reference lets go — the joining
+// parent for ordinary threads (Join), the terminating worker for job
+// roots (evDone) — so the fork hot path allocates nothing in steady
+// state. The resume and yield channels are reused with the frame: at
+// release the goroutine has fully drained both (death always passes
+// through the evDone handoff), so a recycled frame starts from the same
+// quiescent channel state as a fresh one.
+var tPool = sync.Pool{New: func() any {
+	return &T{resume: make(chan struct{}, 1), yield: make(chan event)}
+}}
+
 func (rt *Runtime) newT(body func(*T)) *T {
-	return &T{
-		rt:     rt,
-		body:   body,
-		resume: make(chan struct{}, 1),
-		yield:  make(chan event),
-	}
+	t := tPool.Get().(*T)
+	t.rt = rt
+	t.body = body
+	return t
+}
+
+// releaseT returns a dead thread's frame to the pool. The caller must be
+// the frame's last referent: the parent after Join observed isDone, or
+// the evDone handler for a job root. Threads of a canceled job whose
+// parents unwound without joining are simply never released — the
+// garbage collector reclaims them, as before pooling.
+func releaseT(t *T) {
+	t.job = nil
+	t.body = nil
+	t.prio = nil
+	t.started = false
+	t.dummy = false
+	t.root = false
+	t.tid = 0
+	t.unjoined = t.unjoined[:0]
+	t.retryAlloc = false
+	t.done = false
+	t.waiter = nil
+	tPool.Put(t)
 }
 
 // noteFork does the bookkeeping common to both modes when child is forked
@@ -671,6 +711,11 @@ func (t *T) fork(body func(*T), dummy bool) *T {
 
 // Join waits for the most recent unjoined child (which must equal h) to
 // terminate. Joins are LIFO, matching the nested-parallel model.
+//
+// Join is a child frame's release point: once isDone is observed the
+// joining parent holds the last reference (the terminating worker stops
+// touching the frame before finish publishes done), so the frame goes
+// back to the pool here. h must not be used after Join returns.
 func (t *T) Join(h *T) {
 	if len(t.unjoined) == 0 || t.unjoined[len(t.unjoined)-1] != h {
 		panic("grt: Join order must be LIFO with the thread's own children")
@@ -678,6 +723,7 @@ func (t *T) Join(h *T) {
 	t.unjoined = t.unjoined[:len(t.unjoined)-1]
 	for {
 		if h.isDone() {
+			releaseT(h)
 			return
 		}
 		t.do(event{kind: evJoin, child: h})

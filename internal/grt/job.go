@@ -189,5 +189,5 @@ func (j *Job) cancel(reason error) {
 		rt.endEvent(gl)
 	}
 	rt.extMu.Unlock()
-	rt.wakeIdlers()
+	rt.forceWake()
 }

@@ -437,3 +437,61 @@ func TestCancelBeforeSubmitFailsFast(t *testing.T) {
 		t.Fatalf("Submit with canceled ctx = %v, want context.Canceled", err)
 	}
 }
+
+// TestGrtParkBackoffBursts hammers the worker park/backoff protocol: a
+// persistent runtime is left to go fully idle between bursts of
+// concurrently submitted tiny jobs, so every burst must cross the
+// park→wake transition — Submit's forced wake racing workers that are
+// mid-backoff or already on the condvar, with the futile-wake throttle
+// engaged from previous bursts. A lost wakeup strands a job forever;
+// the watchdog turns that hang into a failure. Run under -race this
+// also certifies the ordering edges of the single-spinner gate.
+func TestGrtParkBackoffBursts(t *testing.T) {
+	const bursts, submitters, depth = 30, 4, 3
+	rt, err := grt.New(grt.Config{Workers: 4, Sched: grt.DFDeques, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown(context.Background())
+
+	done := make(chan struct{})
+	var total atomic.Int64
+	go func() {
+		defer close(done)
+		for burst := 0; burst < bursts; burst++ {
+			errs := make(chan error, submitters)
+			for i := 0; i < submitters; i++ {
+				go func() {
+					j, err := rt.Submit(context.Background(), func(r *grt.T) {
+						var leaves atomic.Int64
+						forkTree(r, depth, &leaves)
+						total.Add(leaves.Load())
+					})
+					if err != nil {
+						errs <- err
+						return
+					}
+					_, werr := j.Wait()
+					errs <- werr
+				}()
+			}
+			for i := 0; i < submitters; i++ {
+				if err := <-errs; err != nil {
+					t.Errorf("burst %d: %v", burst, err)
+				}
+			}
+			// Idle gap: give every worker time to park so the next
+			// burst exercises wake-from-idle rather than steal-in-flight.
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("burst stress hung: lost wakeup in the park/backoff protocol")
+	}
+	if want := int64(bursts * submitters * (1 << depth)); total.Load() != want {
+		t.Errorf("leaves = %d, want %d", total.Load(), want)
+	}
+}

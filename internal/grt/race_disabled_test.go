@@ -1,0 +1,5 @@
+//go:build !race
+
+package grt_test
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package grt_test
+
+// raceEnabled reports whether the race detector is active; allocation
+// guards skip under it because instrumentation changes alloc counts.
+const raceEnabled = true

@@ -198,12 +198,24 @@ func (rt *Runtime) worker(w int) {
 			rt.pol.Dummy(w)
 
 		case evDone:
-			rt.trace(w, rtrace.EvComplete, curr.tid, 0, 0)
-			rt.prioDelete(curr.prio)
-			curr.prio = nil
-			woke := curr.finish()
+			dying := curr
+			rt.trace(w, rtrace.EvComplete, dying.tid, 0, 0)
+			rt.prioDelete(dying.prio)
+			dying.prio = nil
+			// Everything this handler needs from the dying frame is read
+			// before finish: the moment finish publishes done, a joining
+			// parent on another worker may observe it, release the frame
+			// to the pool, and a third worker may already be reusing it.
+			j := dying.job
+			isRoot := dying.root
+			woke := dying.finish()
 			rt.live.Add(-1)
-			if j := curr.job; j.live.Add(-1) == 0 {
+			if isRoot {
+				// Nothing ever joins a job root, so the terminating worker
+				// is its last referent and recycles the frame itself.
+				releaseT(dying)
+			}
+			if j.live.Add(-1) == 0 {
 				rt.finishJob(w, j)
 			}
 			next, ok := rt.pol.Terminate(w, woke, woke != nil)
@@ -241,54 +253,113 @@ func (rt *Runtime) next(w int) *T {
 // nothing to do. In a persistent runtime an empty pool is the normal idle
 // state — workers park here between jobs and Submit's wakeIdlers revives
 // them.
+//
+// An acquiring worker counts itself in rt.spinning for the whole hunt.
+// Publishers skip the wake-up entirely while a spinner exists (see
+// wakeIdlers); in exchange, a spinner that decides to park decrements
+// the counter *before* its final has-work re-check, and one that
+// succeeds wakes a successor if work remains — so published work always
+// has an awake worker responsible for it.
+//
+// Failed attempts back off exponentially: a brief hot spin (the common
+// transient — the victim drained between the size hint and the lock),
+// then Gosched, then parking even though work is nominally pending. The
+// last step is what stops a persistently unlucky thief from burning a
+// core (or, on few cores, stealing cycles from the worker that holds
+// the work), and it is safe under one rule: the last unparked worker
+// never abandons pending work. Everyone else may park with work in the
+// pool, because that one awake worker either takes the work or keeps
+// hunting — and every worker re-derives this rule under rt.mu, so two
+// late parkers cannot both slip out. A worker that was woken and parks
+// again without having acquired anything counts the wake as futile
+// (rt.futileWakes), which is what lets wakeIdlers throttle wake storms
+// that find nothing.
 func (rt *Runtime) acquire(w int) *T {
 	var start time.Time
 	if rt.cfg.MeasureContention {
 		start = time.Now()
 	}
 	rt.trace(w, rtrace.EvIdle, 0, 0, 0)
+	rt.spinning.Add(1)
 	spins := 0
+	woken := false
 	for {
 		if rt.stopped.Load() {
+			rt.spinning.Add(-1)
 			return nil
 		}
 		gl := rt.beginEvent()
 		x, ok := rt.pol.Acquire(w)
 		rt.endEvent(gl)
 		if ok {
+			rt.spinning.Add(-1)
+			if woken {
+				// The wake produced work: wakes are useful again.
+				rt.futileWakes.Store(0)
+			}
+			if rt.pol.HasWork() {
+				// Hand off spinner duty: more work is published and this
+				// worker is about to get busy, so wake a successor.
+				rt.wakeIdlers()
+			}
 			if !start.IsZero() {
 				rt.stealWaitNs.Add(time.Since(start).Nanoseconds())
 			}
 			rt.trace(w, rtrace.EvDispatch, x.tid, rtrace.SrcAcquire, 0)
 			return x
 		}
-		if rt.pol.HasWork() {
-			// Unlucky victim pick; retry.
+		hadWork := rt.pol.HasWork()
+		if hadWork {
 			spins++
-			if spins%64 == 0 {
-				runtime.Gosched()
+			if spins < 8 {
+				continue
 			}
-			continue
+			if spins < 64 {
+				runtime.Gosched()
+				continue
+			}
+			// Long unlucky streak: fall through and try to park despite
+			// the pending work (refused below if this is the last unparked
+			// worker).
 		}
 		// Park. The idlers counter is raised before the re-check of the
 		// ready state, and publishers raise the ready state before
 		// checking idlers (both are sequentially consistent atomics), so
 		// either we see the fresh work here or the publisher sees us and
-		// broadcasts — a lost wake-up would require both loads to happen
-		// before both stores.
+		// wakes — a lost wake-up would require both loads to happen
+		// before both stores. The spinning decrement precedes the re-check
+		// for the same reason: a publisher that skipped the wake because
+		// it saw this spinner must have published before the decrement,
+		// so the re-check sees its work.
 		rt.mu.Lock()
 		rt.idleWaiters++
 		rt.idlers.Add(1)
-		if rt.pol.HasWork() || rt.stopped.Load() {
+		rt.spinning.Add(-1)
+		if rt.stopped.Load() {
 			rt.idleWaiters--
 			rt.idlers.Add(-1)
 			rt.mu.Unlock()
-			if rt.stopped.Load() {
-				return nil
-			}
-			continue
+			return nil
 		}
-		if rt.idleWaiters == rt.cfg.Workers && rt.live.Load() > 0 {
+		if hadWork {
+			// Backoff park: allowed only while some other worker stays
+			// unparked to be responsible for the pending work.
+			if rt.idleWaiters == rt.cfg.Workers {
+				rt.idleWaiters--
+				rt.idlers.Add(-1)
+				rt.spinning.Add(1)
+				rt.mu.Unlock()
+				time.Sleep(time.Duration(1<<min(spins-64, 9)) * time.Microsecond)
+				continue
+			}
+		} else if rt.pol.HasWork() {
+			// Fresh work appeared between the poll and the park: retry.
+			rt.idleWaiters--
+			rt.idlers.Add(-1)
+			rt.spinning.Add(1)
+			rt.mu.Unlock()
+			continue
+		} else if rt.idleWaiters == rt.cfg.Workers && rt.live.Load() > 0 {
 			// Deadlock candidate: every worker is parked, nothing is
 			// published, and threads remain live. Confirm before acting.
 			rt.idleWaiters--
@@ -297,12 +368,21 @@ func (rt *Runtime) acquire(w int) *T {
 			if rt.confirmDeadlock() {
 				return nil
 			}
+			rt.spinning.Add(1)
 			continue
 		}
+		if woken {
+			// Woken for nothing: this worker parked, was signaled, hunted,
+			// and is parking again empty-handed.
+			rt.futileWakes.Add(1)
+		}
 		rt.cond.Wait()
+		woken = true
 		rt.idleWaiters--
 		rt.idlers.Add(-1)
+		rt.spinning.Add(1)
 		rt.mu.Unlock()
+		spins = 0
 	}
 }
 
@@ -340,10 +420,48 @@ func (rt *Runtime) confirmDeadlock() bool {
 	return false
 }
 
-// wakeIdlers wakes parked workers after new work was published. The
-// atomic pre-check keeps the publish path lock-free whenever every worker
-// is busy — the common case.
+// futileWakeLimit is the number of consecutive futile wakes (a woken
+// worker re-parked empty-handed) after which wakeIdlers throttles to one
+// wake per wakeEvery publications. Any woken worker that does acquire
+// resets the count.
+const (
+	futileWakeLimit = 3
+	wakeEvery       = 64
+)
+
+// wakeIdlers wakes one parked worker after new work was published. The
+// atomic pre-checks keep the publish path lock-free in the common cases:
+// every worker busy (no idlers), or a worker already hunting for work (a
+// spinner). A single wake per publication is enough because an acquiring
+// worker that succeeds while more work remains wakes a successor itself
+// (the handoff in acquire), so a burst of publications unparks workers
+// one by one instead of stampeding every sleeper at every fork.
+//
+// When recent wakes have all been futile — the publisher consumes its
+// own work before any thief can reach it, the pattern of a serial
+// fork-join chain — all but every wakeEvery-th wake is skipped. The
+// skipped wakes cannot strand work: a publisher is by definition awake,
+// and the last awake worker never parks while work is pending (see
+// acquire), so pending work always has an unparked worker hunting it;
+// the periodic forced wake only bounds how long the parked majority
+// stays out of the game if the workload turns parallel again.
 func (rt *Runtime) wakeIdlers() {
+	if rt.idlers.Load() == 0 || rt.spinning.Load() > 0 {
+		return
+	}
+	if rt.futileWakes.Load() >= futileWakeLimit && rt.wakeSkips.Add(1)%wakeEvery != 0 {
+		return
+	}
+	rt.mu.Lock()
+	rt.cond.Signal()
+	rt.mu.Unlock()
+}
+
+// forceWake bypasses the futile-wake throttle — used where a wake is
+// load-bearing rather than advisory: a new job's root (nothing else will
+// republish if it is skipped) and the cancel sweep's republications.
+func (rt *Runtime) forceWake() {
+	rt.futileWakes.Store(0)
 	if rt.idlers.Load() == 0 {
 		return
 	}

@@ -35,6 +35,13 @@ type Record struct {
 type List struct {
 	head, tail *Record // sentinels, lazily initialized
 	n          int
+
+	// free chains deleted records (linked through next) for reuse by the
+	// next insertion. Scheduler workloads delete and insert records at the
+	// fork/terminate rate, so recycling here removes one allocation per
+	// thread from the runtime's hot path. Freed records are detached from
+	// the head walk, so invariant checks never see them.
+	free *Record
 }
 
 func (l *List) init() {
@@ -110,14 +117,17 @@ func (l *List) InsertAfter(r *Record) *Record {
 	return l.insertBetween(r, r.next)
 }
 
-// Delete removes r from the list. r must not be used afterwards.
+// Delete removes r from the list and recycles it for a later insertion.
+// r must not be used afterwards.
 func (l *List) Delete(r *Record) {
 	if r.list != l {
 		panic("om: Delete on record from another list")
 	}
 	r.prev.next = r.next
 	r.next.prev = r.prev
-	r.prev, r.next, r.list = nil, nil, nil
+	r.prev, r.list = nil, nil
+	r.next = l.free
+	l.free = r
 	l.n--
 }
 
@@ -137,12 +147,14 @@ func (l *List) insertBetween(before, after *Record) *Record {
 		// may have moved, so re-read it.
 		after = before.next
 	}
-	r := &Record{
-		tag:  before.tag + (after.tag-before.tag)/2,
-		prev: before,
-		next: after,
-		list: l,
+	r := l.free
+	if r != nil {
+		l.free = r.next
+	} else {
+		r = &Record{}
 	}
+	r.tag = before.tag + (after.tag-before.tag)/2
+	r.prev, r.next, r.list = before, after, l
 	before.next = r
 	after.prev = r
 	l.n++

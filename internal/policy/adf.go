@@ -162,8 +162,16 @@ func (a *ADF[T]) insert(w int, t T) {
 }
 
 // adfPop takes the highest-priority ready thread for worker w, counting
-// the shared-queue dispatch as a steal and refilling w's quota.
+// the shared-queue dispatch as a steal and refilling w's quota. A
+// provably empty queue is screened out by the lock-free ready mirror, so
+// idle workers polling for work never pile onto the queue mutex (a
+// publisher raises the mirror only after its insert, so a false negative
+// here is indistinguishable from arriving a moment earlier).
 func (a *ADF[T]) adfPop(w int) (T, bool) {
+	if a.ready.Load() == 0 {
+		var zero T
+		return zero, false
+	}
 	a.mu.Lock()
 	a.lockOps.Add(1)
 	x, ok := a.q.Take()

@@ -151,8 +151,14 @@ func (f *FIFO[T]) push(w int, t T) {
 }
 
 // fifoPop takes the queue head for worker w, counting the shared-queue
-// dispatch.
+// dispatch. The lock-free ready mirror screens out a provably empty
+// queue so idle pollers never contend on the mutex (see ADF.adfPop for
+// why the mirror's false negatives are benign).
 func (f *FIFO[T]) fifoPop(w int) (T, bool) {
+	if f.ready.Load() == 0 {
+		var zero T
+		return zero, false
+	}
 	f.mu.Lock()
 	f.lockOps.Add(1)
 	x, ok := f.q.Pop()

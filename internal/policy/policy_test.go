@@ -167,8 +167,11 @@ func TestWSPoolConcurrent(t *testing.T) {
 	if steals+local != int64(n) {
 		t.Errorf("steals(%d)+local(%d) != consumed(%d)", steals, local, n)
 	}
-	if lockOps < steals || lockOps != steals+failed {
-		t.Errorf("lockOps = %d, want steals(%d)+failed(%d)", lockOps, steals, failed)
+	// Every successful steal takes the victim's lock; a failed attempt
+	// only does when SizeHint screening let it through (the victim looked
+	// nonempty but was drained before the lock was acquired).
+	if lockOps < steals || lockOps > steals+failed {
+		t.Errorf("lockOps = %d, want within [steals(%d), steals+failed(%d)]", lockOps, steals, steals+failed)
 	}
 }
 

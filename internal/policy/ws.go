@@ -66,31 +66,68 @@ func (pl *WSPool[T]) trace(w int, k rtrace.Kind, a, b, c int64) {
 // Workers returns the number of deques (= workers).
 func (pl *WSPool[T]) Workers() int { return len(pl.dq) }
 
-// Push pushes x onto the top of w's own deque. pusher identifies the
-// recording worker (-1 for the pre-run seed), which may differ from the
-// deque index only then.
-func (pl *WSPool[T]) Push(w int, x T) { pl.push(w, w, x) }
+// Push pushes x onto the top of w's own deque — the owner's fork path.
+// While no thief has targeted the deque this is lock-free (the biased
+// fast path, see deque.Deque); once shared it takes the deque's lock and
+// rebiases. Traces are emitted inside the protected window so a later
+// steal of x linearizes after this push.
+func (pl *WSPool[T]) Push(w int, x T) {
+	d := pl.dq[w]
+	if d.OwnerAcquire() {
+		d.PushTop(x)
+		if pl.tidOf != nil {
+			pl.trace(w, rtrace.EvPush, pl.tidOf(x), d.ID, 0)
+		}
+		d.OwnerRelease()
+	} else {
+		d.Mu.Lock()
+		d.PushTop(x)
+		if pl.tidOf != nil {
+			pl.trace(w, rtrace.EvPush, pl.tidOf(x), d.ID, 0)
+		}
+		d.Rebias()
+		d.Mu.Unlock()
+	}
+	pl.ready.Add(1)
+}
 
-func (pl *WSPool[T]) push(pusher, w int, x T) {
+// push places x on worker w's deque on behalf of a goroutine that is NOT
+// worker w (recorder identifies it in the trace: -1 for the pre-run seed
+// and mid-run injection). A foreign push is a thief-side access: it locks
+// the deque and Shares it rather than touching the owner bias.
+func (pl *WSPool[T]) push(recorder, w int, x T) {
 	d := pl.dq[w]
 	d.Mu.Lock()
+	d.Share()
 	d.PushTop(x)
 	if pl.tidOf != nil {
-		pl.trace(pusher, rtrace.EvPush, pl.tidOf(x), d.ID, 0)
+		pl.trace(recorder, rtrace.EvPush, pl.tidOf(x), d.ID, 0)
 	}
 	d.Mu.Unlock()
 	pl.ready.Add(1)
 }
 
-// Pop pops the top of w's own deque.
+// Pop pops the top of w's own deque — lock-free on the biased fast path,
+// under the deque's lock (rebiasing) once a thief has shared it.
 func (pl *WSPool[T]) Pop(w int) (T, bool) {
 	d := pl.dq[w]
-	d.Mu.Lock()
-	x, ok := d.PopTop()
-	if ok && pl.tidOf != nil {
-		pl.trace(w, rtrace.EvPop, pl.tidOf(x), d.ID, 0)
+	var x T
+	var ok bool
+	if d.OwnerAcquire() {
+		x, ok = d.PopTop()
+		if ok && pl.tidOf != nil {
+			pl.trace(w, rtrace.EvPop, pl.tidOf(x), d.ID, 0)
+		}
+		d.OwnerRelease()
+	} else {
+		d.Mu.Lock()
+		x, ok = d.PopTop()
+		if ok && pl.tidOf != nil {
+			pl.trace(w, rtrace.EvPop, pl.tidOf(x), d.ID, 0)
+		}
+		d.Rebias()
+		d.Mu.Unlock()
 	}
-	d.Mu.Unlock()
 	if ok {
 		pl.ready.Add(-1)
 		pl.local.Add(1)
@@ -98,10 +135,19 @@ func (pl *WSPool[T]) Pop(w int) (T, bool) {
 	return x, ok
 }
 
-// StealFrom pops the bottom of victim v's deque on behalf of thief w.
+// StealFrom pops the bottom of victim v's deque on behalf of thief w. An
+// empty victim is screened out by SizeHint before the deque lock is
+// touched, so failed attempts stay contention-free.
 func (pl *WSPool[T]) StealFrom(w, v int) (T, bool) {
 	d := pl.dq[v]
+	var zero T
+	if d.SizeHint() == 0 {
+		pl.trace(w, rtrace.EvStealAttempt, d.ID, 0, 0)
+		pl.failed.Add(1)
+		return zero, false
+	}
 	d.Mu.Lock()
+	d.Share()
 	pl.lockOps.Add(1)
 	pl.trace(w, rtrace.EvStealAttempt, d.ID, 0, 0)
 	x, ok := d.PopBottom()
@@ -150,19 +196,28 @@ func (pl *WSPool[T]) Stats() (steals, failed, local, lockOps int64) {
 // and Acquire never refills anything.
 type WS[T any] struct {
 	pool *WSPool[T]
-	rngs []*rand.Rand // rngs[w] used only by worker w
+	rngs []*rand.Rand // rngs[w] used only by worker w, seeded on first use
+	seed int64
 }
 
 // NewWS builds a WS policy for p workers; seed derives each worker's
 // private victim-selection stream (core.WorkerSeed), so victim choices
 // are deterministic per (seed, worker) and the steal path never
-// serializes on a shared generator.
+// serializes on a shared generator. Each stream is seeded lazily at the
+// worker's first steal attempt — math/rand seeding is expensive, and
+// eager per-worker seeding would dominate short runs' construction.
 func NewWS[T any](p int, seed int64) *WS[T] {
-	s := &WS[T]{pool: NewWSPool[T](p), rngs: make([]*rand.Rand, p)}
-	for w := range s.rngs {
-		s.rngs[w] = rand.New(rand.NewSource(core.WorkerSeed(seed, w)))
+	return &WS[T]{pool: NewWSPool[T](p), rngs: make([]*rand.Rand, p), seed: seed}
+}
+
+// rng returns worker w's victim-selection stream; only worker w may call.
+func (s *WS[T]) rng(w int) *rand.Rand {
+	r := s.rngs[w]
+	if r == nil {
+		r = rand.New(rand.NewSource(core.WorkerSeed(s.seed, w)))
+		s.rngs[w] = r
 	}
-	return s
+	return r
 }
 
 // Instrument attaches a trace probe to the pool (see internal/rtrace).
@@ -229,7 +284,7 @@ func (s *WS[T]) Acquire(w int) (T, bool) {
 	if x, ok := s.pool.Pop(w); ok {
 		return x, true
 	}
-	v := s.rngs[w].Intn(s.pool.Workers())
+	v := s.rng(w).Intn(s.pool.Workers())
 	if v == w {
 		s.pool.NoteFailed(w)
 		var zero T

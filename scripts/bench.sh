@@ -1,14 +1,57 @@
 #!/bin/sh
-# Benchmark snapshot: runs the contention, runtime, simulator, and
-# steal-hot-path benchmarks and writes a machine-readable BENCH_<label>.json
-# (one object per benchmark: op, ns_per_op, allocs_per_op, workers, engine)
-# for cross-commit comparison.
+# Benchmark snapshot: runs the contention, speedup, runtime, simulator,
+# and steal-hot-path benchmarks and writes a machine-readable
+# BENCH_<label>.json (one object per benchmark: op, ns_per_op,
+# allocs_per_op, workers, engine) for cross-commit comparison.
 #
 # usage: scripts/bench.sh [label]     (default label: short git commit)
 #        BENCHTIME=1s scripts/bench.sh soak
+#        scripts/bench.sh --compare OLD.json NEW.json
+#                                    (print per-benchmark deltas)
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# --compare OLD.json NEW.json: join the two snapshots on the benchmark
+# name and print the time and allocation deltas, flagging regressions.
+if [ "${1:-}" = "--compare" ]; then
+	[ $# -eq 3 ] || { echo "usage: scripts/bench.sh --compare OLD.json NEW.json" >&2; exit 2; }
+	old="$2"; new="$3"
+	awk -v oldfile="$old" -v newfile="$new" '
+	function parse(file, ns, al,   line, op) {
+		while ((getline line < file) > 0) {
+			if (line !~ /"op":/) continue
+			op = line; sub(/.*"op": "/, "", op); sub(/".*/, "", op)
+			if (match(line, /"ns_per_op": [0-9.]+/))
+				ns[op] = substr(line, RSTART + 13, RLENGTH - 13)
+			if (match(line, /"allocs_per_op": [0-9.]+/))
+				al[op] = substr(line, RSTART + 17, RLENGTH - 17)
+			order[++n] = op
+		}
+		close(file)
+	}
+	BEGIN {
+		parse(oldfile, ons, oal)
+		n0 = n
+		parse(newfile, nns, nal)
+		printf "%-55s %12s %12s %8s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs"
+		for (i = n0 + 1; i <= n; i++) {
+			op = order[i]
+			if (!(op in nns) || seen[op]++) continue
+			if (op in ons) {
+				d = (nns[op] - ons[op]) / ons[op] * 100
+				flag = (d > 5 ? "  <-- slower" : "")
+				da = ""
+				if (op in oal && op in nal && oal[op] != "")
+					da = sprintf("%+.0f", nal[op] - oal[op])
+				printf "%-55s %12.0f %12.0f %+7.1f%% %9s%s\n", op, ons[op], nns[op], d, da, flag
+			} else {
+				printf "%-55s %12s %12.0f %8s %9s\n", op, "-", nns[op], "new", ""
+			}
+		}
+	}' /dev/null
+	exit 0
+fi
 
 label="${1:-$(git rev-parse --short HEAD)}"
 benchtime="${BENCHTIME:-0.3s}"
@@ -17,7 +60,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run='^$' -benchtime="$benchtime" -benchmem \
-	-bench='^(BenchmarkGrtContention|BenchmarkGrtTrace|BenchmarkRuntimeForkJoin|BenchmarkSimulatorPerScheduler)$' \
+	-bench='^(BenchmarkGrtContention|BenchmarkGrtSpeedup|BenchmarkGrtTrace|BenchmarkRuntimeForkJoin|BenchmarkSimulatorPerScheduler)$' \
 	. | tee "$tmp"
 # Second pass with the rtrace hook sites compiled out entirely: the
 # BenchmarkGrtTrace/pN/compiledout row is the true zero-instrumentation
@@ -50,6 +93,7 @@ awk -v label="$label" '
 	engine = "struct"
 	if (name ~ /\/coarse/) engine = "coarse"
 	else if (name ~ /\/fine/) engine = "fine"
+	else if (name ~ /^BenchmarkGrtSpeedup/) engine = "fine"
 	else if (name ~ /^BenchmarkGrtTrace/) engine = "fine"
 	else if (name ~ /^BenchmarkRuntimeForkJoin/) { engine = "fine"; workers = 4 }
 	else if (name ~ /^BenchmarkSimulator/) { engine = "sim"; workers = 8 }
