@@ -38,6 +38,12 @@
 //	-timeout D    real mode: cancel the run if it exceeds this duration
 //	              (e.g. 30s); the job's threads are poisoned and drained,
 //	              and dfdsim exits non-zero with the deadline error
+//	-scenario S   real mode: run an irregular-workload scenario instead of
+//	              -bench: pipeline | stream | taskgraph (see
+//	              internal/workload). The run's checksum is verified
+//	              against the serial reference, and with -trace the
+//	              summary includes the parallel cache-complexity report.
+//	-scale N      scenario size multiplier (default 1)
 package main
 
 import (
@@ -76,6 +82,8 @@ func main() {
 	traceFile := flag.String("trace", "", "real mode: write Chrome trace_event JSON to FILE")
 	tracebuf := flag.Int("tracebuf", 1<<17, "real mode: per-worker trace ring capacity (events)")
 	timeout := flag.Duration("timeout", 0, "real mode: cancel the run after this duration (0 = none)")
+	scenario := flag.String("scenario", "", "real mode: irregular scenario (pipeline|stream|taskgraph) instead of -bench")
+	scale := flag.Int("scale", 1, "scenario size multiplier")
 	flag.Parse()
 
 	// Scheduler names are case-insensitive; canonicalize to the printed
@@ -96,6 +104,20 @@ func main() {
 	g := workload.Fine
 	if *grain == "medium" {
 		g = workload.Medium
+	}
+
+	if *scenario != "" {
+		if !*real {
+			fmt.Fprintln(os.Stderr, "dfdsim: -scenario runs on the real runtime; add -real")
+			os.Exit(2)
+		}
+		runScenario(*scenario, *scale, realCfg{
+			sched: *schedName, procs: *procs, workers: *workers, k: *k,
+			seed: *seed, coarse: *coarse, measure: *measure,
+			trace: *traceFile, tracebuf: *tracebuf, json: *jsonOut,
+			grain: g, bench: *bench, timeout: *timeout,
+		})
+		return
 	}
 
 	var spec *dag.ThreadSpec
@@ -228,6 +250,26 @@ func emitJSON(obj map[string]any) {
 	}
 }
 
+// realKind maps the canonical scheduler name to the runtime kind; the
+// threshold is forced to 0 (∞) for DFD-inf and WS.
+func realKind(rc realCfg) (grt.Kind, int64) {
+	switch rc.sched {
+	case "DFD":
+		return grt.DFDeques, rc.k
+	case "DFD-inf":
+		return grt.DFDeques, 0 // DFDeques(∞): ordered deque list, no quota
+	case "WS":
+		return grt.WS, 0 // per-worker fixed deques, random-victim bottom steal
+	case "ADF":
+		return grt.ADF, rc.k
+	case "FIFO":
+		return grt.FIFO, rc.k
+	}
+	fmt.Fprintf(os.Stderr, "dfdsim: unknown scheduler %q\n", rc.sched)
+	os.Exit(2)
+	panic("unreachable")
+}
+
 type realCfg struct {
 	sched           string
 	procs, workers  int
@@ -245,23 +287,7 @@ type realCfg struct {
 // prints its stats, including the contention counters; with -trace it
 // records every scheduling event and writes a Chrome trace_event file.
 func runReal(spec *dag.ThreadSpec, rc realCfg) {
-	var kind grt.Kind
-	k := rc.k
-	switch rc.sched {
-	case "DFD":
-		kind = grt.DFDeques
-	case "DFD-inf":
-		kind, k = grt.DFDeques, 0 // DFDeques(∞): ordered deque list, no quota
-	case "WS":
-		kind, k = grt.WS, 0 // per-worker fixed deques, random-victim bottom steal
-	case "ADF":
-		kind = grt.ADF
-	case "FIFO":
-		kind = grt.FIFO
-	default:
-		fmt.Fprintf(os.Stderr, "dfdsim: unknown scheduler %q\n", rc.sched)
-		os.Exit(2)
-	}
+	kind, k := realKind(rc)
 	workers := rc.workers
 	if workers <= 0 {
 		workers = rc.procs
@@ -397,5 +423,135 @@ func runReal(spec *dag.ThreadSpec, rc realCfg) {
 		for _, w := range sum.PerWorker {
 			fmt.Printf("  worker %d: busy %.1f%%, %d steals\n", w.Worker, 100*w.BusyFrac, w.Steals)
 		}
+		printCache(sum)
+	}
+}
+
+// printCache renders the parallel cache-complexity section of a trace
+// summary, when the stream carried data touches.
+func printCache(sum *rtrace.Summary) {
+	c := sum.Cache
+	if c == nil {
+		return
+	}
+	fmt.Printf("\ncache complexity (simulated %d KB/worker, %d B lines):\n",
+		c.CapacityBytes>>10, c.LineBytes)
+	fmt.Printf("  touches:           %d (%d bytes)\n", c.Touches, c.TouchedBytes)
+	fmt.Printf("  parallel misses:   %d (%.1f%%)\n", c.ParMisses, 100*c.ParMissRate)
+	fmt.Printf("  1DF serial misses: %d (%.1f%%)\n", c.SeqMisses, 100*c.SeqMissRate)
+	fmt.Printf("  extra misses:      %d\n", c.ExtraMisses)
+	fmt.Printf("  deviations:        %d (%d steals + %d queue takes + %d migrations)\n",
+		c.Deviations, c.Steals, c.QueueTakes, c.Migrations)
+}
+
+// runScenario executes one irregular-workload scenario (internal/workload)
+// on the real runtime, checks its checksum against the serial reference,
+// and — when tracing — reports the parallel cache complexity of the run.
+func runScenario(name string, scale int, rc realCfg) {
+	sc, ok := workload.ScenarioByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dfdsim: unknown scenario %q (pipeline|stream|taskgraph)\n", name)
+		os.Exit(2)
+	}
+	kind, k := realKind(rc)
+	workers := rc.workers
+	if workers <= 0 {
+		workers = rc.procs
+	}
+	scfg := workload.ScenarioConfig{Seed: rc.seed, Scale: scale}
+
+	cfg := grt.Config{
+		Workers: workers, Sched: kind, K: k, Seed: rc.seed,
+		CoarseLock: rc.coarse, MeasureContention: rc.measure,
+	}
+	var rec *rtrace.Recorder
+	if rc.trace != "" {
+		if !rtrace.Enabled {
+			fmt.Fprintln(os.Stderr, "dfdsim: built with -tags grtnotrace; tracing is compiled out")
+			os.Exit(2)
+		}
+		rec = rtrace.NewRecorder(workers, rc.tracebuf)
+		cfg.Probe = rec
+	}
+	ctx := context.Background()
+	if rc.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rc.timeout)
+		defer cancel()
+	}
+	rt, err := grt.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dfdsim: %v\n", err)
+		os.Exit(1)
+	}
+	checksum, err := sc.Run(ctx, rt, scfg)
+	rt.Shutdown(context.Background())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dfdsim: %s: %v\n", sc.Name, err)
+		os.Exit(1)
+	}
+	want := sc.Expect(scfg)
+	if checksum != want {
+		fmt.Fprintf(os.Stderr, "dfdsim: %s: checksum %#x does not match the serial reference %#x\n",
+			sc.Name, checksum, want)
+		os.Exit(1)
+	}
+
+	var sum *rtrace.Summary
+	if rec != nil {
+		f, err := os.Create(rc.trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dfdsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rtrace.Export(f, rec.Meta(), rec.Events(), rec.Dropped()); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dfdsim: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		s := rtrace.Summarize(rec.Meta(), rec.Events(), rec.Dropped())
+		sum = &s
+	}
+
+	engine := "fine"
+	if rc.coarse {
+		engine = "coarse"
+	}
+	if rc.json {
+		obj := map[string]any{
+			"op":          fmt.Sprintf("dfdsim/scenario/%s/%v", sc.Name, kind),
+			"workers":     workers,
+			"engine":      engine,
+			"k":           k,
+			"seed":        rc.seed,
+			"scale":       scfg.Scale,
+			"jobs":        sc.Jobs(scfg),
+			"threads":     sc.Threads(scfg),
+			"checksum":    fmt.Sprintf("%#x", checksum),
+			"checksum_ok": true,
+		}
+		if sum != nil {
+			obj["trace"] = sum
+		}
+		emitJSON(obj)
+		return
+	}
+	engineName := "fine-grained"
+	if rc.coarse {
+		engineName = "coarse (global lock)"
+	}
+	fmt.Printf("scenario: %s (scale %d)  jobs=%d threads=%d\n",
+		sc.Name, scfg.Scale, sc.Jobs(scfg), sc.Threads(scfg))
+	fmt.Printf("runtime:  %v  workers=%d  K=%d  seed=%d  engine=%s\n\n",
+		kind, workers, k, rc.seed, engineName)
+	fmt.Printf("checksum: %#x (matches the serial reference)\n", checksum)
+	if sum != nil {
+		fmt.Printf("\ntrace: %d events (%d dropped) → %s\n", sum.Events, sum.Dropped, rc.trace)
+		fmt.Printf("  threads:           %d\n", sum.Threads)
+		fmt.Printf("  steal success:     %.1f%%\n", 100*sum.StealSuccessRate)
+		fmt.Printf("  sched granularity: %.2f dispatches/shared-acquire\n", sum.SchedGranularity)
+		printCache(sum)
 	}
 }

@@ -137,6 +137,9 @@ func (c *Cache) touchAssoc(key uint64) bool {
 	return false
 }
 
+// Config returns the cache's configuration (with defaults applied).
+func (c *Cache) Config() Config { return c.cfg }
+
 // Stats returns cumulative hit and miss counts.
 func (c *Cache) Stats() (hits, misses int64) { return c.hits, c.misses }
 

@@ -1,0 +1,64 @@
+package cache
+
+// Parallel models the cache state of a p-processor execution next to the
+// one-processor baseline the locality literature compares against: one
+// simulated cache per worker (fed with that worker's touches in execution
+// order) plus one extra cache that replays the whole touch stream in the
+// serial (1DF) order. The difference between the parallel miss total and
+// the sequential one is the execution's cache overhead — the quantity
+// "Analysis of Work-Stealing and Parallel Cache Complexity" bounds by the
+// number of deviations from the sequential schedule, and the quantity the
+// paper's Fig. 1 reports as an L2 miss-rate gap between schedulers.
+type Parallel struct {
+	cfg     Config
+	workers []*Cache
+	seq     *Cache
+}
+
+// NewParallel builds per-worker caches and the sequential baseline, all
+// with the same configuration.
+func NewParallel(p int, cfg Config) *Parallel {
+	if p < 1 {
+		p = 1
+	}
+	pp := &Parallel{cfg: cfg, workers: make([]*Cache, p), seq: New(cfg)}
+	for i := range pp.workers {
+		pp.workers[i] = New(cfg)
+	}
+	return pp
+}
+
+// Workers returns the number of per-worker caches.
+func (pp *Parallel) Workers() int { return len(pp.workers) }
+
+// Touch feeds one touch to worker w's cache and returns its misses.
+// Touches recorded outside a worker (w < 0) are charged to cache 0 — in
+// practice they do not occur (EvTouch is only recorded by a running
+// worker), but the fallback keeps the replay total.
+func (pp *Parallel) Touch(w int, blk int32, bytes int64) int64 {
+	if w < 0 || w >= len(pp.workers) {
+		w = 0
+	}
+	return pp.workers[w].Touch(blk, bytes)
+}
+
+// SeqTouch feeds one touch to the sequential-baseline cache.
+func (pp *Parallel) SeqTouch(blk int32, bytes int64) int64 {
+	return pp.seq.Touch(blk, bytes)
+}
+
+// Worker returns worker w's cache (for per-worker statistics).
+func (pp *Parallel) Worker(w int) *Cache { return pp.workers[w] }
+
+// Seq returns the sequential-baseline cache.
+func (pp *Parallel) Seq() *Cache { return pp.seq }
+
+// ParStats returns the summed hit/miss counts across the worker caches.
+func (pp *Parallel) ParStats() (hits, misses int64) {
+	for _, c := range pp.workers {
+		h, m := c.Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}

@@ -1,0 +1,53 @@
+package cache
+
+import "testing"
+
+func TestParallelRouting(t *testing.T) {
+	pp := NewParallel(2, Config{CapacityBytes: 1024, LineBytes: 64})
+	if pp.Workers() != 2 {
+		t.Fatalf("Workers = %d, want 2", pp.Workers())
+	}
+	// Each worker's cache is independent: the same line misses cold in both.
+	if m := pp.Touch(0, 1, 64); m != 1 {
+		t.Fatalf("w0 cold miss = %d, want 1", m)
+	}
+	if m := pp.Touch(1, 1, 64); m != 1 {
+		t.Fatalf("w1 cold miss = %d, want 1", m)
+	}
+	if m := pp.Touch(0, 1, 64); m != 0 {
+		t.Fatalf("w0 warm miss = %d, want 0", m)
+	}
+	// The sequential baseline is separate from every worker cache.
+	if m := pp.SeqTouch(1, 64); m != 1 {
+		t.Fatalf("seq cold miss = %d, want 1", m)
+	}
+	if m := pp.SeqTouch(1, 64); m != 0 {
+		t.Fatalf("seq warm miss = %d, want 0", m)
+	}
+	hits, misses := pp.ParStats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("ParStats = %d hits %d misses, want 1, 2", hits, misses)
+	}
+	if h, m := pp.Seq().Stats(); h != 1 || m != 1 {
+		t.Fatalf("seq stats = %d/%d, want 1/1", h, m)
+	}
+}
+
+func TestParallelOutOfRangeWorker(t *testing.T) {
+	pp := NewParallel(2, Config{CapacityBytes: 1024, LineBytes: 64})
+	// Out-of-range worker indices fall back to cache 0.
+	pp.Touch(-1, 3, 64)
+	if m := pp.Touch(0, 3, 64); m != 0 {
+		t.Fatal("w=-1 touch should have warmed cache 0")
+	}
+	if m := pp.Touch(1, 3, 64); m != 1 {
+		t.Fatal("cache 1 must stay cold")
+	}
+}
+
+func TestParallelMinWorkers(t *testing.T) {
+	pp := NewParallel(0, DefaultConfig())
+	if pp.Workers() != 1 {
+		t.Fatalf("Workers = %d, want clamp to 1", pp.Workers())
+	}
+}

@@ -72,6 +72,34 @@ func FuzzDequeConcurrent(f *testing.F) {
 	// owner's next fork/terminate through the Mu + Rebias slow path.
 	f.Add([]byte{2, 0, 0, 0, 0, 4, 0, 0, 0, 0, 0, 2, 1, 1, 0, 1, 1})
 	f.Add([]byte{1, 0, 0, 0, 0, 4, 0, 1, 0, 0, 0, 4, 0, 0, 0, 1, 0, 1, 0})
+	// Pipeline-scenario shapes (see internal/workload): a producer forks
+	// a deep chain of stage cells while every other worker bottom-steals
+	// the leftmost deque — thief-heavy, all steals landing on one victim,
+	// then the stolen continuations fork on their new rightward deques
+	// before the drain.
+	f.Add([]byte{3,
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, // w0 forks 6 deep
+		2, 1, 2, 2, 2, 3, // thieves 1–3 strip deque 0's bottom
+		0, 1, 0, 2, 0, 3, // stolen cells fork (InsertRight deques)
+		1, 1, 1, 2, 1, 3, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0})
+	// Backpressure shape: a consumer steals, gives its deque up
+	// (suspending on a full buffer), re-steals the abandoned work, and a
+	// share-mark forces the producer's next fork through Rebias.
+	f.Add([]byte{1,
+		0, 0, 0, 0, 0, 0, 0, 0, // w0 forks 4 deep
+		2, 1, 3, 1, 2, 1, // w1: steal, give up, steal again
+		4, 0, 0, 0, // share-mark, then w0 forks via the slow path
+		1, 0, 1, 0, 1, 0, 1, 0, 1, 1, 1, 1})
+	// Bottom-steal-dense ladder across stages: steals target interior
+	// deques (victim index 1), not just the leftmost, as when a
+	// mid-pipeline stage's continuation is the coarsest work left.
+	f.Add([]byte{2,
+		0, 0, 0, 0, 0, 0, // w0 forks 3 deep
+		2, 1, 0, 1, 0, 1, // w1 steals, forks twice on its deque
+		2, 5, 0, 2, // w2 steals deque index 1's bottom, forks
+		4, 1, // share-mark an interior deque
+		1, 0, 1, 0, 1, 0, 1, 1, 1, 1, 1, 1, 1, 2, 1, 2,
+		2, 1, 1, 1})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 2 {

@@ -154,13 +154,15 @@ const (
 	evFutureSet
 	evFutureGet
 	evDummy
+	evTouch
 	evDone
 )
 
 type event struct {
 	kind  evKind
 	child *T      // evFork
-	n     int64   // evAlloc/evFree bytes
+	n     int64   // evAlloc/evFree/evTouch bytes
+	blk   int32   // evTouch block
 	mu    *Mutex  // evLock/evUnlock
 	fut   *Future // evFutureSet/evFutureGet
 	val   any     // evFutureSet
@@ -757,6 +759,20 @@ func (t *T) Alloc(n int64) {
 		// thread has just been redispatched with a fresh quota: retry.
 		t.retryAlloc = false
 	}
+}
+
+// Touch declares that the thread reads or writes `bytes` bytes of data
+// block blk — the runtime's locality declaration, mirroring the
+// simulator's OpWork (Blk, TouchBytes) footprint. When a trace probe is
+// installed the touch is recorded on the executing worker's lane, which
+// is what feeds the parallel cache-complexity replay (rtrace.Summarize's
+// Cache report). Without a probe Touch returns immediately — no yield,
+// no scheduling point — so untraced runs schedule exactly as before.
+func (t *T) Touch(blk int32, bytes int64) {
+	if !rtrace.Enabled || t.rt.probe == nil || blk == 0 || bytes <= 0 {
+		return
+	}
+	t.do(event{kind: evTouch, blk: blk, n: bytes})
 }
 
 // Free returns n bytes to the heap accounting (and the quota, which

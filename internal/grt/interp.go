@@ -63,6 +63,9 @@ func (in *interp) thread(t *T, spec *dag.ThreadSpec) {
 	for _, instr := range spec.Instrs {
 		switch instr.Op {
 		case dag.OpWork:
+			if instr.Blk != 0 && instr.TouchBytes > 0 {
+				t.Touch(int32(instr.Blk), int64(instr.TouchBytes))
+			}
 			in.spin(instr.N)
 		case dag.OpAlloc:
 			t.Alloc(instr.N)

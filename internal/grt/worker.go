@@ -190,6 +190,11 @@ func (rt *Runtime) worker(w int) {
 			}
 			curr = rt.next(w)
 
+		case evTouch:
+			// Pure observation: the touch is recorded on this worker's lane
+			// (the thread only yields evTouch while a probe is installed).
+			rt.trace(w, rtrace.EvTouch, curr.tid, int64(ev.blk), ev.n)
+
 		case evDummy:
 			// §3.3: after executing a dummy thread the processor must give
 			// up its deque and steal. The dummy terminates right after

@@ -256,20 +256,21 @@ func min64(a, b int64) int64 {
 // Experiments maps experiment ids to drivers, for cmd/dfdlab.
 func Experiments() map[string]func(Options) *stats.Table {
 	return map[string]func(Options) *stats.Table{
-		"fig1":     Fig01Summary,
-		"fig11":    Fig11ThreadCounts,
-		"fig12":    Fig12Speedups,
-		"fig13":    Fig13MemVsProcs,
-		"fig14":    Fig14HeapHW,
-		"fig15":    Fig15KTradeoff,
-		"fig16":    Fig16Synthetic,
-		"fig17":    Fig17TreeBuildLocks,
-		"thm45":    Thm45LowerBound,
-		"ablation": Ablations,
-		"adaptive": AdaptiveK,
-		"cluster":  Clustered,
-		"xcheck":   CrossCheck,
-		"profile":  SpaceProfile,
+		"fig1":      Fig01Summary,
+		"fig11":     Fig11ThreadCounts,
+		"fig12":     Fig12Speedups,
+		"fig13":     Fig13MemVsProcs,
+		"fig14":     Fig14HeapHW,
+		"fig15":     Fig15KTradeoff,
+		"fig16":     Fig16Synthetic,
+		"fig17":     Fig17TreeBuildLocks,
+		"thm45":     Thm45LowerBound,
+		"ablation":  Ablations,
+		"adaptive":  AdaptiveK,
+		"cluster":   Clustered,
+		"xcheck":    CrossCheck,
+		"profile":   SpaceProfile,
+		"scenarios": ScenarioCache,
 	}
 }
 
@@ -278,6 +279,6 @@ func Order() []string {
 	return []string{
 		"fig1", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "thm45", "ablation", "adaptive", "cluster", "xcheck",
-		"profile",
+		"profile", "scenarios",
 	}
 }

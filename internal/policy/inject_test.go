@@ -1,0 +1,192 @@
+package policy_test
+
+// Inject places a thread into a policy's ready structure from outside any
+// worker — the path a submitted job root or a canceled job's republished
+// thread takes (PR 4). These tests pin down the placement contract per
+// policy: priority-positioned for DFD and ADF (Lemma 3.1 survives mid-run
+// injection), arrival-ordered for FIFO, deque 0 for WS.
+
+import (
+	"testing"
+
+	"dfdeques/internal/om"
+	"dfdeques/internal/policy"
+)
+
+// TestDFDInjectPriorityOrder injects three roots in scrambled order and
+// checks a single worker acquires them in 1DF priority order: each Inject
+// opened a fresh deque at the record's priority position in R, so the
+// leftmost-p steal always finds the highest-priority root first.
+func TestDFDInjectPriorityOrder(t *testing.T) {
+	var l om.List
+	// One worker: the leftmost-p steal window has width 1, so the victim
+	// choice is deterministic and the acquire order is exactly R's order.
+	d := policy.NewDFD(1, 0, om.Less, 1)
+
+	r1 := l.PushBack() // highest priority of the three
+	r2 := l.PushBack()
+	r3 := l.PushBack() // lowest
+
+	d.Inject(r2)
+	d.Inject(r3)
+	d.Inject(r1) // injected last, must still be acquired first
+
+	idle := func(int) (*om.Record, bool) { return nil, false }
+	if err := d.CheckInvariants(idle); err != nil {
+		t.Fatalf("after injection: %v", err)
+	}
+
+	for i, want := range []*om.Record{r1, r2, r3} {
+		got, ok := d.Acquire(0)
+		if !ok {
+			t.Fatalf("acquire %d failed with %d roots outstanding", i, 3-i)
+		}
+		if got != want {
+			t.Fatalf("acquire %d: got record with wrong priority (injection order leaked into R)", i)
+		}
+		if _, ok := d.Terminate(0, nil, false); ok {
+			t.Fatalf("acquire %d: unexpected local work after a lone injected root", i)
+		}
+		l.Delete(got)
+	}
+	if d.HasWork() {
+		t.Error("pool reports work after all injected roots terminated")
+	}
+}
+
+// TestDFDInjectMidRun injects a low-priority root while a worker is mid
+// computation with a non-empty deque, then checks the worker's own work
+// still runs first and the injected root is acquired last — the Lemma 3.1
+// ordering the Inject doc comment promises for mid-run injection.
+func TestDFDInjectMidRun(t *testing.T) {
+	var l om.List
+	d := policy.NewDFD(1, 0, om.Less, 1)
+
+	root := l.PushFront()
+	d.Seed(root)
+	curr, ok := d.Acquire(0)
+	if !ok || curr != root {
+		t.Fatal("worker could not acquire the seeded root")
+	}
+
+	// Fork: child takes the priority slot just above the parent's
+	// continuation and runs; the parent goes on the worker's deque.
+	child := l.InsertBefore(curr)
+	curr = d.Fork(0, curr, child)
+
+	// A job arrives mid-run: its root priority is the back of the om list
+	// (lower than everything live, matching the runtime's submit rule).
+	late := l.PushBack()
+	d.Inject(late)
+
+	running := func(int) (*om.Record, bool) { return curr, curr != nil }
+	if err := d.CheckInvariants(running); err != nil {
+		t.Fatalf("after mid-run injection: %v", err)
+	}
+
+	// The worker drains its own deque (child, then parent) before the
+	// injected root is reachable.
+	for _, want := range []*om.Record{root, late} {
+		dead := curr
+		next, ok := d.Terminate(0, nil, false)
+		if !ok {
+			next, ok = d.Acquire(0)
+		}
+		if !ok {
+			t.Fatal("ready thread unreachable after terminate+acquire")
+		}
+		if next != want {
+			t.Fatal("injected root ran before higher-priority local work")
+		}
+		l.Delete(dead)
+		curr = next
+	}
+	l.Delete(curr)
+	if _, ok := d.Terminate(0, nil, false); ok {
+		t.Error("work left after the injected root terminated")
+	}
+}
+
+// TestADFInjectPriorityOrder: ADF's Inject is the same priority-positioned
+// insert as every other publish, so scrambled injection order must come
+// back out of the shared queue in 1DF priority order.
+func TestADFInjectPriorityOrder(t *testing.T) {
+	var l om.List
+	a := policy.NewADF(2, 0, om.Less)
+
+	r1 := l.PushBack()
+	r2 := l.PushBack()
+	r3 := l.PushBack()
+
+	a.Inject(r2)
+	a.Inject(r3)
+	a.Inject(r1)
+	if !a.HasWork() {
+		t.Fatal("no work after injecting three roots")
+	}
+
+	for i, want := range []*om.Record{r1, r2, r3} {
+		got, ok := a.Acquire(i % 2) // either worker sees the same global order
+		if !ok || got != want {
+			t.Fatalf("acquire %d: wrong record or empty queue (ok=%v)", i, ok)
+		}
+	}
+	if a.HasWork() {
+		t.Error("queue reports work after draining")
+	}
+	if st := a.Stats(); st.Steals != 3 {
+		t.Errorf("steals = %d, want 3 (every ADF dispatch is a queue take)", st.Steals)
+	}
+}
+
+// TestFIFOInjectArrivalOrder: FIFO deliberately has no priority order —
+// injected roots join the tail and come back in arrival order, like any
+// forked thread.
+func TestFIFOInjectArrivalOrder(t *testing.T) {
+	f := policy.NewFIFO[int](0)
+	for _, v := range []int{20, 30, 10} {
+		f.Inject(v)
+	}
+	for i, want := range []int{20, 30, 10} {
+		got, ok := f.Acquire(0)
+		if !ok || got != want {
+			t.Fatalf("acquire %d = (%d, %v), want %d (arrival order)", i, got, ok, want)
+		}
+	}
+	if f.HasWork() {
+		t.Error("queue reports work after draining")
+	}
+}
+
+// TestWSInjectDequeZero: WS has no global priority order, so Inject lands
+// the thread in worker 0's deque (like the seed). Worker 0 pops it LIFO;
+// other workers reach it only by stealing the deque bottom.
+func TestWSInjectDequeZero(t *testing.T) {
+	s := policy.NewWS[int](2, 1)
+	s.Inject(10)
+	s.Inject(20)
+
+	if _, ok := s.Next(1); ok {
+		t.Fatal("injected thread landed in a non-zero deque")
+	}
+	if got, ok := s.Next(0); !ok || got != 20 {
+		t.Fatalf("owner pop = (%d, %v), want 20 (LIFO top of deque 0)", got, ok)
+	}
+
+	// The remaining injected root is stealable: worker 1's Acquire draws a
+	// random victim (possibly itself — a failed attempt), so retry.
+	for attempt := 0; ; attempt++ {
+		if attempt > 100 {
+			t.Fatal("thief never reached the injected thread in deque 0")
+		}
+		if got, ok := s.Acquire(1); ok {
+			if got != 10 {
+				t.Fatalf("steal = %d, want 10 (bottom of deque 0)", got)
+			}
+			break
+		}
+	}
+	if s.HasWork() {
+		t.Error("pool reports work after draining")
+	}
+}

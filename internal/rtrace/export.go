@@ -40,6 +40,12 @@ type Summary struct {
 	DummySplits      int64           `json:"dummy_splits"`
 	DequeHighWater   int             `json:"deque_high_water"`
 	PerWorker        []WorkerSummary `json:"per_worker"`
+
+	// Cache is the parallel cache-complexity report (cachecplx.go),
+	// present when the stream contains EvTouch events; computed with the
+	// default cache geometry (the paper's 512 kB L2). Use CacheComplexity
+	// directly for other geometries.
+	Cache *CacheSummary `json:"cache,omitempty"`
 }
 
 // Summarize derives the metrics summary from a merged stream.
@@ -60,6 +66,7 @@ func Summarize(meta Meta, evs []Event, dropped uint64) Summary {
 	ws := make([]wstate, meta.Workers)
 	liveDeques, maxDeques := 0, 0
 	sharedTakes := int64(0) // steals + queue takes: dispatches through shared structures
+	touches := false
 	for _, e := range evs {
 		if e.TS > s.WallNs {
 			s.WallNs = e.TS
@@ -122,7 +129,12 @@ func Summarize(meta Meta, evs []Event, dropped uint64) Summary {
 			}
 		case EvDequeRetire:
 			liveDeques--
+		case EvTouch:
+			touches = true
 		}
+	}
+	if touches {
+		s.Cache = CacheComplexity(meta, evs, cacheConfig{})
 	}
 	for w := range ws {
 		if ws[w].running { // close at end of run

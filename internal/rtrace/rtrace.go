@@ -102,6 +102,12 @@ const (
 	// EvJobEnd: job A's last thread completed on worker W; B = 1 if the
 	// job finished with an error (panic, violation, or cancellation).
 	EvJobEnd
+	// EvTouch: thread A touched C bytes of data block B while running on
+	// worker W. Emitted by T.Touch only when a probe is installed; feeds
+	// the parallel cache-complexity replay (cachecplx.go). Appended after
+	// EvJobEnd so older trace files (kinds serialize as plain integers)
+	// keep loading unchanged.
+	EvTouch
 
 	numKinds
 )
@@ -126,6 +132,7 @@ var kindNames = [numKinds]string{
 	"free", "quota-exhaust", "dummy", "idle", "steal-attempt", "steal",
 	"deque-create", "deque-release", "deque-retire", "push", "pop",
 	"queue-push", "queue-take", "job-begin", "job-cancel", "job-end",
+	"touch",
 }
 
 func (k Kind) String() string {

@@ -356,6 +356,18 @@ func (v *verifier) step(e *Event) error {
 		v.running[w] = -1
 		v.rep.QuotaExhausts++
 
+	case EvTouch:
+		t, err := v.thread(e, e.A)
+		if err != nil {
+			return err
+		}
+		if t.state != tRunning || t.on != w {
+			return v.fail(e, "touch by t%d which is not running on w%d", e.A, w)
+		}
+		if e.B == 0 || e.C <= 0 {
+			return v.fail(e, "touch with empty footprint (blk=%d bytes=%d)", e.B, e.C)
+		}
+
 	case EvDummy:
 		t, err := v.thread(e, e.A)
 		if err != nil {

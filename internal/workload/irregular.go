@@ -1,0 +1,452 @@
+package workload
+
+// Irregular-workload scenarios for the concurrent runtime — the suite
+// beyond fully-strict fork-join. The paper's §5 extends its Pthreads
+// library with blocking synchronization (locks, and the futures of the
+// systems it cites) and notes the 1DF schedule — and with it the space and
+// locality bounds — only approximately survives; these scenarios exercise
+// exactly those paths as real grt Submit workloads:
+//
+//   - Pipeline: a producer/consumer pipeline with bounded-buffer
+//     backpressure built from write-once Futures (data cells + consumption
+//     acks) and a final aggregation under a scheduler-mediated Mutex.
+//   - Stream: a windowed reduce over a stream of Submits — overlapping
+//     windows on one warm runtime, several jobs in flight at once.
+//   - Taskgraph: a seeded random DAG whose cross-tree dependencies are
+//     Futures, forked in shuffled order so Gets block pervasively.
+//
+// Every scenario is deterministic in (Seed, Scale): the structure, the
+// values, and therefore the checksum are pure functions of the config, so
+// a serial reference (Expect) verifies any engine/policy/worker-count
+// combination, and the exact thread count (Threads) cross-checks the
+// runtime's accounting. Threads declare their data footprint with T.Touch,
+// which is what the rtrace cache-complexity replay scores; allocations
+// stay ≤ maxScenarioAlloc bytes so runs with K ≥ that (or K = 0) create no
+// dummy threads and Threads() is exact.
+
+import (
+	"context"
+
+	"dfdeques/internal/grt"
+)
+
+// ScenarioConfig sizes an irregular scenario. The zero value is usable:
+// Scale 0 means 1.
+type ScenarioConfig struct {
+	Seed  int64
+	Scale int // linear size multiplier, ≥ 1
+}
+
+func (c ScenarioConfig) scale() int {
+	if c.Scale < 1 {
+		return 1
+	}
+	return c.Scale
+}
+
+// maxScenarioAlloc is the largest single Alloc any scenario performs.
+// Runs with K ≥ maxScenarioAlloc (or K = 0) fork no dummy threads, so
+// Scenario.Threads is their exact thread count.
+const maxScenarioAlloc = 192
+
+// Scenario is one irregular workload: a driver that runs it on a live
+// runtime, a serial reference for its checksum, and its exact thread
+// count.
+type Scenario struct {
+	// Name is the -scenario flag value: "pipeline", "stream", "taskgraph".
+	Name string
+	// Jobs is how many Submits the driver issues (1 for the single-job
+	// scenarios; stream submits one job per window plus none extra).
+	Jobs func(cfg ScenarioConfig) int
+	// Threads is the total thread count across all jobs, excluding any
+	// dummy threads (none are created when K ≥ maxScenarioAlloc or K = 0).
+	Threads func(cfg ScenarioConfig) int64
+	// Run executes the scenario on rt and returns its checksum.
+	Run func(ctx context.Context, rt *grt.Runtime, cfg ScenarioConfig) (uint64, error)
+	// Expect computes the checksum serially, without the runtime.
+	Expect func(cfg ScenarioConfig) uint64
+}
+
+// Scenarios returns the irregular-workload suite.
+func Scenarios() []Scenario {
+	return []Scenario{pipelineScenario(), streamScenario(), taskgraphScenario()}
+}
+
+// ScenarioByName returns the named scenario, or false.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// mix64 is a splitmix64-style finalizer: the deterministic value transform
+// every scenario builds its checksums from.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// shuffled returns a seeded permutation of [0, n): the fork order of the
+// single-job scenarios, so thread creation order is irregular but
+// reproducible.
+func shuffled(n int, seed int64) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rng := newRng(seed)
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order
+}
+
+// ---- Pipeline: producer/consumer with bounded-buffer backpressure --------
+
+// Pipeline geometry. Stage s, item i is one thread: it waits (via an ack
+// Future) until its stage's in-flight window has room — the bounded buffer
+// of pipeBuffer items — reads its input cell, acks the upstream producer,
+// transforms, and publishes its output cell; the last stage folds into the
+// global sum under a Mutex instead. Cell blocks are touched by producer
+// and consumer, so the cache replay sees the reuse a scheduler can keep
+// worker-local or scatter.
+const (
+	pipeStages    = 4
+	pipeItemsBase = 12 // items per stage at Scale 1
+	pipeBuffer    = 3  // max in-flight items per stage
+	pipeCellBytes = 2048
+)
+
+func pipelineScenario() Scenario {
+	items := func(cfg ScenarioConfig) int { return pipeItemsBase * cfg.scale() }
+	return Scenario{
+		Name:    "pipeline",
+		Jobs:    func(ScenarioConfig) int { return 1 },
+		Threads: func(cfg ScenarioConfig) int64 { return 1 + int64(pipeStages*items(cfg)) },
+		Run: func(ctx context.Context, rt *grt.Runtime, cfg ScenarioConfig) (uint64, error) {
+			n := items(cfg)
+			cells := futureGrid(pipeStages, n)
+			acks := futureGrid(pipeStages, n)
+			var mu grt.Mutex
+			var sum uint64
+			cell := func(c *grt.T, s, i int) {
+				if s+1 < pipeStages && i >= pipeBuffer {
+					// Bounded buffer: do not produce item i before the
+					// consumer has acked item i−buffer of this stage.
+					acks[s][i-pipeBuffer].Get(c)
+				}
+				var v uint64
+				if s == 0 {
+					v = pipeSource(cfg.Seed, i)
+				} else {
+					v = cells[s-1][i].Get(c).(uint64)
+					c.Touch(pipeBlk(s-1, i, n), pipeCellBytes)
+					acks[s-1][i].Set(c, struct{}{})
+				}
+				c.Alloc(128)
+				v = pipeTransform(v, s, i)
+				c.Touch(pipeBlk(s, i, n), pipeCellBytes)
+				c.Free(128)
+				if s+1 < pipeStages {
+					cells[s][i].Set(c, v)
+				} else {
+					mu.Lock(c)
+					sum += v
+					mu.Unlock(c)
+				}
+			}
+			body := func(root *grt.T) {
+				order := shuffled(pipeStages*n, cfg.Seed)
+				hs := make([]*grt.T, 0, len(order))
+				for _, idx := range order {
+					s, i := idx/n, idx%n
+					hs = append(hs, root.Fork(func(c *grt.T) { cell(c, s, i) }))
+				}
+				for k := len(hs) - 1; k >= 0; k-- {
+					root.Join(hs[k])
+				}
+			}
+			return sum, runJob(ctx, rt, body)
+		},
+		Expect: func(cfg ScenarioConfig) uint64 {
+			n := items(cfg)
+			var sum uint64
+			for i := 0; i < n; i++ {
+				v := pipeSource(cfg.Seed, i)
+				for s := 0; s < pipeStages; s++ {
+					v = pipeTransform(v, s, i)
+				}
+				sum += v
+			}
+			return sum
+		},
+	}
+}
+
+func pipeSource(seed int64, i int) uint64 {
+	return mix64(uint64(seed)*0x9E3779B97F4A7C15 + uint64(i) + 1)
+}
+
+func pipeTransform(v uint64, s, i int) uint64 {
+	return mix64(v ^ uint64(s)<<32 ^ uint64(i))
+}
+
+// pipeBlk maps stage s's output cell i to a block id (1-based; block 0 is
+// ignored by the cache model).
+func pipeBlk(s, i, n int) int32 { return int32(1 + s*n + i) }
+
+// futureGrid allocates an s×n grid of unset futures.
+func futureGrid(s, n int) [][]*grt.Future {
+	g := make([][]*grt.Future, s)
+	for j := range g {
+		g[j] = make([]*grt.Future, n)
+		for i := range g[j] {
+			g[j][i] = &grt.Future{}
+		}
+	}
+	return g
+}
+
+// runJob submits body as one job and waits for it.
+func runJob(ctx context.Context, rt *grt.Runtime, body func(*grt.T)) error {
+	j, err := rt.Submit(ctx, body)
+	if err != nil {
+		return err
+	}
+	_, err = j.Wait()
+	return err
+}
+
+// ---- Stream: windowed reduce over a stream of Submits --------------------
+
+// Stream geometry: streamWindows(cfg) sliding windows of streamItems
+// items each, advancing by streamStride — adjacent windows share half
+// their items, so consecutive jobs reuse each other's blocks. Each window
+// is its own Submit (up to streamInflight concurrently on the warm
+// runtime) reducing its items with a fork tree; the final checksum folds
+// the window sums in window order.
+const (
+	streamWindowsBase = 6
+	streamItems       = 16
+	streamStride      = 8
+	streamInflight    = 4
+	streamItemBytes   = 4096
+)
+
+func streamScenario() Scenario {
+	windows := func(cfg ScenarioConfig) int { return streamWindowsBase * cfg.scale() }
+	return Scenario{
+		Name: "stream",
+		Jobs: func(cfg ScenarioConfig) int { return windows(cfg) },
+		Threads: func(cfg ScenarioConfig) int64 {
+			// One reduction-tree thread per item (each split forks its right
+			// half and recurses left), so a window job is exactly streamItems
+			// threads including its root.
+			return int64(windows(cfg)) * streamItems
+		},
+		Run: func(ctx context.Context, rt *grt.Runtime, cfg ScenarioConfig) (uint64, error) {
+			m := windows(cfg)
+			jobs := make([]*grt.Job, m)
+			sums := make([]uint64, m)
+			for w := 0; w < m; w++ {
+				lo := w * streamStride
+				slot := &sums[w]
+				j, err := rt.Submit(ctx, func(root *grt.T) {
+					*slot = streamReduce(root, cfg.Seed, lo, lo+streamItems)
+				})
+				if err != nil {
+					return 0, err
+				}
+				jobs[w] = j
+				if w >= streamInflight {
+					// Bound the stream's in-flight jobs, like a consumer
+					// that cannot fall arbitrarily far behind.
+					if _, err := jobs[w-streamInflight].Wait(); err != nil {
+						return 0, err
+					}
+				}
+			}
+			var sum uint64
+			for w := 0; w < m; w++ {
+				if _, err := jobs[w].Wait(); err != nil {
+					return 0, err
+				}
+				sum = mix64(sum ^ sums[w])
+			}
+			return sum, nil
+		},
+		Expect: func(cfg ScenarioConfig) uint64 {
+			var sum uint64
+			for w := 0; w < windows(cfg); w++ {
+				lo := w * streamStride
+				var ws uint64
+				for i := lo; i < lo+streamItems; i++ {
+					ws += streamItem(cfg.Seed, i)
+				}
+				sum = mix64(sum ^ ws)
+			}
+			return sum
+		},
+	}
+}
+
+// streamReduce folds items [lo, hi) with a fork tree: fork the right half,
+// recurse into the left, join — the classic parallel reduction.
+func streamReduce(t *grt.T, seed int64, lo, hi int) uint64 {
+	if hi-lo == 1 {
+		t.Touch(streamBlk(lo), streamItemBytes)
+		t.Alloc(maxScenarioAlloc)
+		v := streamItem(seed, lo)
+		t.Free(maxScenarioAlloc)
+		return v
+	}
+	mid := (lo + hi) / 2
+	var right uint64
+	h := t.Fork(func(c *grt.T) { right = streamReduce(c, seed, mid, hi) })
+	left := streamReduce(t, seed, lo, mid)
+	t.Join(h)
+	return left + right
+}
+
+func streamItem(seed int64, i int) uint64 {
+	return mix64(uint64(seed) ^ uint64(i)*0x9E3779B97F4A7C15)
+}
+
+// streamBlk maps stream item i to its block (offset past the pipeline's
+// block range is irrelevant — block ids are scenario-local).
+func streamBlk(i int) int32 { return int32(1 + i) }
+
+// ---- Taskgraph: random DAG with cross-tree Future dependencies -----------
+
+// Taskgraph geometry: taskNodes(cfg) nodes; node i > 0 depends on up to
+// taskMaxDeps random earlier nodes (seeded), each dependency a Future Get.
+// The root forks all nodes in a shuffled order, so a node's dependencies
+// are routinely not yet running when it asks for them — pervasive blocking
+// across the fork tree, the opposite of nested-parallel structure.
+const (
+	taskNodesBase = 48
+	taskMaxDeps   = 3
+	taskNodeBytes = 1024
+)
+
+func taskgraphScenario() Scenario {
+	nodes := func(cfg ScenarioConfig) int { return taskNodesBase * cfg.scale() }
+	return Scenario{
+		Name:    "taskgraph",
+		Jobs:    func(ScenarioConfig) int { return 1 },
+		Threads: func(cfg ScenarioConfig) int64 { return 1 + int64(nodes(cfg)) },
+		Run: func(ctx context.Context, rt *grt.Runtime, cfg ScenarioConfig) (uint64, error) {
+			n := nodes(cfg)
+			deps := taskgraphDeps(cfg)
+			futs := make([]*grt.Future, n)
+			for i := range futs {
+				futs[i] = &grt.Future{}
+			}
+			node := func(c *grt.T, i int) {
+				v := taskSource(cfg.Seed, i)
+				for _, d := range deps[i] {
+					v = mix64(v ^ futs[d].Get(c).(uint64))
+					c.Touch(taskBlk(d), taskNodeBytes)
+				}
+				c.Alloc(96)
+				v = mix64(v)
+				c.Touch(taskBlk(i), taskNodeBytes)
+				c.Free(96)
+				futs[i].Set(c, v)
+			}
+			var sum uint64
+			body := func(root *grt.T) {
+				order := shuffled(n, cfg.Seed+1)
+				hs := make([]*grt.T, 0, n)
+				for _, i := range order {
+					hs = append(hs, root.Fork(func(c *grt.T) { node(c, i) }))
+				}
+				for k := len(hs) - 1; k >= 0; k-- {
+					root.Join(hs[k])
+				}
+				// All futures are set once the joins complete; fold the
+				// sinks (nodes nothing depends on) into the checksum.
+				for _, i := range taskgraphSinks(deps) {
+					sum += futs[i].Get(root).(uint64)
+				}
+			}
+			return sum, runJob(ctx, rt, body)
+		},
+		Expect: func(cfg ScenarioConfig) uint64 {
+			deps := taskgraphDeps(cfg)
+			vals := make([]uint64, len(deps))
+			for i := range deps {
+				v := taskSource(cfg.Seed, i)
+				for _, d := range deps[i] {
+					v = mix64(v ^ vals[d])
+				}
+				vals[i] = mix64(v)
+			}
+			var sum uint64
+			for _, i := range taskgraphSinks(deps) {
+				sum += vals[i]
+			}
+			return sum
+		},
+	}
+}
+
+// taskgraphDeps builds the DAG: deps[i] lists node i's dependencies,
+// strictly increasing and all < i (acyclic by construction). Deterministic
+// in (Seed, Scale).
+func taskgraphDeps(cfg ScenarioConfig) [][]int {
+	n := taskNodesBase * cfg.scale()
+	rng := newRng(cfg.Seed + 2)
+	deps := make([][]int, n)
+	for i := 1; i < n; i++ {
+		want := rng.Intn(taskMaxDeps + 1)
+		if want > i {
+			want = i
+		}
+		seen := map[int]bool{}
+		for len(seen) < want {
+			seen[rng.Intn(i)] = true
+		}
+		for d := range seen {
+			deps[i] = append(deps[i], d)
+		}
+		sortInts(deps[i])
+	}
+	return deps
+}
+
+// taskgraphSinks returns the nodes no other node depends on, ascending.
+func taskgraphSinks(deps [][]int) []int {
+	depended := make([]bool, len(deps))
+	for _, ds := range deps {
+		for _, d := range ds {
+			depended[d] = true
+		}
+	}
+	var sinks []int
+	for i := range deps {
+		if !depended[i] {
+			sinks = append(sinks, i)
+		}
+	}
+	return sinks
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func taskSource(seed int64, i int) uint64 {
+	return mix64(uint64(seed)*0x2545F4914F6CDD1D + uint64(i))
+}
+
+func taskBlk(i int) int32 { return int32(1 + i) }

@@ -1,0 +1,112 @@
+package workload
+
+// Structure- and seed-determinism of the irregular scenarios: the
+// generated graphs and serial checksums must be byte-reproducible per
+// (Seed, Scale) — the property the cross-engine scenario tests in
+// internal/grt build on (see seed_test.go there for the runtime side).
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"dfdeques/internal/grt"
+)
+
+func TestTaskgraphDepsDeterministic(t *testing.T) {
+	cfg := ScenarioConfig{Seed: 42, Scale: 2}
+	a := taskgraphDeps(cfg)
+	b := taskgraphDeps(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (Seed, Scale) produced different dependency graphs")
+	}
+	c := taskgraphDeps(ScenarioConfig{Seed: 43, Scale: 2})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical dependency graphs (rng unused?)")
+	}
+	for i, ds := range a {
+		for j, d := range ds {
+			if d >= i {
+				t.Fatalf("node %d depends on %d: not acyclic-by-construction", i, d)
+			}
+			if j > 0 && ds[j-1] >= d {
+				t.Fatalf("node %d deps %v not strictly increasing", i, ds)
+			}
+		}
+	}
+}
+
+func TestTaskgraphSinks(t *testing.T) {
+	deps := [][]int{nil, {0}, {0, 1}, nil} // 3 depends on nothing, nothing depends on 2, 3
+	sinks := taskgraphSinks(deps)
+	if !reflect.DeepEqual(sinks, []int{2, 3}) {
+		t.Fatalf("sinks = %v, want [2 3]", sinks)
+	}
+}
+
+func TestShuffledDeterministic(t *testing.T) {
+	a := shuffled(64, 7)
+	b := shuffled(64, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different permutations")
+	}
+	seen := make([]bool, 64)
+	for _, v := range a {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("not a permutation: %v", a)
+		}
+		seen[v] = true
+	}
+}
+
+func TestScenarioExpectDeterministic(t *testing.T) {
+	for _, sc := range Scenarios() {
+		cfg := ScenarioConfig{Seed: 11, Scale: 1}
+		if sc.Expect(cfg) != sc.Expect(cfg) {
+			t.Errorf("%s: Expect not deterministic", sc.Name)
+		}
+		if sc.Expect(cfg) == sc.Expect(ScenarioConfig{Seed: 12, Scale: 1}) {
+			t.Errorf("%s: checksum does not depend on the seed", sc.Name)
+		}
+		if sc.Threads(cfg) <= 1 {
+			t.Errorf("%s: trivial thread count %d", sc.Name, sc.Threads(cfg))
+		}
+		if sc.Jobs(cfg) < 1 {
+			t.Errorf("%s: job count %d", sc.Name, sc.Jobs(cfg))
+		}
+	}
+}
+
+func TestScenarioByName(t *testing.T) {
+	for _, name := range []string{"pipeline", "stream", "taskgraph"} {
+		if _, ok := ScenarioByName(name); !ok {
+			t.Errorf("scenario %q missing", name)
+		}
+	}
+	if _, ok := ScenarioByName("nope"); ok {
+		t.Error("unknown name resolved")
+	}
+}
+
+// TestScenarioSmoke runs each scenario once on a small real runtime and
+// checks the checksum against the serial reference — the fuller
+// cross-engine matrix lives in internal/grt's scenario tests.
+func TestScenarioSmoke(t *testing.T) {
+	for _, sc := range Scenarios() {
+		rt, err := grt.New(grt.Config{Workers: 2, Sched: grt.DFDeques, K: 512, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := ScenarioConfig{Seed: 9, Scale: 1}
+		got, err := sc.Run(context.Background(), rt, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if want := sc.Expect(cfg); got != want {
+			t.Errorf("%s: checksum %#x, want %#x", sc.Name, got, want)
+		}
+		if err := rt.Shutdown(context.Background()); err != nil {
+			t.Fatalf("%s: shutdown: %v", sc.Name, err)
+		}
+	}
+}
