@@ -29,6 +29,10 @@
 //	-workers N    real mode: worker count (default: -procs)
 //	-coarselock   real mode: use the single global scheduler lock (§5
 //	              verbatim) instead of the fine-grained engine
+//	-engine E     real mode: execution engine: cont (default; work-first
+//	              continuation-passing fork, frames promoted to goroutines
+//	              only when stolen or blocked) | channel (legacy
+//	              goroutine-per-thread channel frames)
 //	-measure      real mode: time lock holds and steal waits
 //	-trace FILE   real mode: record every scheduling event and write a
 //	              Chrome trace_event JSON file (loadable in Perfetto /
@@ -78,6 +82,7 @@ func main() {
 	real := flag.Bool("real", false, "run on the real runtime instead of the simulator")
 	workers := flag.Int("workers", 0, "real mode: workers (default -procs)")
 	coarse := flag.Bool("coarselock", false, "real mode: single global scheduler lock")
+	engineFlag := flag.String("engine", "cont", "real mode: execution engine: cont (work-first continuations) | channel (goroutine-per-thread frames)")
 	measure := flag.Bool("measure", false, "real mode: time lock holds and steal waits")
 	traceFile := flag.String("trace", "", "real mode: write Chrome trace_event JSON to FILE")
 	tracebuf := flag.Int("tracebuf", 1<<17, "real mode: per-worker trace ring capacity (events)")
@@ -85,6 +90,16 @@ func main() {
 	scenario := flag.String("scenario", "", "real mode: irregular scenario (pipeline|stream|taskgraph) instead of -bench")
 	scale := flag.Int("scale", 1, "scenario size multiplier")
 	flag.Parse()
+
+	var channelFrames bool
+	switch *engineFlag {
+	case "cont":
+	case "channel":
+		channelFrames = true
+	default:
+		fmt.Fprintf(os.Stderr, "dfdsim: unknown -engine %q (want cont or channel)\n", *engineFlag)
+		os.Exit(2)
+	}
 
 	// Scheduler names are case-insensitive; canonicalize to the printed
 	// spellings.
@@ -114,7 +129,8 @@ func main() {
 		runScenario(*scenario, *scale, realCfg{
 			sched: *schedName, procs: *procs, workers: *workers, k: *k,
 			seed: *seed, coarse: *coarse, measure: *measure,
-			trace: *traceFile, tracebuf: *tracebuf, json: *jsonOut,
+			channel: channelFrames,
+			trace:   *traceFile, tracebuf: *tracebuf, json: *jsonOut,
 			grain: g, bench: *bench, timeout: *timeout,
 		})
 		return
@@ -139,7 +155,8 @@ func main() {
 		runReal(spec, realCfg{
 			sched: *schedName, procs: *procs, workers: *workers, k: *k,
 			seed: *seed, coarse: *coarse, measure: *measure,
-			trace: *traceFile, tracebuf: *tracebuf, json: *jsonOut,
+			channel: channelFrames,
+			trace:   *traceFile, tracebuf: *tracebuf, json: *jsonOut,
 			grain: g, bench: *bench, timeout: *timeout,
 		})
 		return
@@ -275,6 +292,7 @@ type realCfg struct {
 	procs, workers  int
 	k, seed         int64
 	coarse, measure bool
+	channel         bool
 	trace           string
 	tracebuf        int
 	json            bool
@@ -301,7 +319,8 @@ func runReal(spec *dag.ThreadSpec, rc realCfg) {
 
 	cfg := grt.Config{
 		Workers: workers, Sched: kind, K: k, Seed: rc.seed,
-		CoarseLock: rc.coarse, MeasureContention: rc.measure,
+		CoarseLock: rc.coarse, ChannelFrames: rc.channel,
+		MeasureContention: rc.measure,
 	}
 	var rec *rtrace.Recorder
 	if rc.trace != "" {
@@ -366,11 +385,16 @@ func runReal(spec *dag.ThreadSpec, rc realCfg) {
 	if rc.coarse {
 		engine = "coarse"
 	}
+	frames := "cont"
+	if rc.channel {
+		frames = "channel"
+	}
 	if rc.json {
 		obj := map[string]any{
 			"op":               fmt.Sprintf("dfdsim/%s/%v", rc.bench, kind),
 			"workers":          workers,
 			"engine":           engine,
+			"frames":           frames,
 			"k":                k,
 			"seed":             rc.seed,
 			"total_threads":    st.TotalThreads,
@@ -399,6 +423,11 @@ func runReal(spec *dag.ThreadSpec, rc realCfg) {
 	if rc.coarse {
 		engineName = "coarse (global lock)"
 	}
+	if rc.channel {
+		engineName += ", channel frames"
+	} else {
+		engineName += ", work-first continuations"
+	}
 	fmt.Printf("runtime:   %v  workers=%d  K=%d  seed=%d  engine=%s\n\n",
 		kind, workers, k, rc.seed, engineName)
 	fmt.Printf("total threads:       %d (%d dummy)\n", st.TotalThreads, st.DummyThreads)
@@ -420,6 +449,10 @@ func runReal(spec *dag.ThreadSpec, rc realCfg) {
 		fmt.Printf("  steal success:     %.1f%%\n", 100*sum.StealSuccessRate)
 		fmt.Printf("  sched granularity: %.2f dispatches/shared-acquire\n", sum.SchedGranularity)
 		fmt.Printf("  deque high-water:  %d\n", sum.DequeHighWater)
+		if !rc.channel {
+			fmt.Printf("  promotions:        %d of %d threads grew a goroutine frame\n",
+				sum.Promotions, sum.Threads)
+		}
 		for _, w := range sum.PerWorker {
 			fmt.Printf("  worker %d: busy %.1f%%, %d steals\n", w.Worker, 100*w.BusyFrac, w.Steals)
 		}
@@ -462,7 +495,8 @@ func runScenario(name string, scale int, rc realCfg) {
 
 	cfg := grt.Config{
 		Workers: workers, Sched: kind, K: k, Seed: rc.seed,
-		CoarseLock: rc.coarse, MeasureContention: rc.measure,
+		CoarseLock: rc.coarse, ChannelFrames: rc.channel,
+		MeasureContention: rc.measure,
 	}
 	var rec *rtrace.Recorder
 	if rc.trace != "" {
@@ -519,11 +553,16 @@ func runScenario(name string, scale int, rc realCfg) {
 	if rc.coarse {
 		engine = "coarse"
 	}
+	frames := "cont"
+	if rc.channel {
+		frames = "channel"
+	}
 	if rc.json {
 		obj := map[string]any{
 			"op":          fmt.Sprintf("dfdsim/scenario/%s/%v", sc.Name, kind),
 			"workers":     workers,
 			"engine":      engine,
+			"frames":      frames,
 			"k":           k,
 			"seed":        rc.seed,
 			"scale":       scfg.Scale,
@@ -542,6 +581,11 @@ func runScenario(name string, scale int, rc realCfg) {
 	if rc.coarse {
 		engineName = "coarse (global lock)"
 	}
+	if rc.channel {
+		engineName += ", channel frames"
+	} else {
+		engineName += ", work-first continuations"
+	}
 	fmt.Printf("scenario: %s (scale %d)  jobs=%d threads=%d\n",
 		sc.Name, scfg.Scale, sc.Jobs(scfg), sc.Threads(scfg))
 	fmt.Printf("runtime:  %v  workers=%d  K=%d  seed=%d  engine=%s\n\n",
@@ -550,6 +594,10 @@ func runScenario(name string, scale int, rc realCfg) {
 	if sum != nil {
 		fmt.Printf("\ntrace: %d events (%d dropped) → %s\n", sum.Events, sum.Dropped, rc.trace)
 		fmt.Printf("  threads:           %d\n", sum.Threads)
+		if !rc.channel {
+			fmt.Printf("  promotions:        %d of %d threads grew a goroutine frame\n",
+				sum.Promotions, sum.Threads)
+		}
 		fmt.Printf("  steal success:     %.1f%%\n", 100*sum.StealSuccessRate)
 		fmt.Printf("  sched granularity: %.2f dispatches/shared-acquire\n", sum.SchedGranularity)
 		printCache(sum)

@@ -25,7 +25,7 @@ import (
 
 // Pool is the DFDeques ready pool for p workers. It is NOT safe for
 // concurrent use; callers serialize access (one mutex in practice, §5).
-type Pool[T any] struct {
+type Pool[T comparable] struct {
 	p    int
 	r    deque.List[T]
 	own  []*deque.Deque[T]
@@ -47,7 +47,7 @@ type Pool[T any] struct {
 // 1DF priority than b; it is used to place threads woken by
 // synchronization (§5's extension) and by CheckInvariants. rng drives
 // victim selection.
-func NewPool[T any](p int, less func(a, b T) bool, rng *rand.Rand) *Pool[T] {
+func NewPool[T comparable](p int, less func(a, b T) bool, rng *rand.Rand) *Pool[T] {
 	if p < 1 {
 		panic("core: pool needs at least one worker")
 	}

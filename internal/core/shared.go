@@ -42,7 +42,7 @@ import (
 // runtime's priority-list lock, taken inside the less callback). All pool
 // methods are safe for concurrent use; methods taking a worker index w
 // must only be called by worker w.
-type SharedPool[T any] struct {
+type SharedPool[T comparable] struct {
 	p    int
 	less func(a, b T) bool
 
@@ -82,7 +82,7 @@ type SharedPool[T any] struct {
 // mirror NewPool. less may acquire the caller's priority lock (it is
 // invoked with the spine and at most one deque lock held, never more).
 // seed determines every worker's private victim-selection stream.
-func NewSharedPool[T any](p int, less func(a, b T) bool, seed int64) *SharedPool[T] {
+func NewSharedPool[T comparable](p int, less func(a, b T) bool, seed int64) *SharedPool[T] {
 	if p < 1 {
 		panic("core: pool needs at least one worker")
 	}
@@ -257,6 +257,44 @@ func (pl *SharedPool[T]) PopOwn(w int) (x T, ok bool) {
 	}
 	pl.listMu.Unlock()
 	return x, false
+}
+
+// PopOwnIf pops the top of w's deque only if it is exactly want,
+// reporting whether it did. This is the continuation engine's inline-join
+// claim: the parent may run its forked child in place of parking only
+// when that child is still the top of the parent's own deque — untouched
+// by thieves and undisplaced by woken threads — and the check and the pop
+// must share the deque's one linearization point (PopTopIf under the
+// owner protocol) or a racing bottom-steal of a single-item deque could
+// double-claim the thread. A miss leaves the pool untouched: unlike
+// PopOwn, an empty deque is NOT retired here, because the caller is still
+// running and will push or pop again.
+func (pl *SharedPool[T]) PopOwnIf(w int, want T) bool {
+	d := pl.own[w].Load()
+	if d == nil {
+		return false
+	}
+	var ok bool
+	if d.OwnerAcquire() {
+		ok = d.PopTopIf(want)
+		if ok && pl.tidOf != nil {
+			pl.trace(w, rtrace.EvPop, pl.tidOf(want), d.ID, 0)
+		}
+		d.OwnerRelease()
+	} else {
+		d.Mu.Lock()
+		ok = d.PopTopIf(want)
+		if ok && pl.tidOf != nil {
+			pl.trace(w, rtrace.EvPop, pl.tidOf(want), d.ID, 0)
+		}
+		d.Rebias()
+		d.Mu.Unlock()
+	}
+	if ok {
+		pl.ready.Add(-1)
+		pl.local.Add(1)
+	}
+	return ok
 }
 
 // GiveUp releases ownership of w's deque without popping (the

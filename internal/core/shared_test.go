@@ -334,10 +334,10 @@ func TestStealCycleAllocs(t *testing.T) {
 		x := steal(0) // root deque drains and is retired inside Steal
 		pl.PushOwn(0, x+1)
 		pl.PushOwn(0, x+2)
-		steal(1)      // takes x+1 from the bottom of worker 0's deque
-		pl.GiveUp(1)  // empty deque retired to the freelist
-		pl.PopOwn(0)  // x+2
-		pl.PopOwn(0)  // empty: drops ownership, retires the deque
+		steal(1)     // takes x+1 from the bottom of worker 0's deque
+		pl.GiveUp(1) // empty deque retired to the freelist
+		pl.PopOwn(0) // x+2
+		pl.PopOwn(0) // empty: drops ownership, retires the deque
 		if pl.HasWork() || pl.Deques() != 0 {
 			fail = true
 		}

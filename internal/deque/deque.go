@@ -57,7 +57,10 @@ const (
 // through Mu (the owner's slow path locks it), owner → thief through the
 // state word itself (OwnerRelease's atomic write, observed by Share's
 // spin). The spin is bounded by one raw deque operation.
-type Deque[T any] struct {
+// T is constrained to comparable for PopTopIf, the continuation engine's
+// conditional pop; every scheduler instantiates deques with pointer
+// element types, which satisfy it trivially.
+type Deque[T comparable] struct {
 	items []T // items[0] is the bottom, items[len-1] is the top
 
 	// Owner is scheduler bookkeeping: the processor that currently owns
@@ -83,7 +86,7 @@ type Deque[T any] struct {
 }
 
 // NewDeque returns an empty, unowned, stand-alone deque.
-func NewDeque[T any]() *Deque[T] {
+func NewDeque[T comparable]() *Deque[T] {
 	return &Deque[T]{Owner: -1, pos: -1}
 }
 
@@ -130,7 +133,18 @@ func (d *Deque[T]) OwnerRelease() {
 // survives Mu.Unlock, keeping the owner on the slow path until it
 // Rebiases.
 func (d *Deque[T]) Share() {
-	if d.state.Or(sharedBit)&ownerBit == 0 {
+	// Set sharedBit with an explicit CAS loop rather than the
+	// value-returning atomic Or: go1.24.0's amd64 backend miscompiles a
+	// consumed Or result (golang/go#71600), reusing the register that
+	// held the receiver and crashing the owner-in-flight spin below.
+	var old uint32
+	for {
+		old = d.state.Load()
+		if d.state.CompareAndSwap(old, old|sharedBit) {
+			break
+		}
+	}
+	if old&ownerBit == 0 {
 		return
 	}
 	for spins := 0; d.state.Load()&ownerBit != 0; spins++ {
@@ -179,6 +193,24 @@ func (d *Deque[T]) PopTop() (T, bool) {
 	d.items = d.items[:n-1]
 	d.size.Store(int64(len(d.items)))
 	return x, true
+}
+
+// PopTopIf removes the top item only if it equals want, reporting whether
+// it did (owner operation). This is the continuation engine's inline-join
+// pop: the owner may only claim its own forked child if nothing — a thief,
+// a woken thread — has displaced it from the deque top, and the check and
+// the pop must be one operation under the deque's protocol or a racing
+// bottom-steal of the same single item could be double-claimed.
+func (d *Deque[T]) PopTopIf(want T) bool {
+	n := len(d.items)
+	if n == 0 || d.items[n-1] != want {
+		return false
+	}
+	var zero T
+	d.items[n-1] = zero
+	d.items = d.items[:n-1]
+	d.size.Store(int64(len(d.items)))
+	return true
 }
 
 // PeekTop returns the top item without removing it.
@@ -243,7 +275,7 @@ func (d *Deque[T]) Pos() int {
 // and give-ups, and len(R) stays near the processor count for small K
 // (and never exceeds p for K = ∞, §3.3). BenchmarkListKth and
 // BenchmarkListInsertDelete in this package keep both costs measured.
-type List[T any] struct {
+type List[T comparable] struct {
 	deques []*Deque[T]
 }
 

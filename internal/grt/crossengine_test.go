@@ -31,6 +31,25 @@ type crossPolicy struct {
 	k    int64
 }
 
+// crossEngine is one real-runtime execution configuration: the lock
+// engine (fine-grained vs the §5 coarse global lock) crossed with the
+// frame engine (work-first continuations vs legacy channel frames). The
+// policy layer underneath is shared, so every invariant checked here
+// must hold on all four.
+type crossEngine struct {
+	name            string
+	coarse, channel bool
+}
+
+func crossEngines() []crossEngine {
+	return []crossEngine{
+		{"fine/cont", false, false},
+		{"fine/channel", false, true},
+		{"coarse/cont", true, false},
+		{"coarse/channel", true, true},
+	}
+}
+
 func crossPolicies() []crossPolicy {
 	return []crossPolicy{
 		{"DFD", func() machine.Scheduler { return sched.NewDFDeques(crossK) }, grt.DFDeques, crossK},
@@ -88,40 +107,40 @@ func TestCrossEngineInvariants(t *testing.T) {
 						}
 					}
 
-					for _, coarse := range []bool{false, true} {
+					for _, eng := range crossEngines() {
 						st, err := grt.RunSpec(grt.Config{
 							Workers: workers, Sched: pol.kind, K: pol.k,
-							Seed: 42, CoarseLock: coarse,
+							Seed: 42, CoarseLock: eng.coarse, ChannelFrames: eng.channel,
 						}, spec, 1)
 						if err != nil {
-							t.Fatalf("runtime coarse=%v: %v", coarse, err)
+							t.Fatalf("runtime %s: %v", eng.name, err)
 						}
 						if st.TotalThreads != sm.TotalThreads {
-							t.Errorf("coarse=%v: total threads: runtime=%d sim=%d",
-								coarse, st.TotalThreads, sm.TotalThreads)
+							t.Errorf("%s: total threads: runtime=%d sim=%d",
+								eng.name, st.TotalThreads, sm.TotalThreads)
 						}
 						if st.DummyThreads != sm.DummyThreads {
-							t.Errorf("coarse=%v: dummy threads: runtime=%d sim=%d",
-								coarse, st.DummyThreads, sm.DummyThreads)
+							t.Errorf("%s: dummy threads: runtime=%d sim=%d",
+								eng.name, st.DummyThreads, sm.DummyThreads)
 						}
 						if st.HeapLive != 0 {
-							t.Errorf("coarse=%v: runtime heap leaked %d bytes", coarse, st.HeapLive)
+							t.Errorf("%s: runtime heap leaked %d bytes", eng.name, st.HeapLive)
 						}
 						if st.HeapHW < want.HeapHW {
-							t.Errorf("coarse=%v: runtime heap HW %d below serial floor S1=%d",
-								coarse, st.HeapHW, want.HeapHW)
+							t.Errorf("%s: runtime heap HW %d below serial floor S1=%d",
+								eng.name, st.HeapHW, want.HeapHW)
 						}
 						if st.Steals+st.LocalDispatches > 2*st.TotalThreads+st.Preemptions {
-							t.Errorf("coarse=%v: runtime dispatch conservation violated: steals=%d local=%d threads=%d preempts=%d",
-								coarse, st.Steals, st.LocalDispatches, st.TotalThreads, st.Preemptions)
+							t.Errorf("%s: runtime dispatch conservation violated: steals=%d local=%d threads=%d preempts=%d",
+								eng.name, st.Steals, st.LocalDispatches, st.TotalThreads, st.Preemptions)
 						}
 						if pol.kind == grt.DFDeques && pol.k == 0 && st.MaxDeques > int64(workers) {
-							t.Errorf("coarse=%v: runtime DFD-inf max deques = %d > p = %d",
-								coarse, st.MaxDeques, workers)
+							t.Errorf("%s: runtime DFD-inf max deques = %d > p = %d",
+								eng.name, st.MaxDeques, workers)
 						}
 						if pol.kind == grt.WS && st.MaxDeques != int64(workers) {
-							t.Errorf("coarse=%v: WS max deques = %d, structurally must be %d",
-								coarse, st.MaxDeques, workers)
+							t.Errorf("%s: WS max deques = %d, structurally must be %d",
+								eng.name, st.MaxDeques, workers)
 						}
 					}
 				})

@@ -25,6 +25,27 @@
 // fork, join on a live child, quota-checked allocation, lock block, dummy
 // execution, and termination.
 //
+// Execution engines. The runtime has two ways to give a thread a stack:
+//
+//   - The continuation engine (default) is work-first: Fork publishes the
+//     *child* and the parent keeps running inline; Join claims the child
+//     back with a conditional pop and runs its body inline in the
+//     parent's own frame when nothing — a thief, a woken thread — has
+//     displaced it. A goroutine (stack + channel pair) is promoted lazily,
+//     only when a thread is actually dispatched by a worker (it was stolen
+//     or woken) or blocks mid-inline-run, so a never-stolen fork+join
+//     costs two deque operations and zero allocations in steady state —
+//     the "pay synchronization only on steals" discipline.
+//   - The channel-frame engine (Config.ChannelFrames) is the legacy
+//     scheduler-first core: every thread gets a goroutine at first
+//     dispatch and every scheduling event is a channel round-trip to the
+//     worker. It is kept behind the flag for differential testing, the
+//     way CoarseLock keeps the paper's §5 locking protocol.
+//
+// Both engines drive the same policies through the same worker loop and
+// produce identical schedules up to the inline/parked distinction; the
+// trace verifier (internal/rtrace) checks both against Lemma 3.1.
+//
 // Workers hand threads off synchronously: a worker resumes a thread's
 // goroutine and sleeps until the thread reports its next scheduling event,
 // so at most Workers user goroutines execute user code at any instant —
@@ -106,6 +127,15 @@ type Config struct {
 	// other; CoarseLock exists for that comparison and for measuring the
 	// contention the paper describes.
 	CoarseLock bool
+	// ChannelFrames selects the legacy channel-frame execution engine:
+	// every thread is a goroutine from its first dispatch and every
+	// scheduling event is a yield/resume channel round-trip. The default
+	// (false) is the work-first continuation engine — forks run inline and
+	// goroutine frames are promoted only on steal or block. The two
+	// engines produce the same results on the same workloads and are
+	// differentially tested against each other; ChannelFrames exists for
+	// that comparison and for measuring what the work-first refactor buys.
+	ChannelFrames bool
 	// MeasureContention enables the wall-clock contention counters in
 	// Stats (StealWaitNs, SchedLockNs). Off by default: timing every
 	// critical section costs two clock reads per scheduling event, which
@@ -156,12 +186,18 @@ const (
 	evDummy
 	evTouch
 	evDone
+	// evPreempt is the continuation engine's quota-exhaustion park: the
+	// thread found Charge vetoing its allocation inline and suspends so
+	// the worker can republish it (§3.3, "memory quota exhausted"). The
+	// channel engine expresses the same transition worker-side in evAlloc.
+	evPreempt
 )
 
 type event struct {
 	kind  evKind
+	self  *T      // the thread that yielded the event: under the continuation engine an inline frame, not necessarily the one the worker dispatched
 	child *T      // evFork
-	n     int64   // evAlloc/evFree/evTouch bytes
+	n     int64   // evAlloc/evFree/evTouch/evPreempt bytes
 	blk   int32   // evTouch block
 	mu    *Mutex  // evLock/evUnlock
 	fut   *Future // evFutureSet/evFutureGet
@@ -171,16 +207,36 @@ type event struct {
 // T is a user-level thread handle, passed to every thread body. Methods on
 // T must only be called from within that thread's body.
 type T struct {
-	rt      *Runtime
-	job     *Job
-	body    func(*T)
-	prio    *om.Record
-	resume  chan struct{}
-	yield   chan event
-	started bool
+	rt     *Runtime
+	job    *Job
+	body   func(*T)
+	prio   *om.Record
+	resume chan struct{}
+	yield  chan event
+	// started flips once, when the thread first gets a stack: the worker
+	// dispatch that spawns its goroutine (both engines), or the first
+	// blocking park of a frame running inline (continuation engine). It is
+	// atomic because the inline-join guard reads it while a thief may be
+	// concurrently dispatching the thread; the reading side never trusts
+	// it alone — the conditional pop (policy.JoinPop) arbitrates.
+	started atomic.Bool
 	dummy   bool
 	root    bool  // job root: released by evDone (nothing ever joins it)
 	tid     int64 // stable trace id: first root is 1, then submit/fork order
+
+	// Continuation-engine frame state. w is the worker currently driving
+	// the thread (set by the dispatching worker before resuming, and
+	// propagated chain-upward when an inline join returns): inline code
+	// traces and consults per-worker policy state as agent of worker w
+	// while that worker is parked in step. base is the goroutine-backed
+	// root of the thread's inline chain — the frame whose channel pair a
+	// blocking inline frame borrows (borrowed marks that loan, so release
+	// returns the channels to nil rather than to the pool). At most one
+	// frame of a chain can be parked at a time (the chain is one carrier
+	// goroutine), so the shared pair never has two receivers.
+	w        int
+	base     *T
+	borrowed bool
 
 	// Owned by the thread goroutine:
 	unjoined []*T
@@ -191,12 +247,14 @@ type T struct {
 	// after its resume (the channel handoff orders the accesses).
 	retryAlloc bool
 
-	// stateMu guards done and waiter. It is the join protocol's only
-	// synchronization in fine-grained mode and is also taken (as a leaf
-	// lock) under the global lock in coarse mode, so both modes share one
-	// protocol.
+	// stateMu guards the done/waiter arbitration. It is the join
+	// protocol's only synchronization in fine-grained mode and is also
+	// taken (as a leaf lock) under the global lock in coarse mode, so
+	// both modes share one protocol. done itself is atomic so the
+	// continuation engine's join fast path can poll it without paying a
+	// lock cycle; the waiter handoff still arbitrates under stateMu.
 	stateMu sync.Mutex
-	done    bool
+	done    atomic.Bool
 	waiter  *T
 }
 
@@ -204,9 +262,13 @@ type T struct {
 // child side of the join protocol.
 func (t *T) finish() (woke *T) {
 	t.stateMu.Lock()
-	t.done = true
+	// The waiter hand-off must complete before done is published: a
+	// parent polling isDone lock-free may release t to the pool the
+	// instant the store lands, so the store has to be finish's last
+	// write to the frame. Lock-holders are indifferent to the order.
 	woke = t.waiter
 	t.waiter = nil
+	t.done.Store(true)
 	t.stateMu.Unlock()
 	return woke
 }
@@ -220,7 +282,7 @@ func (t *T) finish() (woke *T) {
 func (t *T) registerWaiter(w int, waiter *T) (alreadyDone bool) {
 	t.stateMu.Lock()
 	defer t.stateMu.Unlock()
-	if t.done {
+	if t.done.Load() {
 		return true
 	}
 	t.waiter = waiter
@@ -228,11 +290,12 @@ func (t *T) registerWaiter(w int, waiter *T) (alreadyDone bool) {
 	return false
 }
 
-// isDone reports whether t has terminated.
+// isDone reports whether t has terminated. The atomic load is ordered
+// after every write of t's body: finish stores done on the thread's own
+// goroutine (or, for promoted frames, on the worker that received its
+// terminal yield), so an observer of true inherits the body's effects.
 func (t *T) isDone() bool {
-	t.stateMu.Lock()
-	defer t.stateMu.Unlock()
-	return t.done
+	return t.done.Load()
 }
 
 // Runtime executes nested-parallel computations under one scheduler. It
@@ -240,6 +303,11 @@ func (t *T) isDone() bool {
 // and stop it with Shutdown. The one-shot Run wraps that whole lifecycle.
 type Runtime struct {
 	cfg Config
+
+	// cont caches !cfg.ChannelFrames for the fork/join hot paths: true is
+	// the work-first continuation engine, false the legacy channel-frame
+	// engine.
+	cont bool
 
 	// pol is the scheduling policy: it owns every ready-thread decision.
 	// The policies are internally synchronized (fine-grained); threshold
@@ -322,7 +390,7 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
-	rt := &Runtime{cfg: cfg, jobs: make(map[int64]*Job)}
+	rt := &Runtime{cfg: cfg, cont: !cfg.ChannelFrames, jobs: make(map[int64]*Job)}
 	rt.cond = sync.NewCond(&rt.mu)
 	less := func(a, b *T) bool { return rt.prioLess(a, b) }
 	switch cfg.Sched {
@@ -342,9 +410,13 @@ func New(cfg Config) (*Runtime, error) {
 	if rtrace.Enabled && cfg.Probe != nil {
 		rt.probe = cfg.Probe
 		if rec, ok := cfg.Probe.(*rtrace.Recorder); ok {
+			engine := "channel"
+			if rt.cont {
+				engine = "cont"
+			}
 			rec.SetMeta(rtrace.Meta{
 				Policy: rt.pol.Name(), Workers: cfg.Workers,
-				K: rt.threshold, Seed: cfg.Seed,
+				K: rt.threshold, Seed: cfg.Seed, Engine: engine,
 			})
 		}
 		// Every policy implements Instrument; the interface assertion
@@ -539,18 +611,24 @@ func (rt *Runtime) Stats(js JobStats) Stats {
 // goes back to the pool once the last reference lets go — the joining
 // parent for ordinary threads (Join), the terminating worker for job
 // roots (evDone) — so the fork hot path allocates nothing in steady
-// state. The resume and yield channels are reused with the frame: at
-// release the goroutine has fully drained both (death always passes
-// through the evDone handoff), so a recycled frame starts from the same
-// quiescent channel state as a fresh one.
-var tPool = sync.Pool{New: func() any {
-	return &T{resume: make(chan struct{}, 1), yield: make(chan event)}
-}}
+// state. Under the continuation engine a frame is born bare (the common
+// inline fork+join never needs a channel pair); the channel engine
+// allocates the pair at newT, and a promoted frame keeps its own pair
+// across recycling. At release the goroutine has fully drained both
+// channels (death always passes through the evDone handoff), so a
+// recycled frame starts from the same quiescent channel state as a fresh
+// one; borrowed pairs (an inline frame promoted mid-run borrows its
+// chain base's channels) are returned to nil instead.
+var tPool = sync.Pool{New: func() any { return &T{} }}
 
 func (rt *Runtime) newT(body func(*T)) *T {
 	t := tPool.Get().(*T)
 	t.rt = rt
 	t.body = body
+	if !rt.cont && t.resume == nil {
+		t.resume = make(chan struct{}, 1)
+		t.yield = make(chan event)
+	}
 	return t
 }
 
@@ -563,14 +641,20 @@ func releaseT(t *T) {
 	t.job = nil
 	t.body = nil
 	t.prio = nil
-	t.started = false
+	t.started.Store(false)
 	t.dummy = false
 	t.root = false
 	t.tid = 0
+	t.w = 0
+	t.base = nil
 	t.unjoined = t.unjoined[:0]
 	t.retryAlloc = false
-	t.done = false
+	t.done.Store(false)
 	t.waiter = nil
+	if t.borrowed {
+		t.resume, t.yield = nil, nil
+		t.borrowed = false
+	}
 	tPool.Put(t)
 }
 
@@ -638,15 +722,62 @@ func (rt *Runtime) prioLess(a, b *T) bool {
 
 // ---- Thread-side API -----------------------------------------------------
 
-// step resumes t and waits for its next scheduling event. Only the worker
-// currently responsible for t may call it.
-func (t *T) step() event {
-	if !t.started {
-		t.started = true
+// step resumes t on worker w and waits for its next scheduling event.
+// Only the worker currently responsible for t may call it. This is the
+// continuation engine's promotion point for dispatched threads: a thread
+// reaches a worker only by being stolen, woken, or injected, and only
+// then does it get a goroutine (and, if it never had one, a channel
+// pair). Setting t.w first is what lets the resumed thread's inline code
+// act as agent of worker w — the channel handoff orders the write against
+// every thread-side read.
+func (rt *Runtime) step(w int, t *T) event {
+	t.w = w
+	if !t.started.Load() {
+		if rt.cont {
+			if t.resume == nil {
+				t.resume = make(chan struct{}, 1)
+				t.yield = make(chan event)
+			}
+			t.base = t
+			rt.trace(w, rtrace.EvPromote, t.tid, 0, 0)
+		}
+		t.started.Store(true)
 		go t.main()
 	}
-	t.resume <- struct{}{}
-	return <-t.yield
+	// Read the channel fields before the resume-send: the moment the send
+	// lands, the chain is running and may complete t — if t is a borrowed
+	// inline frame, its joining parent then releases it, nilling these very
+	// fields concurrently. The locals still name the right channels (a
+	// borrowed frame shares its base's pair, which outlives the frame).
+	resume, yield := t.resume, t.yield
+	resume <- struct{}{}
+	return <-yield
+}
+
+// park suspends an inline-running thread to its chain's worker: the
+// continuation engine's blocking path (join on a live child, contended
+// lock, unset future, exhausted quota). The first park promotes the frame
+// — it borrows the chain base's channel pair and counts as started, so no
+// later join can claim it inline — and from then on the frame parks and
+// resumes like a channel-engine thread. The worker publishing/queuing of
+// the frame happens pump-side after the yield is received: the thread
+// must never publish its own frame while still running, or a second
+// worker could dispatch it and the base's channels would have two
+// receivers.
+func (t *T) park(ev event) {
+	if !t.started.Load() {
+		t.resume = t.base.resume
+		t.yield = t.base.yield
+		t.borrowed = true
+		t.started.Store(true)
+		t.rt.trace(t.w, rtrace.EvPromote, t.tid, 1, 0)
+	}
+	ev.self = t
+	t.yield <- ev
+	<-t.resume
+	if t.job.poisoned.Load() {
+		panic(poisonSentinel)
+	}
 }
 
 // poisonSentinel is the panic value that unwinds a poisoned thread's
@@ -672,7 +803,7 @@ func (t *T) main() {
 				t.job.cancel(err)
 			}
 		}
-		t.yield <- event{kind: evDone}
+		t.yield <- event{kind: evDone, self: t}
 	}()
 	if t.job.poisoned.Load() {
 		return // canceled before its first dispatch: die without running
@@ -688,6 +819,7 @@ func (t *T) main() {
 // to user code: the sentinel panic unwinds the goroutine (running user
 // defers on the way) and main reports the termination.
 func (t *T) do(ev event) {
+	ev.self = t
 	t.yield <- ev
 	<-t.resume
 	if t.job.poisoned.Load() {
@@ -707,8 +839,34 @@ func (t *T) fork(body func(*T), dummy bool) *T {
 	child.job = t.job
 	child.dummy = dummy
 	t.unjoined = append(t.unjoined, child)
-	t.do(event{kind: evFork, child: child})
+	if t.rt.cont {
+		t.forkCont(child)
+	} else {
+		t.do(event{kind: evFork, child: child})
+	}
 	return child
+}
+
+// forkCont is the continuation engine's fork: publish the child, keep
+// running the parent — no yield, no channel handoff, no goroutine. The
+// bookkeeping is exactly the worker pump's evFork handler, run by the
+// forking thread as agent of its worker (which is parked in step while
+// the thread runs, so per-worker policy state has a single toucher).
+func (t *T) forkCont(child *T) {
+	if t.job.poisoned.Load() {
+		panic(poisonSentinel)
+	}
+	rt := t.rt
+	gl := rt.beginEvent()
+	rt.noteFork(t, child)
+	var dummy int64
+	if child.dummy {
+		dummy = 1
+	}
+	rt.trace(t.w, rtrace.EvFork, t.tid, child.tid, dummy)
+	rt.pol.ForkCont(t.w, t, child)
+	rt.endEvent(gl)
+	rt.wakeIdlers()
 }
 
 // Join waits for the most recent unjoined child (which must equal h) to
@@ -723,12 +881,94 @@ func (t *T) Join(h *T) {
 		panic("grt: Join order must be LIFO with the thread's own children")
 	}
 	t.unjoined = t.unjoined[:len(t.unjoined)-1]
+	if t.rt.cont {
+		t.joinCont(h)
+		return
+	}
 	for {
 		if h.isDone() {
 			releaseT(h)
 			return
 		}
 		t.do(event{kind: evJoin, child: h})
+	}
+}
+
+// joinCont is the continuation engine's join. The work-first payoff is
+// the inline claim: if the child is still exactly where forkCont put it —
+// the top of this worker's own deque, untouched by thieves, undisplaced
+// by woken threads — the conditional pop removes it there and the parent
+// runs the child's body in its own frame, paying no channel handoff and
+// no goroutine. Otherwise the child is live elsewhere (stolen, or a
+// global-queue policy owns it) and the parent parks like a
+// channel-engine thread. Dummy children are never claimed inline: the
+// §3.3 dummy-termination give-up must run pump-side (Terminate), so they
+// always promote.
+func (t *T) joinCont(h *T) {
+	rt := t.rt
+	for {
+		if h.isDone() {
+			releaseT(h)
+			return
+		}
+		if t.job.poisoned.Load() {
+			panic(poisonSentinel)
+		}
+		gl := rt.beginEvent()
+		if !h.dummy && !h.started.Load() && rt.pol.JoinPop(t.w, h) {
+			// The parent logically suspends and the child is dispatched
+			// in its place — the same block/dispatch pair the pump emits,
+			// so dispatch conservation holds identically in both engines.
+			rt.trace(t.w, rtrace.EvBlock, t.tid, rtrace.BlockJoin, h.tid)
+			rt.trace(t.w, rtrace.EvDispatch, h.tid, rtrace.SrcInline, 0)
+			rt.endEvent(gl)
+			t.joinInline(h)
+			// The child ran to completion in this frame; skip the
+			// loop-top re-check and release it directly.
+			releaseT(h)
+			return
+		}
+		rt.endEvent(gl)
+		t.park(event{kind: evJoin, child: h})
+	}
+}
+
+// joinInline runs the claimed child's body in the parent's goroutine. The
+// completion bookkeeping mirrors the pump's evDone handler minus the
+// impossible cases: an inline child cannot be a job root, cannot have a
+// registered waiter (only its parent joins it, and the parent is here),
+// and cannot be its job's last live thread (the parent is still live).
+// The deferred half runs on panic unwinds too — user panics and poison
+// both propagate to the chain's base, and every inline frame they unwind
+// through is completed on the way — so thread accounting and the trace's
+// dispatch conservation survive cancellation mid-chain.
+func (t *T) joinInline(c *T) {
+	rt := t.rt
+	c.w = t.w
+	c.base = t.base
+	defer func() {
+		// The child may have parked and been redispatched on another
+		// worker mid-body; its w is then the chain's current worker, and
+		// the parent inherits it.
+		t.w = c.w
+		gl := rt.beginEvent()
+		rt.trace(c.w, rtrace.EvComplete, c.tid, 0, 0)
+		rt.endEvent(gl)
+		rt.prioDelete(c.prio)
+		c.prio = nil
+		// finish() reduced to its atomic half: an inline child can have
+		// no registered waiter (only its parent joins it, and the parent
+		// is running this call), so there is no handoff to arbitrate.
+		c.done.Store(true)
+		rt.live.Add(-1)
+		c.job.live.Add(-1)
+		gl = rt.beginEvent()
+		rt.trace(c.w, rtrace.EvDispatch, t.tid, rtrace.SrcTerminate, 0)
+		rt.endEvent(gl)
+	}()
+	c.body(c)
+	if len(c.unjoined) > 0 {
+		panic(fmt.Sprintf("nested-parallel violation: %d forked children not joined", len(c.unjoined)))
 	}
 }
 
@@ -745,19 +985,51 @@ func (t *T) Alloc(n int64) {
 	if n <= 0 {
 		return
 	}
-	if k := t.rt.threshold; k > 0 && n > k {
+	rt := t.rt
+	if k := rt.threshold; k > 0 && n > k {
 		t.forkDummies(policy.DummyLeaves(n, k))
-		t.do(event{kind: evAllocExempt, n: n})
-		return
-	}
-	for {
-		t.do(event{kind: evAlloc, n: n})
-		if !t.retryAlloc {
+		if !rt.cont {
+			t.do(event{kind: evAllocExempt, n: n})
 			return
 		}
-		// The worker vetoed the allocation (quota exhausted) and this
-		// thread has just been redispatched with a fresh quota: retry.
-		t.retryAlloc = false
+		if t.job.poisoned.Load() {
+			panic(poisonSentinel)
+		}
+		if rtrace.Enabled && rt.probe != nil {
+			gl := rt.beginEvent()
+			rt.trace(t.w, rtrace.EvAllocExempt, t.tid, n, policy.DummyLeaves(n, k))
+			rt.endEvent(gl)
+		}
+		t.job.charge(n)
+		return
+	}
+	if !rt.cont {
+		for {
+			t.do(event{kind: evAlloc, n: n})
+			if !t.retryAlloc {
+				return
+			}
+			// The worker vetoed the allocation (quota exhausted) and this
+			// thread has just been redispatched with a fresh quota: retry.
+			t.retryAlloc = false
+		}
+	}
+	// Continuation engine: charge the quota inline; a veto parks the
+	// thread (the pump republishes it, §3.3) and the loop retries after
+	// redispatch refills the quota.
+	for {
+		if t.job.poisoned.Load() {
+			panic(poisonSentinel)
+		}
+		gl := rt.beginEvent()
+		if rt.pol.Charge(t.w, n) {
+			rt.trace(t.w, rtrace.EvAlloc, t.tid, n, 0)
+			rt.endEvent(gl)
+			t.job.charge(n)
+			return
+		}
+		rt.endEvent(gl)
+		t.park(event{kind: evPreempt, n: n})
 	}
 }
 
@@ -772,6 +1044,15 @@ func (t *T) Touch(blk int32, bytes int64) {
 	if !rtrace.Enabled || t.rt.probe == nil || blk == 0 || bytes <= 0 {
 		return
 	}
+	if t.rt.cont {
+		if t.job.poisoned.Load() {
+			panic(poisonSentinel)
+		}
+		gl := t.rt.beginEvent()
+		t.rt.trace(t.w, rtrace.EvTouch, t.tid, int64(blk), bytes)
+		t.rt.endEvent(gl)
+		return
+	}
 	t.do(event{kind: evTouch, blk: blk, n: bytes})
 }
 
@@ -779,6 +1060,18 @@ func (t *T) Touch(blk int32, bytes int64) {
 // bounds *net* allocation).
 func (t *T) Free(n int64) {
 	if n <= 0 {
+		return
+	}
+	rt := t.rt
+	if rt.cont {
+		if t.job.poisoned.Load() {
+			panic(poisonSentinel)
+		}
+		gl := rt.beginEvent()
+		rt.trace(t.w, rtrace.EvFree, t.tid, n, 0)
+		rt.pol.Credit(t.w, n)
+		rt.endEvent(gl)
+		t.job.charge(-n)
 		return
 	}
 	t.do(event{kind: evFree, n: n})
@@ -790,7 +1083,7 @@ func (t *T) Free(n int64) {
 func (t *T) forkDummies(n int64) {
 	if n == 1 {
 		h := t.fork(func(c *T) {
-			c.do(event{kind: evDummy})
+			c.dummyPoint()
 		}, true)
 		t.Join(h)
 		return
@@ -801,4 +1094,24 @@ func (t *T) forkDummies(n int64) {
 		c.forkDummies(r)
 	})
 	t.Join(h)
+}
+
+// dummyPoint is a dummy leaf's one scheduling event (§3.3). Under the
+// channel engine it is a pump round-trip; under the continuation engine
+// the dummy is always goroutine-backed (joinCont never claims a dummy
+// inline), so the give-up mark is set inline as agent of the dispatching
+// worker and consumed by that worker's Terminate right after the dummy's
+// evDone.
+func (t *T) dummyPoint() {
+	if !t.rt.cont {
+		t.do(event{kind: evDummy})
+		return
+	}
+	if t.job.poisoned.Load() {
+		panic(poisonSentinel)
+	}
+	gl := t.rt.beginEvent()
+	t.rt.trace(t.w, rtrace.EvDummy, t.tid, 0, 0)
+	t.rt.pol.Dummy(t.w)
+	t.rt.endEvent(gl)
 }

@@ -91,14 +91,67 @@ func (m *Mutex) cancelWait(t *T) bool {
 	return false
 }
 
+// tryAcquire takes m for t iff it is free — the continuation engine's
+// inline fast path. It never queues a waiter: queuing would publish the
+// running frame to other workers while the thread is still executing,
+// which the promotion protocol forbids; the contended case parks and the
+// pump queues the frame instead.
+func (m *Mutex) tryAcquire(t *T) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.holder == nil {
+		m.holder = t
+		return true
+	}
+	return false
+}
+
 // Lock acquires m, suspending t until it is available.
 func (m *Mutex) Lock(t *T) {
+	if t.rt.cont {
+		if t.job.poisoned.Load() {
+			panic(poisonSentinel)
+		}
+		gl := t.rt.beginEvent()
+		ok := m.tryAcquire(t)
+		t.rt.endEvent(gl)
+		if ok {
+			return
+		}
+		// Contended: park; the pump re-runs the full acquire (the holder
+		// may have released in between) and queues the frame on failure.
+		t.park(event{kind: evLock, mu: m})
+		return
+	}
 	t.do(event{kind: evLock, mu: m})
 	// Resumption implies the worker either acquired the lock immediately
 	// or a releasing thread handed it to us.
 }
 
-// Unlock releases m, waking the longest-waiting thread if any.
+// Unlock releases m, waking the longest-waiting thread if any. Under the
+// continuation engine the release and wake run inline — they publish the
+// *waiter's* frame, never the running one, so no yield is needed.
 func (m *Mutex) Unlock(t *T) {
+	rt := t.rt
+	if rt.cont {
+		if t.job.poisoned.Load() {
+			panic(poisonSentinel)
+		}
+		gl := rt.beginEvent()
+		next, err := m.release(t)
+		if err != nil {
+			rt.endEvent(gl)
+			t.job.fail(err)
+			return
+		}
+		if next != nil {
+			rt.pol.Wake(t.w, next)
+		}
+		rt.endEvent(gl)
+		if next != nil {
+			rt.wakeIdlers()
+		}
+		return
+	}
 	t.do(event{kind: evUnlock, mu: m})
 }

@@ -81,16 +81,22 @@ func (rt *Runtime) worker(w int) {
 				return // runtime shut down
 			}
 		}
-		ev := curr.step()
+		ev := rt.step(w, curr)
+		// Under the continuation engine the event may come from a frame
+		// running inline deeper in curr's chain — a child claimed by an
+		// inline join that then blocked. The yielding frame is the one
+		// every handler below must act on (and the one to redispatch to
+		// resume the chain); under the channel engine self is always curr.
+		curr = ev.self
 
 		// Cancellation check: one atomic load per scheduling event, the
 		// lifecycle's entire cost on the hot path. A poisoned thread's
 		// event has no effects — no child is created, no waiter queued,
 		// no quota charged — and the thread dies at its next resume (do
-		// panics with the poison sentinel), which yields the evDone
-		// handled normally below. Threads already in deques or queues
-		// drain the same way: dispatch, poison check, death — so the
-		// ready structures purge themselves through ordinary pops and
+		// and park panic with the poison sentinel), which yields the
+		// evDone handled normally below. Threads already in deques or
+		// queues drain the same way: dispatch, poison check, death — so
+		// the ready structures purge themselves through ordinary pops and
 		// steals, never violating the Lemma 3.1 order.
 		if ev.kind != evDone && curr.job.poisoned.Load() {
 			continue
@@ -189,6 +195,17 @@ func (rt *Runtime) worker(w int) {
 				break // value available; keep running
 			}
 			curr = rt.next(w)
+
+		case evPreempt:
+			// Continuation engine only: the thread found the quota
+			// exhausted inline and parked; republish it (§3.3). The
+			// retryAlloc handshake is unnecessary — the thread's own
+			// Alloc loop retries when the chain resumes.
+			curr.job.preempts.Add(1)
+			rt.trace(w, rtrace.EvQuotaExhaust, curr.tid, ev.n, 0)
+			rt.pol.Preempt(w, curr)
+			wake = true
+			curr = nil
 
 		case evTouch:
 			// Pure observation: the touch is recorded on this worker's lane

@@ -107,6 +107,18 @@ func (a *ADF[T]) Fork(w int, parent, child T) T {
 	return child
 }
 
+// ForkCont implements Policy: under the continuation engine the child
+// enters the queue at its priority position and the parent keeps running.
+// The quota is NOT reset — the parent's dispatch continues; only a real
+// dispatch out of the queue refills it (footnote 14 charges per
+// scheduled thread, and the running parent was already charged).
+func (a *ADF[T]) ForkCont(w int, parent, child T) { a.insert(w, child) }
+
+// JoinPop implements Policy: the global queue has no owner-local claim —
+// an inline join would bypass the queue's priority order, so the parent
+// always parks and the child is dispatched normally.
+func (a *ADF[T]) JoinPop(w int, child T) bool { return false }
+
 // Charge implements Policy.
 func (a *ADF[T]) Charge(w int, n int64) bool { return a.quota.Charge(w, n, a.k) }
 

@@ -10,7 +10,7 @@ import (
 // plus the per-steal memory quota and the dummy-termination give-up rule.
 // K = 0 is DFDeques(∞), which behaves like WS up to victim selection (one
 // shared ordered list instead of per-worker deques).
-type DFD[T any] struct {
+type DFD[T comparable] struct {
 	pool   *core.SharedPool[T]
 	quota  *Quota
 	k      int64
@@ -20,7 +20,7 @@ type DFD[T any] struct {
 // NewDFD builds a DFDeques(K) policy for p workers. less is the 1DF
 // priority order (it may take the caller's priority lock); seed derives
 // each worker's private victim-selection stream (core.WorkerSeed).
-func NewDFD[T any](p int, k int64, less func(a, b T) bool, seed int64) *DFD[T] {
+func NewDFD[T comparable](p int, k int64, less func(a, b T) bool, seed int64) *DFD[T] {
 	return &DFD[T]{
 		pool:   core.NewSharedPool(p, less, seed),
 		quota:  NewQuota(p),
@@ -56,6 +56,20 @@ func (d *DFD[T]) Fork(w int, parent, child T) T {
 	d.pool.PushOwn(w, parent)
 	return child
 }
+
+// ForkCont implements Policy: under the continuation engine the parent
+// keeps running inline and the child takes the deque slot the parent used
+// to occupy. The deque's internal order inverts — top is the deepest
+// (highest-priority) thread — but the steal end is unchanged: PopBottom
+// still takes the coarsest work, which is now the oldest continuation,
+// exactly the §3.3 steal the channel engine expresses as the shallowest
+// parent. Quota is untouched: it spans steals, not forks.
+func (d *DFD[T]) ForkCont(w int, parent, child T) { d.pool.PushOwn(w, child) }
+
+// JoinPop implements Policy: claim child for an inline join iff it is
+// still the top of w's own deque (see core.SharedPool.PopOwnIf) — i.e. no
+// thief stole it and no woken thread was pushed above it.
+func (d *DFD[T]) JoinPop(w int, child T) bool { return d.pool.PopOwnIf(w, child) }
 
 // Charge implements Policy.
 func (d *DFD[T]) Charge(w int, n int64) bool { return d.quota.Charge(w, n, d.k) }

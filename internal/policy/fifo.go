@@ -93,6 +93,14 @@ func (f *FIFO[T]) Fork(w int, parent, child T) T {
 	return parent
 }
 
+// ForkCont implements Policy: identical to Fork — FIFO already keeps the
+// parent running and enqueues the child, so both engines share one path.
+func (f *FIFO[T]) ForkCont(w int, parent, child T) { f.push(w, child) }
+
+// JoinPop implements Policy: the global FIFO has no owner-local claim;
+// the parent parks and the child drains through the queue in order.
+func (f *FIFO[T]) JoinPop(w int, child T) bool { return false }
+
 // Charge implements Policy: never vetoes.
 func (f *FIFO[T]) Charge(w int, n int64) bool { return true }
 

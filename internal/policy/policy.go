@@ -67,6 +67,21 @@ type Policy[T any] interface {
 	// worker runs next (the child under depth-first policies, the parent
 	// under FIFO). Policies with a per-dispatch quota reset w's here.
 	Fork(w int, parent, child T) T
+	// ForkCont handles a fork event on worker w under the continuation
+	// engine: the parent keeps running inline and the child is published
+	// in the slot the parent occupies under Fork. Deque policies push the
+	// child on w's own deque — the deque's internal order inverts (top =
+	// deepest thread) but the steal end is unchanged; global-queue
+	// policies insert the child at its priority position. Per-dispatch
+	// quotas are NOT reset: the parent's dispatch continues.
+	ForkCont(w int, parent, child T)
+	// JoinPop claims child for an inline join on worker w: remove child
+	// from the ready structure iff it is still exactly where ForkCont
+	// published it (the top of w's own deque), reporting success. The
+	// check and the removal must be one linearization point so a racing
+	// steal cannot double-claim the thread. Global-queue policies always
+	// return false — an inline claim would bypass the queue's order.
+	JoinPop(w int, child T) bool
 	// Charge deducts n bytes from w's memory quota; false means the quota
 	// is exhausted and the engine must preempt the thread without
 	// performing the allocation (§3.3). Policies without a quota always

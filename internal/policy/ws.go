@@ -19,7 +19,7 @@ import (
 // All methods are safe for concurrent use; methods taking an owner index
 // must only be called by that owner. The serial simulator drives the same
 // structure single-threaded (the locks are then uncontended).
-type WSPool[T any] struct {
+type WSPool[T comparable] struct {
 	dq []*deque.Deque[T]
 
 	// Tracing (nil probe: disabled). Deque i's trace id is i — the
@@ -35,7 +35,7 @@ type WSPool[T any] struct {
 }
 
 // NewWSPool builds a pool of p per-worker deques.
-func NewWSPool[T any](p int) *WSPool[T] {
+func NewWSPool[T comparable](p int) *WSPool[T] {
 	if p < 1 {
 		panic("policy: WSPool needs at least one worker")
 	}
@@ -135,6 +135,36 @@ func (pl *WSPool[T]) Pop(w int) (T, bool) {
 	return x, ok
 }
 
+// PopIf pops the top of w's own deque only if it is exactly want,
+// reporting whether it did — the continuation engine's inline-join claim
+// (see core.SharedPool.PopOwnIf). The check and the pop share the deque's
+// linearization point so a racing bottom-steal of a single-item deque
+// cannot double-claim the thread.
+func (pl *WSPool[T]) PopIf(w int, want T) bool {
+	d := pl.dq[w]
+	var ok bool
+	if d.OwnerAcquire() {
+		ok = d.PopTopIf(want)
+		if ok && pl.tidOf != nil {
+			pl.trace(w, rtrace.EvPop, pl.tidOf(want), d.ID, 0)
+		}
+		d.OwnerRelease()
+	} else {
+		d.Mu.Lock()
+		ok = d.PopTopIf(want)
+		if ok && pl.tidOf != nil {
+			pl.trace(w, rtrace.EvPop, pl.tidOf(want), d.ID, 0)
+		}
+		d.Rebias()
+		d.Mu.Unlock()
+	}
+	if ok {
+		pl.ready.Add(-1)
+		pl.local.Add(1)
+	}
+	return ok
+}
+
 // StealFrom pops the bottom of victim v's deque on behalf of thief w. An
 // empty victim is screened out by SizeHint before the deque lock is
 // touched, so failed attempts stay contention-free.
@@ -194,7 +224,7 @@ func (pl *WSPool[T]) Stats() (steals, failed, local, lockOps int64) {
 // a uniformly random victim. That is why WS has no quota path at all:
 // Threshold is 0 (no dummy-thread transformation), Charge never vetoes,
 // and Acquire never refills anything.
-type WS[T any] struct {
+type WS[T comparable] struct {
 	pool *WSPool[T]
 	rngs []*rand.Rand // rngs[w] used only by worker w, seeded on first use
 	seed int64
@@ -206,7 +236,7 @@ type WS[T any] struct {
 // serializes on a shared generator. Each stream is seeded lazily at the
 // worker's first steal attempt — math/rand seeding is expensive, and
 // eager per-worker seeding would dominate short runs' construction.
-func NewWS[T any](p int, seed int64) *WS[T] {
+func NewWS[T comparable](p int, seed int64) *WS[T] {
 	return &WS[T]{pool: NewWSPool[T](p), rngs: make([]*rand.Rand, p), seed: seed}
 }
 
@@ -245,6 +275,18 @@ func (s *WS[T]) Fork(w int, parent, child T) T {
 	s.pool.Push(w, parent)
 	return child
 }
+
+// ForkCont implements Policy: under the continuation engine the parent
+// keeps running and the child is pushed — same deque top, inverted
+// occupant, so steals still take the oldest (now coarsest-continuation)
+// end.
+func (s *WS[T]) ForkCont(w int, parent, child T) { s.pool.Push(w, child) }
+
+// JoinPop implements Policy: claim child for an inline join iff it is
+// still the top of w's own deque. The conditional pop is required — Wake
+// can stack woken threads above the forked child, and a thief may have
+// taken it from the bottom of a single-item deque.
+func (s *WS[T]) JoinPop(w int, child T) bool { return s.pool.PopIf(w, child) }
 
 // Charge implements Policy: never vetoes (K = ∞).
 func (s *WS[T]) Charge(w int, n int64) bool { return true }

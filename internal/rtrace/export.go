@@ -19,27 +19,36 @@ type WorkerSummary struct {
 // stream: the real-runtime counterpart of the simulator's metric printout,
 // emitted by `dfdsim -real -trace` and embedded in the trace file.
 type Summary struct {
-	Policy           string          `json:"policy"`
-	Workers          int             `json:"workers"`
-	K                int64           `json:"k"`
-	Events           int             `json:"events"`
-	Dropped          uint64          `json:"dropped"`
-	WallNs           int64           `json:"wall_ns"`
-	Threads          int64           `json:"threads"`
-	DummyThreads     int64           `json:"dummy_threads"`
-	Jobs             int64           `json:"jobs,omitempty"`
-	CanceledJobs     int64           `json:"canceled_jobs,omitempty"`
-	Completed        int64           `json:"completed"`
-	Dispatches       int64           `json:"dispatches"`
-	LocalDispatches  int64           `json:"local_dispatches"`
-	Steals           int64           `json:"steals"`
-	StealAttempts    int64           `json:"steal_attempts"`
-	StealSuccessRate float64         `json:"steal_success_rate"`
-	SchedGranularity float64         `json:"sched_granularity"` // dispatches per shared acquisition
-	QuotaExhausts    int64           `json:"quota_exhausts"`
-	DummySplits      int64           `json:"dummy_splits"`
-	DequeHighWater   int             `json:"deque_high_water"`
-	PerWorker        []WorkerSummary `json:"per_worker"`
+	Policy           string  `json:"policy"`
+	Workers          int     `json:"workers"`
+	K                int64   `json:"k"`
+	Events           int     `json:"events"`
+	Dropped          uint64  `json:"dropped"`
+	WallNs           int64   `json:"wall_ns"`
+	Threads          int64   `json:"threads"`
+	DummyThreads     int64   `json:"dummy_threads"`
+	Jobs             int64   `json:"jobs,omitempty"`
+	CanceledJobs     int64   `json:"canceled_jobs,omitempty"`
+	Completed        int64   `json:"completed"`
+	Dispatches       int64   `json:"dispatches"`
+	LocalDispatches  int64   `json:"local_dispatches"`
+	Steals           int64   `json:"steals"`
+	StealAttempts    int64   `json:"steal_attempts"`
+	StealSuccessRate float64 `json:"steal_success_rate"`
+	SchedGranularity float64 `json:"sched_granularity"` // dispatches per shared acquisition
+	QuotaExhausts    int64   `json:"quota_exhausts"`
+	DummySplits      int64   `json:"dummy_splits"`
+
+	// Promotions counts EvPromote events: inline continuation frames
+	// that had to grow a goroutine + channel pair because their
+	// continuation was stolen or they blocked. Always 0 on the
+	// channel-frame engine (every thread starts promoted, nothing is
+	// recorded); on the work-first engine Threads − Promotions is the
+	// number of forks that ran to completion without ever paying for a
+	// frame.
+	Promotions     int64           `json:"promotions,omitempty"`
+	DequeHighWater int             `json:"deque_high_water"`
+	PerWorker      []WorkerSummary `json:"per_worker"`
 
 	// Cache is the parallel cache-complexity report (cachecplx.go),
 	// present when the stream contains EvTouch events; computed with the
@@ -131,6 +140,8 @@ func Summarize(meta Meta, evs []Event, dropped uint64) Summary {
 			liveDeques--
 		case EvTouch:
 			touches = true
+		case EvPromote:
+			s.Promotions++
 		}
 	}
 	if touches {

@@ -108,6 +108,14 @@ const (
 	// EvJobEnd so older trace files (kinds serialize as plain integers)
 	// keep loading unchanged.
 	EvTouch
+	// EvPromote: thread A was promoted to a goroutine-backed frame on
+	// worker W under the continuation engine — its first dispatch out of a
+	// ready structure (B=0), or its first blocking suspension while
+	// executing inline in a parent's frame (B=1). The channel engine never
+	// records it (every thread is goroutine-backed from birth); the
+	// verifier rejects it in channel-engine streams. Appended after EvTouch
+	// so older trace files keep loading unchanged.
+	EvPromote
 
 	numKinds
 )
@@ -118,6 +126,11 @@ const (
 	SrcNext
 	SrcTerminate
 	SrcAcquire
+	// SrcInline: the continuation engine ran the thread inline in its
+	// parent's frame after conditionally popping it off the own-deque top
+	// at the parent's Join (the work-first fast path — no goroutine, no
+	// channel hand-off).
+	SrcInline
 )
 
 // Block reasons (EvBlock payload B).
@@ -132,7 +145,7 @@ var kindNames = [numKinds]string{
 	"free", "quota-exhaust", "dummy", "idle", "steal-attempt", "steal",
 	"deque-create", "deque-release", "deque-retire", "push", "pop",
 	"queue-push", "queue-take", "job-begin", "job-cancel", "job-end",
-	"touch",
+	"touch", "promote",
 }
 
 func (k Kind) String() string {
@@ -179,6 +192,11 @@ type Meta struct {
 	Workers int    `json:"workers"`
 	K       int64  `json:"k"`
 	Seed    int64  `json:"seed"`
+	// Engine identifies the execution core the stream was recorded from:
+	// "cont" (continuation-passing work-first engine) or "channel" (the
+	// legacy goroutine-per-thread engine). Empty means channel — streams
+	// recorded before the engine split predate the field.
+	Engine string `json:"engine,omitempty"`
 }
 
 // exactTS is the set of kinds that read the monotonic clock when

@@ -51,8 +51,31 @@ import (
 // still verify. Under WS a second job's root is appended to deque 0
 // regardless of priority (WS has no priority order to keep), so multi-job
 // WS streams disable the ordering checks like lock programs do.
+//
+// Engines. Meta.Engine selects the execution-engine model ("channel", or
+// "" for pre-engine streams: the legacy channel-frame core; "cont": the
+// work-first continuation engine). The engines differ in which thread a
+// fork publishes — the channel engine pushes the running parent and
+// dispatches the child, the continuation engine keeps the parent running
+// and pushes the never-dispatched child — so every deque-geometry check
+// has a mirrored polarity under "cont": deques sort ascending bottom-to-
+// top (bottom is the highest 1DF priority, the steal end still takes the
+// coarsest thread), R's left-to-right order compares the mirrored
+// endpoints, and a running thread has *lower* priority than its own
+// deque's contents. The continuation engine additionally records
+// EvPromote — a thread's unique transition to a goroutine-backed frame —
+// and dispatches inline-claimed children with SrcInline; dispatch
+// conservation (1 + suspensions) is engine-independent and is checked
+// identically on both.
 func Verify(meta Meta, evs []Event, dropped uint64) (Report, error) {
 	v := &verifier{meta: meta, rep: Report{Events: len(evs), OrderingExact: true}}
+	switch meta.Engine {
+	case "", "channel":
+	case "cont":
+		v.cont = true
+	default:
+		return v.rep, fmt.Errorf("rtrace: unknown engine %q in trace metadata", meta.Engine)
+	}
 	if dropped > 0 {
 		return v.rep, fmt.Errorf("rtrace: %d events dropped by ring wrap-around; raise the trace buffer to verify this run", dropped)
 	}
@@ -115,6 +138,7 @@ type vthread struct {
 	on         int   // worker (tRunning/tInflight)
 	job        int64 // owning job id (0 on pre-lifecycle streams)
 	dummy      bool
+	promoted   bool  // continuation engine: goroutine frame exists
 	waitee     int64 // tid being joined (tBlocked on join), else -1
 	rec        *om.Record
 	dispatches int64
@@ -152,6 +176,7 @@ type verifier struct {
 	quota   []int64 // modeled remaining quota per worker
 
 	ordered bool // ordering checks active
+	cont    bool // continuation engine: mirrored deque geometry, promotions
 }
 
 // meta2 aliases Meta so verifier literals stay short.
@@ -380,6 +405,30 @@ func (v *verifier) step(e *Event) error {
 			v.quota[w] = 0 // the dummy consumed the dispatch's quota
 		}
 
+	case EvPromote:
+		t, err := v.thread(e, e.A)
+		if err != nil {
+			return err
+		}
+		if !v.cont {
+			return v.fail(e, "promotion under the channel-frame engine")
+		}
+		if t.promoted {
+			return v.fail(e, "t%d promoted twice", e.A)
+		}
+		// Both flavors — B=0, the dispatching worker spawning the frame's
+		// goroutine; B=1, an inline frame borrowing its chain base's
+		// channels to block — happen while the thread runs on the
+		// recording worker: dispatch precedes the B=0 promote, and an
+		// inline frame only parks from inside its own body.
+		if t.state != tRunning || t.on != w {
+			return v.fail(e, "promotion of t%d which is not running on w%d", e.A, w)
+		}
+		if e.B != 0 && e.B != 1 {
+			return v.fail(e, "promotion with unknown flavor %d", e.B)
+		}
+		t.promoted = true
+
 	case EvJobBegin:
 		if w != -1 {
 			return v.fail(e, "job begin on a worker lane (must be scheduler-side)")
@@ -410,6 +459,14 @@ func (v *verifier) step(e *Event) error {
 			v.rep.Notes = append(v.rep.Notes,
 				"multiple jobs under WS: late roots join deque 0 regardless of priority; ordering checks disabled from "+e.String())
 		}
+		// Mid-run roots are safe under both engines' DFDeques geometry:
+		// a new root is the global 1DF tail, so the woken-thread
+		// insertion's scan (which compares against deque tops) never
+		// fires and the root's deque is appended rightmost — correct in
+		// the mirrored order too. Woken threads with mid-range
+		// priorities, whose placement the mirrored scan could misjudge,
+		// only exist downstream of a lock/future block, which already
+		// disabled the ordering checks above.
 
 	case EvJobCancel:
 		j, ok := v.jobs[e.A]
@@ -547,14 +604,28 @@ func (v *verifier) step(e *Event) error {
 			t.suspends++
 		case tPreempt, tBlocked:
 		case tNew:
-			if w != -1 {
+			if w != -1 && !v.cont {
+				// The continuation engine's fork pushes the
+				// never-dispatched child from a worker lane (the parent
+				// keeps running — no suspension); the channel engine only
+				// pushes tNew threads in the pre-run seed.
 				return v.fail(e, "push of never-dispatched t%d outside the pre-run seed", e.A)
 			}
 		default:
 			return v.fail(e, "push of t%d from illegal state %d", e.A, t.state)
 		}
-		if v.ordered && len(d.items) > 0 && !v.before(e.A, d.items[len(d.items)-1]) {
-			return v.fail(e, "push of t%d under-prioritizes deque %d's top t%d", e.A, e.B, d.items[len(d.items)-1])
+		if v.ordered && len(d.items) > 0 {
+			top := d.items[len(d.items)-1]
+			if v.cont {
+				// Mirrored geometry: each push must be *lower* priority
+				// than the top (children are forked in priority order,
+				// later forks are later in the 1DF order).
+				if !v.before(top, e.A) {
+					return v.fail(e, "push of t%d over-prioritizes deque %d's top t%d", e.A, e.B, top)
+				}
+			} else if !v.before(e.A, top) {
+				return v.fail(e, "push of t%d under-prioritizes deque %d's top t%d", e.A, e.B, top)
+			}
 		}
 		d.items = append(d.items, e.A)
 		t.state, t.on = tReady, -1
@@ -661,10 +732,17 @@ func (v *verifier) checkOrdering(e *Event) error {
 		return nil
 	}
 	v.rep.Checks++
-	// Each deque internally sorted: top (last) is the highest priority.
+	// Each deque internally sorted. Channel engine: top (last) is the
+	// highest priority. Continuation engine: mirrored — bottom (first) is
+	// the highest priority, so a bottom-steal still takes the coarsest
+	// thread while the owner's top pop takes the deepest.
 	for did, d := range v.deques {
 		for i := 0; i+1 < len(d.items); i++ {
-			if !v.before(d.items[i+1], d.items[i]) {
+			if v.cont {
+				if !v.before(d.items[i], d.items[i+1]) {
+					return v.fail(e, "deque %d not internally sorted (mirrored): t%d above t%d", did, d.items[i], d.items[i+1])
+				}
+			} else if !v.before(d.items[i+1], d.items[i]) {
 				return v.fail(e, "deque %d not internally sorted: t%d above t%d", did, d.items[i+1], d.items[i])
 			}
 		}
@@ -672,32 +750,44 @@ func (v *verifier) checkOrdering(e *Event) error {
 	if v.meta.Policy == "DFDeques" {
 		// R sorted left to right: everything in a deque has higher
 		// priority than everything right of it. Comparing each deque's
-		// bottom (its lowest) with the next non-empty deque's top (its
-		// highest) covers all pairs.
-		prevBottom := int64(-1)
+		// lowest-priority item with the next non-empty deque's
+		// highest-priority item covers all pairs; which end is which
+		// depends on the engine's deque polarity.
+		prevLowest := int64(-1)
 		for _, did := range v.r {
 			d := v.deques[did]
 			if len(d.items) == 0 {
 				continue
 			}
-			top := d.items[len(d.items)-1]
-			if prevBottom >= 0 && !v.before(prevBottom, top) {
-				return v.fail(e, "R out of order: t%d (left) does not precede t%d (right)", prevBottom, top)
+			highest, lowest := d.items[len(d.items)-1], d.items[0]
+			if v.cont {
+				highest, lowest = lowest, highest
 			}
-			prevBottom = d.items[0]
+			if prevLowest >= 0 && !v.before(prevLowest, highest) {
+				return v.fail(e, "R out of order: t%d (left) does not precede t%d (right)", prevLowest, highest)
+			}
+			prevLowest = lowest
 		}
-		// An executing thread has higher priority than everything in its
-		// worker's deque.
+		// Channel engine: an executing thread has higher priority than
+		// everything in its worker's deque (the deque holds its
+		// ancestors' continuations-as-parents). Continuation engine: the
+		// executing thread IS the ancestor — it has *lower* priority than
+		// everything in its deque (its forked children).
 		for w, tid := range v.running {
 			if tid < 0 || v.owned[w] < 0 {
 				continue
 			}
 			d := v.deques[v.owned[w]]
-			if len(d.items) > 0 {
-				top := d.items[len(d.items)-1]
-				if !v.before(tid, top) {
-					return v.fail(e, "running t%d on w%d under-prioritizes its deque top t%d", tid, w, top)
+			if len(d.items) == 0 {
+				continue
+			}
+			top := d.items[len(d.items)-1]
+			if v.cont {
+				if !v.before(top, tid) {
+					return v.fail(e, "running t%d on w%d over-prioritizes its deque top t%d (mirrored)", tid, w, top)
 				}
+			} else if !v.before(tid, top) {
+				return v.fail(e, "running t%d on w%d under-prioritizes its deque top t%d", tid, w, top)
 			}
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"dfdeques/internal/grt"
 	"dfdeques/internal/rtrace"
@@ -267,6 +268,12 @@ func TestVerifyMultiJobStreamWithCancellation(t *testing.T) {
 	spin := func(t *grt.T) {
 		for {
 			t.ForkJoin(func(*grt.T) {})
+			// Throttle: a fork+join on the continuation engine costs
+			// nanoseconds, and an unthrottled spinner would overflow the
+			// recorder ring before the cancel lands. The sleep bounds the
+			// event rate, not the iteration count — the job still only
+			// ends by poisoning.
+			time.Sleep(20 * time.Microsecond)
 		}
 	}
 	for _, sc := range []struct {
