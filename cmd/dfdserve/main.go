@@ -1,0 +1,223 @@
+// Command dfdserve runs the multi-tenant job service: an HTTP/JSON
+// facade over one shared DFDeques runtime, with per-tenant memory
+// budgets, weighted-fair admission, backpressure, and live Prometheus
+// metrics.
+//
+// Usage:
+//
+//	dfdserve -addr :8080 -tenants alice:3:1048576,bob:1:0
+//
+// Endpoints:
+//
+//	POST /v1/jobs        submit a job (?wait=1 blocks for the result)
+//	GET  /v1/jobs/{id}   poll a job
+//	GET  /v1/tenants     per-tenant accounting
+//	GET  /metrics        Prometheus text exposition
+//	GET  /healthz        200 ok / 503 draining
+//
+// Flags:
+//
+//	-addr A       listen address (default :8080)
+//	-workers N    scheduler workers (default GOMAXPROCS)
+//	-sched S      dfd | ws | adf | fifo (default dfd)
+//	-k BYTES      memory threshold K; 0 = no quota (default 4096)
+//	-seed S       steal-victim seed (default 1)
+//	-tenants T    comma-separated name:weight:budget[:pending] specs;
+//	              budget 0 means no quota (default "default:1:0")
+//	-config FILE  JSON serve.Config (overrides the flags above except -addr)
+//	-drain D      max graceful-drain duration on SIGTERM (default 30s)
+//
+// SIGTERM/SIGINT starts a graceful drain: /healthz flips to 503, new
+// submissions are refused, pending and running jobs finish (bounded by
+// -drain), then the process exits 0 with no goroutines left.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"dfdeques"
+	"dfdeques/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "scheduler workers")
+		schedN  = flag.String("sched", "dfd", "scheduler: dfd | ws | adf | fifo")
+		k       = flag.Int64("k", 4096, "memory threshold K in bytes (0 = no quota)")
+		seed    = flag.Int64("seed", 1, "steal-victim seed")
+		tenants = flag.String("tenants", "default:1:0", "name:weight:budget[:pending],... tenant specs")
+		cfgPath = flag.String("config", "", "JSON config file (overrides scheduler/tenant flags)")
+		drain   = flag.Duration("drain", 30*time.Second, "max graceful-drain duration")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*cfgPath, *workers, *schedN, *k, *seed, *tenants)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfdserve:", err)
+		os.Exit(2)
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfdserve:", err)
+		os.Exit(2)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	names := make([]string, 0, len(cfg.Tenants))
+	for name := range cfg.Tenants {
+		names = append(names, name)
+	}
+	fmt.Printf("dfdserve: listening on %s (%d workers, sched=%s, K=%d, tenants=%s)\n",
+		*addr, cfg.Runtime.Workers, *schedN, cfg.Runtime.K, strings.Join(names, ","))
+
+	select {
+	case sig := <-sigc:
+		fmt.Printf("dfdserve: %v: draining (max %v)\n", sig, *drain)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "dfdserve:", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting connections, then run the job drain.
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "dfdserve: http shutdown:", err)
+	}
+	if err := s.Close(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "dfdserve: drain aborted:", err)
+		os.Exit(1)
+	}
+	fmt.Println("dfdserve: drained cleanly")
+}
+
+// buildConfig assembles the serve.Config from either a JSON file or the
+// scheduler/tenant flags.
+func buildConfig(path string, workers int, schedName string, k, seed int64, tenantSpec string) (serve.Config, error) {
+	if path != "" {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return serve.Config{}, err
+		}
+		var fc fileConfig
+		if err := json.Unmarshal(raw, &fc); err != nil {
+			return serve.Config{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return fc.toConfig()
+	}
+	sched, err := parseSched(schedName)
+	if err != nil {
+		return serve.Config{}, err
+	}
+	tens, err := parseTenants(tenantSpec)
+	if err != nil {
+		return serve.Config{}, err
+	}
+	return serve.Config{
+		Runtime: dfdeques.RuntimeConfig{Workers: workers, Sched: sched, K: k, Seed: seed},
+		Tenants: tens,
+	}, nil
+}
+
+// fileConfig is the JSON projection of serve.Config (the scheduler kind
+// by name instead of enum value).
+type fileConfig struct {
+	Workers        int                           `json:"workers"`
+	Sched          string                        `json:"sched"`
+	K              int64                         `json:"k"`
+	Seed           int64                         `json:"seed"`
+	Tenants        map[string]serve.TenantConfig `json:"tenants"`
+	MaxInflight    int                           `json:"max_inflight"`
+	MaxBodyBytes   int64                         `json:"max_body_bytes"`
+	BudgetHeadroom float64                       `json:"budget_headroom"`
+	RetainJobs     int                           `json:"retain_jobs"`
+}
+
+func (fc fileConfig) toConfig() (serve.Config, error) {
+	name := fc.Sched
+	if name == "" {
+		name = "dfd"
+	}
+	sched, err := parseSched(name)
+	if err != nil {
+		return serve.Config{}, err
+	}
+	return serve.Config{
+		Runtime:        dfdeques.RuntimeConfig{Workers: fc.Workers, Sched: sched, K: fc.K, Seed: fc.Seed},
+		Tenants:        fc.Tenants,
+		MaxInflight:    fc.MaxInflight,
+		MaxBodyBytes:   fc.MaxBodyBytes,
+		BudgetHeadroom: fc.BudgetHeadroom,
+		RetainJobs:     fc.RetainJobs,
+	}, nil
+}
+
+func parseSched(name string) (dfdeques.SchedKind, error) {
+	switch name {
+	case "dfd", "dfdeques":
+		return dfdeques.SchedDFDeques, nil
+	case "ws":
+		return dfdeques.SchedWS, nil
+	case "adf":
+		return dfdeques.SchedADF, nil
+	case "fifo":
+		return dfdeques.SchedFIFO, nil
+	}
+	return 0, fmt.Errorf("unknown scheduler %q (want dfd, ws, adf, fifo)", name)
+}
+
+// parseTenants parses "name:weight:budget[:pending],..." specs.
+func parseTenants(spec string) (map[string]serve.TenantConfig, error) {
+	out := make(map[string]serve.TenantConfig)
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		parts := strings.Split(field, ":")
+		if len(parts) < 3 || len(parts) > 4 {
+			return nil, fmt.Errorf("tenant spec %q: want name:weight:budget[:pending]", field)
+		}
+		name := parts[0]
+		weight, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("tenant %s: bad weight %q", name, parts[1])
+		}
+		budget, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %s: bad budget %q", name, parts[2])
+		}
+		tc := serve.TenantConfig{Weight: weight, MemBudget: budget}
+		if len(parts) == 4 {
+			pending, err := strconv.Atoi(parts[3])
+			if err != nil {
+				return nil, fmt.Errorf("tenant %s: bad pending bound %q", name, parts[3])
+			}
+			tc.MaxPending = pending
+		}
+		out[name] = tc
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("tenant spec %q: no tenants", spec)
+	}
+	return out, nil
+}

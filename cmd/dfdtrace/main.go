@@ -191,7 +191,32 @@ func runReal(procs int, k, seed int64, depth int, alloc int64, maxLines int, out
 		fmt.Printf("\nwrote %s\n", outFile)
 	}
 
+	sum := rtrace.Summarize(meta, evs, rec.Dropped())
+	printSummary(&sum)
 	report(rtrace.Verify(meta, evs, rec.Dropped()))
+}
+
+// printSummary renders the trace-summary lens on a recorded stream: the
+// work-first engine's promotion count and, when the stream carried data
+// touches, the parallel cache-complexity block (the paper's §4 locality
+// story, mirrored from dfdsim).
+func printSummary(sum *rtrace.Summary) {
+	fmt.Printf("\ntrace summary: %d events, steal success %.1f%%, deque high-water %d\n",
+		sum.Events, 100*sum.StealSuccessRate, sum.DequeHighWater)
+	fmt.Printf("  promotions:        %d of %d threads grew a goroutine frame\n",
+		sum.Promotions, sum.Threads)
+	c := sum.Cache
+	if c == nil {
+		return
+	}
+	fmt.Printf("\ncache complexity (simulated %d KB/worker, %d B lines):\n",
+		c.CapacityBytes>>10, c.LineBytes)
+	fmt.Printf("  touches:           %d (%d bytes)\n", c.Touches, c.TouchedBytes)
+	fmt.Printf("  parallel misses:   %d (%.1f%%)\n", c.ParMisses, 100*c.ParMissRate)
+	fmt.Printf("  1DF serial misses: %d (%.1f%%)\n", c.SeqMisses, 100*c.SeqMissRate)
+	fmt.Printf("  extra misses:      %d\n", c.ExtraMisses)
+	fmt.Printf("  deviations:        %d (%d steals + %d queue takes + %d migrations)\n",
+		c.Deviations, c.Steals, c.QueueTakes, c.Migrations)
 }
 
 // verifyTrace replays a trace file through the invariant verifier.
@@ -209,6 +234,8 @@ func verifyTrace(path string) {
 	}
 	fmt.Printf("%s: %s p=%d K=%d seed=%d, %d events (%d dropped)\n",
 		path, meta.Policy, meta.Workers, meta.K, meta.Seed, len(evs), dropped)
+	sum := rtrace.Summarize(meta, evs, dropped)
+	printSummary(&sum)
 	report(rtrace.Verify(meta, evs, dropped))
 }
 

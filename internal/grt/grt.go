@@ -409,7 +409,10 @@ func New(cfg Config) (*Runtime, error) {
 
 	if rtrace.Enabled && cfg.Probe != nil {
 		rt.probe = cfg.Probe
-		if rec, ok := cfg.Probe.(*rtrace.Recorder); ok {
+		// Anything that can carry run metadata gets it stamped: a
+		// *rtrace.Recorder directly, or an rtrace.Tee that forwards to the
+		// recorders inside it.
+		if rec, ok := cfg.Probe.(interface{ SetMeta(rtrace.Meta) }); ok {
 			engine := "channel"
 			if rt.cont {
 				engine = "cont"
@@ -444,13 +447,17 @@ func New(cfg Config) (*Runtime, error) {
 // which then die at their next scheduling point; Job.Wait reports the
 // outcome. Submit fails with ErrShutdown once Shutdown has begun.
 func (rt *Runtime) Submit(ctx context.Context, root func(*T)) (*Job, error) {
+	return rt.submit(ctx, root, SubmitOpts{})
+}
+
+func (rt *Runtime) submit(ctx context.Context, root func(*T), opts SubmitOpts) (*Job, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	j := &Job{rt: rt, ctx: ctx, done: make(chan struct{})}
+	j := &Job{rt: rt, ctx: ctx, budget: opts.Budget, done: make(chan struct{})}
 	rootT := rt.newT(root)
 	rootT.job = j
 	rootT.root = true
@@ -507,6 +514,9 @@ func (rt *Runtime) finishJob(w int, j *Job) {
 		failed = 1
 	}
 	rt.trace(w, rtrace.EvJobEnd, j.id, failed, 0)
+	if j.budget != nil {
+		j.budget.settle(j)
+	}
 	rt.jobsMu.Lock()
 	delete(rt.jobs, j.id)
 	rt.jobsMu.Unlock()
@@ -1000,7 +1010,9 @@ func (t *T) Alloc(n int64) {
 			rt.trace(t.w, rtrace.EvAllocExempt, t.tid, n, policy.DummyLeaves(n, k))
 			rt.endEvent(gl)
 		}
-		t.job.charge(n)
+		if t.job.charge(n) {
+			t.job.budgetKill()
+		}
 		return
 	}
 	if !rt.cont {
@@ -1025,7 +1037,9 @@ func (t *T) Alloc(n int64) {
 		if rt.pol.Charge(t.w, n) {
 			rt.trace(t.w, rtrace.EvAlloc, t.tid, n, 0)
 			rt.endEvent(gl)
-			t.job.charge(n)
+			if t.job.charge(n) {
+				t.job.budgetKill()
+			}
 			return
 		}
 		rt.endEvent(gl)

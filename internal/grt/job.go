@@ -17,6 +17,12 @@ type Job struct {
 	id  int64
 	ctx context.Context
 
+	// budget, when non-nil, is the shared memory-accounting group the
+	// job's heap traffic also charges (SubmitOpts.Budget); exceeding its
+	// limit cancels the job with ErrBudget, and finishJob settles the
+	// job's final balance back into it.
+	budget *Budget
+
 	// poisoned is the cancellation flag: set once (by context
 	// cancellation, deadline, shutdown abort, panic isolation, or
 	// deadlock recovery), read by workers with one atomic load at every
@@ -115,13 +121,25 @@ func (j *Job) fail(err error) {
 	j.mu.Unlock()
 }
 
-// charge adjusts the job's heap accounting. Lock-free; safe from any path.
-func (j *Job) charge(n int64) {
+// charge adjusts the job's heap accounting, and its budget's when it has
+// one. Lock-free; safe from any path. It reports whether the charge
+// overran the budget — the caller must then invoke budgetKill from
+// outside the scheduling-event critical section (cancel takes extMu,
+// which orders before the coarse-mode global lock).
+func (j *Job) charge(n int64) (overBudget bool) {
 	v := j.heapLive.Add(n)
 	if n > 0 {
 		atomicMax(&j.heapHW, v)
 	}
+	if j.budget != nil {
+		return j.budget.charge(n)
+	}
+	return false
 }
+
+// budgetKill enforces an overBudget charge: cancels the job with
+// ErrBudget. Outside-event-window only; see charge.
+func (j *Job) budgetKill() { j.budget.kill(j) }
 
 // registerBlocked records t as parked on b for the cancel sweep. Called
 // with b's lock held (the m.mu → j.mu order), right after t joined b's
@@ -155,10 +173,11 @@ func (j *Job) unregisterBlocked(t *T) {
 // the scheduler so a worker can retire them (they die at dispatch);
 // running and queued threads see the flag at their next scheduling event.
 // Join-parked threads need no sweep — their children all die, and each
-// death wakes its waiter through the normal join protocol. Idempotent.
-func (j *Job) cancel(reason error) {
+// death wakes its waiter through the normal join protocol. Idempotent;
+// reports whether this call was the one that poisoned the job.
+func (j *Job) cancel(reason error) bool {
 	if !j.poisoned.CompareAndSwap(false, true) {
-		return
+		return false
 	}
 	j.fail(reason)
 
@@ -190,4 +209,5 @@ func (j *Job) cancel(reason error) {
 	}
 	rt.extMu.Unlock()
 	rt.forceWake()
+	return true
 }

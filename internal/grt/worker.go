@@ -108,6 +108,10 @@ func (rt *Runtime) worker(w int) {
 		// ready state is raised before the idlers check (the park
 		// protocol's ordering requirement — see acquire).
 		wake := false
+		// overBudget defers a budget kill until after endEvent — cancel
+		// takes extMu, which must not nest inside the coarse-mode global
+		// lock this loop may hold.
+		var overBudget *Job
 		switch ev.kind {
 		case evFork:
 			rt.noteFork(curr, ev.child)
@@ -145,7 +149,9 @@ func (rt *Runtime) worker(w int) {
 				break
 			}
 			rt.trace(w, rtrace.EvAlloc, curr.tid, ev.n, 0)
-			curr.job.charge(ev.n)
+			if curr.job.charge(ev.n) {
+				overBudget = curr.job
+			}
 
 		case evAllocExempt:
 			if rtrace.Enabled && rt.probe != nil {
@@ -155,7 +161,9 @@ func (rt *Runtime) worker(w int) {
 				}
 				rt.trace(w, rtrace.EvAllocExempt, curr.tid, ev.n, leaves)
 			}
-			curr.job.charge(ev.n)
+			if curr.job.charge(ev.n) {
+				overBudget = curr.job
+			}
 
 		case evFree:
 			rt.trace(w, rtrace.EvFree, curr.tid, ev.n, 0)
@@ -252,6 +260,9 @@ func (rt *Runtime) worker(w int) {
 			}
 		}
 		rt.endEvent(gl)
+		if overBudget != nil {
+			overBudget.budgetKill()
+		}
 		if wake {
 			rt.wakeIdlers()
 		}

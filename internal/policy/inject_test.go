@@ -190,3 +190,42 @@ func TestWSInjectDequeZero(t *testing.T) {
 		t.Error("pool reports work after draining")
 	}
 }
+
+// TestDFDInjectAdmissionOrder pins the contract the serving layer's
+// weighted-fair admission relies on: roots injected one at a time in
+// admission order (each taking a fresh back-of-list priority record, the
+// grt.Submit path) are acquired in exactly that order. A weighted-fair
+// dispatcher therefore controls execution priority among job roots
+// purely by choosing its Inject order — here a 2:1 interleave of tenants
+// A and B survives into the acquire order.
+func TestDFDInjectAdmissionOrder(t *testing.T) {
+	var l om.List
+	d := policy.NewDFD(1, 0, om.Less, 1)
+
+	// Admission order out of a weight-2:1 fair queue: A A B A A B.
+	admitted := []string{"A", "A", "B", "A", "A", "B"}
+	byRec := make(map[*om.Record]string, len(admitted))
+	for _, tenant := range admitted {
+		r := l.PushBack() // grt.Submit: new root at back-of-priority
+		byRec[r] = tenant
+		d.Inject(r)
+	}
+
+	var got []string
+	for range admitted {
+		r, ok := d.Acquire(0)
+		if !ok {
+			t.Fatalf("acquire failed with roots outstanding (got %v)", got)
+		}
+		got = append(got, byRec[r])
+		if _, ok := d.Terminate(0, nil, false); ok {
+			t.Fatal("unexpected local work after a lone injected root")
+		}
+		l.Delete(r)
+	}
+	for i, want := range admitted {
+		if got[i] != want {
+			t.Fatalf("acquire order %v does not preserve admission order %v", got, admitted)
+		}
+	}
+}

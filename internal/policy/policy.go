@@ -61,7 +61,12 @@ type Policy[T any] interface {
 	// blocked thread being republished so a worker can retire it. The
 	// thread enters the ready structure at its priority position (a new
 	// deque for DFDeques, the priority slot for ADF), so Lemma 3.1
-	// ordering survives mid-run injection.
+	// ordering survives mid-run injection. Because later-submitted roots
+	// enter at back-of-priority, the order a serving layer injects
+	// admitted jobs IS their execution-priority order among roots — an
+	// admission controller (internal/serve) implements weighted-fair
+	// scheduling purely by choosing its Inject order, with no policy
+	// cooperation needed.
 	Inject(t T)
 	// Fork handles a fork event on worker w and returns the thread the
 	// worker runs next (the child under depth-first policies, the parent

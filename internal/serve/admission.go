@@ -1,0 +1,407 @@
+package serve
+
+// Weighted-fair admission control. Each tenant owns a bounded FIFO of
+// pending jobs; one dispatcher goroutine interleaves tenants by
+// start-time fair queuing — an accepted job is tagged AT ENQUEUE with a
+// start tag S = max(V, tenant's last finish tag) and a finish tag
+// F = S + 1/weight, the queued job with the smallest F is admitted, and
+// V advances to the admitted job's S — so over any contended interval
+// tenants are admitted in proportion to their weights. Tags freeze at
+// arrival (recomputing them at pick time would let the virtual clock
+// inflate a backlogged tenant's tags and erase its earned share). An
+// admitted root enters the scheduler through policy.Inject at
+// back-of-priority order (grt.Submit), which makes the admission order
+// the execution-priority order among job roots: weighted fairness here
+// IS the Lemma 3.1 priority ordering of the paper, applied at job
+// granularity.
+//
+// Backpressure is two-layered: enqueue refuses (429) when the tenant's
+// queue is full or its live heap is within the configured headroom of
+// its budget, and the dispatcher skips over-headroom tenants (their
+// queues stall while other tenants flow) until completions free budget.
+// The hard layer — the in-run ErrBudget kill — lives in grt.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dfdeques/internal/grt"
+)
+
+// Enqueue refusals, mapped to HTTP statuses by the handler layer.
+var (
+	errQueueFull  = errors.New("serve: tenant pending queue is full")
+	errOverBudget = errors.New("serve: tenant memory budget has no admission headroom")
+	errDraining   = errors.New("serve: server is draining")
+)
+
+// job is one submission moving through the service.
+type job struct {
+	id       string
+	tenant   *tenant
+	kind     string
+	run      runnable
+	submitAt time.Time
+
+	// SFQ tags, assigned under admission.mu when the job is accepted.
+	startTag  float64
+	finishTag float64
+
+	mu       sync.Mutex
+	state    string // "pending" → "running" → "done" | "failed"
+	err      error
+	result   jobResult
+	startAt  time.Time
+	finishAt time.Time
+
+	done chan struct{}
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = "running"
+	j.startAt = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *job) finish(res jobResult, err error) {
+	j.mu.Lock()
+	j.finishAt = time.Now()
+	if err != nil {
+		j.state, j.err = "failed", err
+	} else {
+		j.state, j.result = "done", res
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// tenant is the server-side state of one configured tenant.
+type tenant struct {
+	name       string
+	weight     float64
+	maxPending int
+	budget     *grt.Budget
+	headLimit  int64 // admission refusal threshold: headroom × budget (0 = none)
+
+	// pending and finishTag are guarded by admission.mu.
+	pending   []*job
+	finishTag float64
+
+	// Metrics (atomics: read by /metrics while the dispatcher runs).
+	submitted      atomic.Int64
+	admitted       atomic.Int64
+	completed      atomic.Int64
+	failed         atomic.Int64
+	rejectedQueue  atomic.Int64
+	rejectedBudget atomic.Int64
+
+	lat latencyRing
+}
+
+// overHeadroom reports whether the tenant's live heap leaves no
+// admission headroom.
+func (t *tenant) overHeadroom() bool {
+	return t.headLimit > 0 && t.budget.HeapLive() >= t.headLimit
+}
+
+// admission is the dispatcher: tenant queues in, running jobs out.
+type admission struct {
+	rt      *grt.Runtime
+	baseCtx context.Context
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	tenants     map[string]*tenant
+	names       []string // sorted, for deterministic tie-breaks and scrapes
+	vtime       float64
+	inflight    int
+	maxInflight int
+	draining    bool
+	closed      bool
+
+	wg sync.WaitGroup // dispatcher + one runner per in-flight job
+}
+
+func newAdmission(rt *grt.Runtime, baseCtx context.Context, cfg Config) *admission {
+	a := &admission{
+		rt: rt, baseCtx: baseCtx,
+		tenants:     make(map[string]*tenant, len(cfg.Tenants)),
+		maxInflight: cfg.MaxInflight,
+	}
+	a.cond = sync.NewCond(&a.mu)
+	for name, tc := range cfg.Tenants {
+		w := tc.Weight
+		if w < 1 {
+			w = 1
+		}
+		mp := tc.MaxPending
+		if mp < 1 {
+			mp = DefaultMaxPending
+		}
+		t := &tenant{
+			name: name, weight: float64(w), maxPending: mp,
+			budget: grt.NewBudget(tc.MemBudget),
+		}
+		if tc.MemBudget > 0 {
+			t.headLimit = int64(cfg.BudgetHeadroom * float64(tc.MemBudget))
+			if t.headLimit < 1 {
+				t.headLimit = 1
+			}
+		}
+		a.tenants[name] = t
+		a.names = append(a.names, name)
+	}
+	sort.Strings(a.names)
+	a.wg.Add(1)
+	go a.dispatch()
+	return a
+}
+
+// enqueue admits j into its tenant's pending queue, or refuses with one
+// of the sentinel errors above.
+func (a *admission) enqueue(j *job) error {
+	t := j.tenant
+	t.submitted.Add(1)
+	if t.overHeadroom() {
+		t.rejectedBudget.Add(1)
+		return errOverBudget
+	}
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return errDraining
+	}
+	if len(t.pending) >= t.maxPending {
+		a.mu.Unlock()
+		t.rejectedQueue.Add(1)
+		return errQueueFull
+	}
+	j.startTag = t.finishTag
+	if a.vtime > j.startTag {
+		j.startTag = a.vtime
+	}
+	j.finishTag = j.startTag + 1/t.weight
+	t.finishTag = j.finishTag
+	t.pending = append(t.pending, j)
+	a.cond.Broadcast()
+	a.mu.Unlock()
+	return nil
+}
+
+// pickLocked returns the eligible tenant whose head-of-queue job has the
+// smallest frozen finish tag (ties broken by name order), or nil.
+// Over-headroom tenants are skipped — their queues stall without
+// blocking anyone else.
+func (a *admission) pickLocked() *tenant {
+	var best *tenant
+	var bestTag float64
+	for _, name := range a.names {
+		t := a.tenants[name]
+		if len(t.pending) == 0 || t.overHeadroom() {
+			continue
+		}
+		if tag := t.pending[0].finishTag; best == nil || tag < bestTag {
+			best, bestTag = t, tag
+		}
+	}
+	return best
+}
+
+// dispatch is the admission loop: one goroutine, exits when closed.
+func (a *admission) dispatch() {
+	defer a.wg.Done()
+	for {
+		a.mu.Lock()
+		var t *tenant
+		for {
+			if a.closed {
+				a.mu.Unlock()
+				return
+			}
+			if a.inflight < a.maxInflight {
+				if t = a.pickLocked(); t != nil {
+					break
+				}
+			}
+			a.cond.Wait()
+		}
+		j := t.pending[0]
+		t.pending = t.pending[1:]
+		if j.startTag > a.vtime {
+			a.vtime = j.startTag
+		}
+		a.inflight++
+		a.mu.Unlock()
+
+		t.admitted.Add(1)
+		a.wg.Add(1)
+		go a.runJob(j)
+	}
+}
+
+// runJob executes one admitted job through the tenant's budget-attaching
+// submitter and retires it.
+func (a *admission) runJob(j *job) {
+	defer a.wg.Done()
+	j.setRunning()
+	t := j.tenant
+	res, err := j.run.run(a.baseCtx, tenantSubmitter{rt: a.rt, budget: t.budget})
+	j.finish(res, err)
+	if err != nil {
+		t.failed.Add(1)
+	} else {
+		t.completed.Add(1)
+	}
+	t.lat.record(time.Since(j.submitAt))
+
+	a.mu.Lock()
+	a.inflight--
+	// Completions free budget headroom and an inflight slot; both gate
+	// the dispatcher and the drain waiter.
+	a.cond.Broadcast()
+	a.mu.Unlock()
+}
+
+// drain runs the admission side of graceful shutdown: refuse new
+// submissions, let pending and in-flight jobs run out, and join every
+// goroutine. If ctx expires first, still-pending jobs are failed with
+// ErrShutdown (running jobs are aborted by the caller canceling baseCtx
+// before rt.Shutdown poisons them). Idempotent.
+func (a *admission) drain(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		a.mu.Lock()
+		a.cond.Broadcast()
+		a.mu.Unlock()
+	})
+	defer stop()
+
+	a.mu.Lock()
+	a.draining = true
+	a.cond.Broadcast()
+	for ctx.Err() == nil && !a.idleLocked() {
+		a.cond.Wait()
+	}
+	err := ctx.Err()
+	if err != nil {
+		// Abort: fail everything still queued; in-flight jobs are the
+		// caller's to cancel (baseCtx → job poison → runner exit).
+		for _, name := range a.names {
+			t := a.tenants[name]
+			for _, j := range t.pending {
+				j.finish(jobResult{}, grt.ErrShutdown)
+				t.failed.Add(1)
+			}
+			t.pending = nil
+		}
+	}
+	a.closed = true
+	a.cond.Broadcast()
+	a.mu.Unlock()
+
+	a.wg.Wait()
+	return err
+}
+
+func (a *admission) idleLocked() bool {
+	if a.inflight > 0 {
+		return false
+	}
+	for _, t := range a.tenants {
+		if len(t.pending) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// pendingCount returns the total queued jobs across tenants.
+func (a *admission) pendingCount() (n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, t := range a.tenants {
+		n += len(t.pending)
+	}
+	return n
+}
+
+func (a *admission) inflightCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// tenantPending returns one tenant's queue depth.
+func (a *admission) tenantPending(t *tenant) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(t.pending)
+}
+
+// tenantSubmitter attaches the tenant's budget to every job a driver
+// submits; it is the workload.Submitter the compiled runnables see.
+type tenantSubmitter struct {
+	rt     *grt.Runtime
+	budget *grt.Budget
+}
+
+func (s tenantSubmitter) Submit(ctx context.Context, root func(*grt.T)) (*grt.Job, error) {
+	return s.rt.SubmitWith(ctx, root, grt.SubmitOpts{Budget: s.budget})
+}
+
+// latencyRing keeps the most recent job latencies for percentile
+// scrapes: bounded memory, O(n log n) only at scrape time.
+type latencyRing struct {
+	mu    sync.Mutex
+	buf   [1024]int64 // nanoseconds
+	n     int         // total ever recorded
+	sumNs int64
+}
+
+func (r *latencyRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.n%len(r.buf)] = int64(d)
+	r.n++
+	r.sumNs += int64(d)
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained latencies (ns, unordered), the total
+// count, and the total sum.
+func (r *latencyRing) snapshot() (ns []int64, count int, sumNs int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kept := r.n
+	if kept > len(r.buf) {
+		kept = len(r.buf)
+	}
+	ns = make([]int64, kept)
+	copy(ns, r.buf[:kept])
+	return ns, r.n, r.sumNs
+}
+
+// quantiles computes the requested quantiles over a snapshot.
+func quantiles(ns []int64, qs []float64) []int64 {
+	if len(ns) == 0 {
+		return make([]int64, len(qs))
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	out := make([]int64, len(qs))
+	for i, q := range qs {
+		idx := int(q * float64(len(ns)-1))
+		out[i] = ns[idx]
+	}
+	return out
+}
+
+// String implements fmt.Stringer for debugging.
+func (j *job) String() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return fmt.Sprintf("%s[%s:%s %s]", j.id, j.tenant.name, j.kind, j.state)
+}

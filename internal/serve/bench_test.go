@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dfdeques"
+)
+
+// BenchmarkServeThroughput measures sustained jobs/sec through the full
+// HTTP path: JSON decode, admission, scheduler execution, result
+// marshal. Four equal-weight tenants submit small fork trees with
+// blocking waits from parallel clients. scripts/bench.sh snapshots the
+// jobs/s metric into BENCH_pr8.json.
+func BenchmarkServeThroughput(b *testing.B) {
+	cfg := Config{
+		Runtime: dfdeques.RuntimeConfig{
+			Workers: runtime.GOMAXPROCS(0),
+			Sched:   dfdeques.SchedDFDeques,
+			K:       4096,
+			Seed:    1,
+		},
+		Tenants: map[string]TenantConfig{
+			"t0": {Weight: 1}, "t1": {Weight: 1}, "t2": {Weight: 1}, "t3": {Weight: 1},
+		},
+		MaxInflight: 2 * runtime.GOMAXPROCS(0),
+	}
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			b.Errorf("Close: %v", err)
+		}
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	tenants := []string{"t0", "t1", "t2", "t3"}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		i := int(next.Add(1))
+		for pb.Next() {
+			req := JobRequest{
+				Tenant: tenants[i%len(tenants)],
+				Tree:   &TreeSpec{Depth: 4, Alloc: 128, Work: 2},
+			}
+			body, _ := json.Marshal(req)
+			resp, err := client.Post(ts.URL+"/v1/jobs?wait=1", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatalf("POST: %v", err)
+			}
+			var st JobStatus
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				b.Fatalf("decode: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || st.Status != "done" {
+				b.Fatalf("job not done: %d %+v", resp.StatusCode, st)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}

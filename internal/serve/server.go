@@ -1,0 +1,299 @@
+package serve
+
+// The HTTP surface and server lifecycle.
+//
+//	POST /v1/jobs        submit a JobRequest; ?wait=1 blocks for the result
+//	GET  /v1/jobs/{id}   poll one job
+//	GET  /v1/tenants     per-tenant accounting snapshot
+//	GET  /metrics        Prometheus text exposition
+//	GET  /healthz        200 "ok", 503 "draining" once Close begins
+//
+// Close is the SIGTERM path: flip /healthz, stop admission, run pending
+// and in-flight jobs down (or abort them when the context expires), then
+// Shutdown the runtime — afterwards no server goroutine survives.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dfdeques/internal/grt"
+	"dfdeques/internal/rtrace"
+)
+
+// Server is a multi-tenant job service over one shared runtime.
+type Server struct {
+	cfg      Config
+	rt       *grt.Runtime
+	counters *rtrace.Counters
+	adm      *admission
+	mux      *http.ServeMux
+	start    time.Time
+
+	cancelJobs context.CancelFunc // aborts in-flight jobs on expired drain
+	draining   atomic.Bool
+	closeOnce  sync.Once
+	closeErr   error
+
+	jmu    sync.Mutex
+	jobs   map[string]*job
+	retire []string // completed-job eviction order
+	jobIDs atomic.Int64
+}
+
+// New validates cfg, starts the shared runtime (warm workers), and
+// starts the admission dispatcher. Callers must eventually Close.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		counters: rtrace.NewCounters(),
+		jobs:     make(map[string]*job),
+		start:    time.Now(),
+	}
+	// The runtime probe is the server's live counters teed with whatever
+	// recorder the caller configured.
+	rcfg := cfg.Runtime
+	probe := rtrace.Tee(s.counters, rcfg.Probe)
+	rt, err := grt.New(grt.Config{
+		Workers: rcfg.Workers, Sched: rcfg.Sched, K: rcfg.K, Seed: rcfg.Seed,
+		CoarseLock: rcfg.CoarseLock, ChannelFrames: rcfg.ChannelFrames,
+		MeasureContention: rcfg.MeasureContention, Probe: probe,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.rt = rt
+	baseCtx, cancel := context.WithCancel(context.Background())
+	s.cancelJobs = cancel
+	s.adm = newAdmission(rt, baseCtx, cfg)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/tenants", s.handleTenants)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler (for http.Server or tests).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Runtime exposes the shared runtime (for tests and embedding).
+func (s *Server) Runtime() *grt.Runtime { return s.rt }
+
+// Close gracefully drains the server: /healthz flips to draining, new
+// submissions are refused, pending and in-flight jobs run to completion
+// — unless ctx expires first, in which case they are aborted (pending
+// fail with ErrShutdown, running jobs are poisoned) — and the runtime is
+// shut down with zero goroutines left. Idempotent; returns ctx's error
+// when the drain was aborted.
+func (s *Server) Close(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		err := s.adm.drain(ctx)
+		if err != nil {
+			// Expired: abort whatever is still running, then drain the
+			// runtime (Shutdown waits for the poisoned jobs to die).
+			s.cancelJobs()
+		}
+		if serr := s.rt.Shutdown(context.Background()); serr != nil && err == nil {
+			err = serr
+		}
+		s.cancelJobs() // release the watcher even on the graceful path
+		s.closeErr = err
+	})
+	return s.closeErr
+}
+
+// ---- handlers ------------------------------------------------------------
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// JobStatus is the wire form of one job's state.
+type JobStatus struct {
+	ID        string        `json:"id"`
+	Tenant    string        `json:"tenant"`
+	Kind      string        `json:"kind"`
+	Status    string        `json:"status"`
+	Error     string        `json:"error,omitempty"`
+	Checksum  string        `json:"checksum,omitempty"`
+	Stats     *grt.JobStats `json:"stats,omitempty"`
+	LatencyMs float64       `json:"latency_ms,omitempty"`
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, Tenant: j.tenant.name, Kind: j.kind, Status: j.state,
+		Checksum: j.result.Checksum, Stats: j.result.Stats,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.finishAt.IsZero() {
+		st.LatencyMs = float64(j.finishAt.Sub(j.submitAt)) / float64(time.Millisecond)
+	}
+	return st
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "draining"})
+		return
+	}
+	var req JobRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body", Reason: err.Error()})
+		return
+	}
+	t, ok := s.adm.tenants[req.Tenant]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown tenant", Reason: fmt.Sprintf("tenant %q is not configured", req.Tenant)})
+		return
+	}
+	run, err := compile(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid job", Reason: err.Error()})
+		return
+	}
+	j := &job{
+		id:       fmt.Sprintf("j%06d", s.jobIDs.Add(1)),
+		tenant:   t,
+		kind:     run.kind,
+		run:      run,
+		submitAt: time.Now(),
+		state:    "pending",
+		done:     make(chan struct{}),
+	}
+	if err := s.adm.enqueue(j); err != nil {
+		switch {
+		case errors.Is(err, errDraining):
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "draining"})
+		case errors.Is(err, errQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, apiError{Error: "backpressure", Reason: "pending queue full"})
+		case errors.Is(err, errOverBudget):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, apiError{Error: "backpressure", Reason: "memory budget has no admission headroom"})
+		default:
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		}
+		return
+	}
+	s.registerJob(j)
+
+	if r.URL.Query().Get("wait") == "1" {
+		select {
+		case <-j.done:
+			writeJSON(w, http.StatusOK, j.status())
+		case <-r.Context().Done():
+			writeJSON(w, http.StatusRequestTimeout, j.status())
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.jmu.Lock()
+	j, ok := s.jobs[id]
+	s.jmu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job", Reason: id})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// TenantStatus is the wire form of one tenant's accounting.
+type TenantStatus struct {
+	Name           string `json:"name"`
+	Weight         int    `json:"weight"`
+	MemBudget      int64  `json:"mem_budget"`
+	HeapLive       int64  `json:"heap_live"`
+	HeapHW         int64  `json:"heap_hw"`
+	Pending        int    `json:"pending"`
+	Submitted      int64  `json:"submitted"`
+	Admitted       int64  `json:"admitted"`
+	Completed      int64  `json:"completed"`
+	Failed         int64  `json:"failed"`
+	RejectedQueue  int64  `json:"rejected_queue"`
+	RejectedBudget int64  `json:"rejected_budget"`
+	BudgetKills    int64  `json:"budget_kills"`
+}
+
+func (s *Server) tenantStatus(t *tenant) TenantStatus {
+	return TenantStatus{
+		Name: t.name, Weight: int(t.weight), MemBudget: t.budget.Limit(),
+		HeapLive: t.budget.HeapLive(), HeapHW: t.budget.HeapHW(),
+		Pending:   s.adm.tenantPending(t),
+		Submitted: t.submitted.Load(), Admitted: t.admitted.Load(),
+		Completed: t.completed.Load(), Failed: t.failed.Load(),
+		RejectedQueue: t.rejectedQueue.Load(), RejectedBudget: t.rejectedBudget.Load(),
+		BudgetKills: t.budget.Kills(),
+	}
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	out := make([]TenantStatus, 0, len(s.adm.names))
+	for _, name := range s.adm.names {
+		out = append(out, s.tenantStatus(s.adm.tenants[name]))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// registerJob makes a job pollable, evicting the oldest completed jobs
+// past the retention bound.
+func (s *Server) registerJob(j *job) {
+	s.jmu.Lock()
+	s.jobs[j.id] = j
+	s.retire = append(s.retire, j.id)
+	for len(s.retire) > s.cfg.RetainJobs {
+		oldest := s.retire[0]
+		if old, ok := s.jobs[oldest]; ok {
+			select {
+			case <-old.done:
+			default:
+				// Still pending or running; retention never drops a live
+				// job (the queue bound caps how many these can be).
+				s.jmu.Unlock()
+				return
+			}
+			delete(s.jobs, oldest)
+		}
+		s.retire = s.retire[1:]
+	}
+	s.jmu.Unlock()
+}

@@ -1,0 +1,557 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dfdeques"
+	"dfdeques/internal/grt"
+	"dfdeques/internal/workload"
+)
+
+func testConfig() Config {
+	return Config{
+		Runtime: dfdeques.RuntimeConfig{Workers: 2, Sched: dfdeques.SchedDFDeques, K: 1024, Seed: 42},
+		Tenants: map[string]TenantConfig{
+			"alice": {Weight: 2},
+			"bob":   {Weight: 1},
+			"hog":   {MemBudget: 8192, Weight: 1},
+		},
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s
+}
+
+func postJob(t *testing.T, ts *httptest.Server, req JobRequest, wait bool) (int, JobStatus, apiError) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	url := ts.URL + "/v1/jobs"
+	if wait {
+		url += "?wait=1"
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	var ae apiError
+	raw := json.RawMessage{}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	_ = json.Unmarshal(raw, &st)
+	_ = json.Unmarshal(raw, &ae)
+	return resp.StatusCode, st, ae
+}
+
+func getTenants(t *testing.T, ts *httptest.Server) map[string]TenantStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/tenants")
+	if err != nil {
+		t.Fatalf("GET /v1/tenants: %v", err)
+	}
+	defer resp.Body.Close()
+	var list []TenantStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatalf("decode tenants: %v", err)
+	}
+	out := make(map[string]TenantStatus, len(list))
+	for _, st := range list {
+		out[st.Name] = st
+	}
+	return out
+}
+
+// TestSubmitScenarioWait drives the documented walkthrough: two tenants
+// submit checksum-verified scenario jobs and block for the result.
+func TestSubmitScenarioWait(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, tenant := range []string{"alice", "bob"} {
+		code, st, ae := postJob(t, ts, JobRequest{Tenant: tenant, Scenario: "pipeline", Seed: 7, Scale: 2}, true)
+		if code != http.StatusOK {
+			t.Fatalf("tenant %s: status %d (%+v)", tenant, code, ae)
+		}
+		if st.Status != "done" || st.Checksum == "" {
+			t.Fatalf("tenant %s: job not done: %+v", tenant, st)
+		}
+		if st.LatencyMs <= 0 {
+			t.Fatalf("tenant %s: missing latency: %+v", tenant, st)
+		}
+	}
+	tens := getTenants(t, ts)
+	if tens["alice"].Completed != 1 || tens["bob"].Completed != 1 {
+		t.Fatalf("completions not accounted: %+v", tens)
+	}
+}
+
+// TestSubmitTreePoll submits asynchronously and polls the job to
+// completion; the returned stats must carry the job's heap high-water.
+func TestSubmitTreePoll(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, st, ae := postJob(t, ts, JobRequest{Tenant: "alice", Tree: &TreeSpec{Depth: 4, Alloc: 256, Work: 4}}, false)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%+v)", code, ae)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		var cur JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
+			t.Fatalf("poll decode: %v", err)
+		}
+		resp.Body.Close()
+		if cur.Status == "done" {
+			if cur.Stats == nil || cur.Stats.HeapHW < 256 {
+				t.Fatalf("stats missing or implausible: %+v", cur.Stats)
+			}
+			break
+		}
+		if cur.Status == "failed" {
+			t.Fatalf("job failed: %s", cur.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", cur.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		req  JobRequest
+		code int
+	}{
+		{"unknown tenant", JobRequest{Tenant: "mallory", Scenario: "pipeline"}, http.StatusNotFound},
+		{"no shape", JobRequest{Tenant: "alice"}, http.StatusBadRequest},
+		{"two shapes", JobRequest{Tenant: "alice", Scenario: "pipeline", Tree: &TreeSpec{Depth: 1}}, http.StatusBadRequest},
+		{"unknown scenario", JobRequest{Tenant: "alice", Scenario: "nope"}, http.StatusBadRequest},
+		{"tree too deep", JobRequest{Tenant: "alice", Tree: &TreeSpec{Depth: maxTreeDepth + 1}}, http.StatusBadRequest},
+		{"spec bad op", JobRequest{Tenant: "alice", Spec: &SpecNode{Instrs: []SpecInstr{{Op: "frob"}}}}, http.StatusBadRequest},
+		{"spec join without fork", JobRequest{Tenant: "alice", Spec: &SpecNode{Instrs: []SpecInstr{{Op: "join"}}}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, ae := postJob(t, ts, tc.req, false)
+			if code != tc.code {
+				t.Fatalf("want %d, got %d (%+v)", tc.code, code, ae)
+			}
+			if ae.Error == "" {
+				t.Fatalf("error envelope missing")
+			}
+		})
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/j999999")
+	if err != nil {
+		t.Fatalf("GET unknown job: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: want 404, got %d", resp.StatusCode)
+	}
+}
+
+// TestBudgetKillOverHTTP: a job whose allocations cross its tenant's
+// budget dies with ErrBudget; the budget settles so the tenant's next
+// job runs normally, and /v1/tenants accounts the kill.
+func TestBudgetKillOverHTTP(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, st, _ := postJob(t, ts, JobRequest{Tenant: "hog", Tree: &TreeSpec{Depth: 0, Alloc: 20000}}, true)
+	if code != http.StatusOK {
+		t.Fatalf("submit: status %d", code)
+	}
+	if st.Status != "failed" || !strings.Contains(st.Error, "memory budget") {
+		t.Fatalf("want budget-killed job, got %+v", st)
+	}
+
+	// The kill settles the tenant's balance, so a within-budget job
+	// admitted afterwards must succeed.
+	code, st, _ = postJob(t, ts, JobRequest{Tenant: "hog", Tree: &TreeSpec{Depth: 2, Alloc: 64, Work: 2}}, true)
+	if code != http.StatusOK || st.Status != "done" {
+		t.Fatalf("post-kill job should succeed: %d %+v", code, st)
+	}
+
+	tens := getTenants(t, ts)
+	hog := tens["hog"]
+	if hog.BudgetKills != 1 || hog.Failed != 1 || hog.Completed != 1 {
+		t.Fatalf("kill accounting wrong: %+v", hog)
+	}
+	if hog.HeapLive != 0 {
+		t.Fatalf("budget must settle to 0 after jobs end, got %d", hog.HeapLive)
+	}
+	if hog.HeapHW < 8192 {
+		t.Fatalf("high water should record the overrun, got %d", hog.HeapHW)
+	}
+}
+
+// blockingJob builds a job whose run blocks until gate closes.
+func blockingJob(tn *tenant, gate chan struct{}, onRun func()) *job {
+	return &job{
+		id: "t-block", tenant: tn, kind: "test", state: "pending", done: make(chan struct{}),
+		submitAt: time.Now(),
+		run: runnable{kind: "test", run: func(ctx context.Context, sub workload.Submitter) (jobResult, error) {
+			if onRun != nil {
+				onRun()
+			}
+			select {
+			case <-gate:
+			case <-ctx.Done():
+			}
+			return jobResult{}, nil
+		}},
+	}
+}
+
+// TestQueueFullBackpressure: with one inflight slot held and the pending
+// queue at its bound, the next submission is refused with errQueueFull —
+// which the HTTP layer maps to 429 — without touching other tenants.
+func TestQueueFullBackpressure(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxInflight = 1
+	cfg.Tenants["alice"] = TenantConfig{Weight: 1, MaxPending: 1}
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	alice := s.adm.tenants["alice"]
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	var once sync.Once
+	if err := s.adm.enqueue(blockingJob(alice, gate, func() { once.Do(func() { close(running) }) })); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	<-running // the blocker owns the only inflight slot
+	if err := s.adm.enqueue(blockingJob(alice, gate, nil)); err != nil {
+		t.Fatalf("queued job: %v", err)
+	}
+	// alice's queue is now full: the HTTP path must answer 429.
+	code, _, ae := postJob(t, ts, JobRequest{Tenant: "alice", Tree: &TreeSpec{Depth: 1}}, false)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("want 429, got %d (%+v)", code, ae)
+	}
+	// Other tenants are unaffected.
+	code, _, _ = postJob(t, ts, JobRequest{Tenant: "bob", Tree: &TreeSpec{Depth: 1}}, false)
+	if code != http.StatusAccepted {
+		t.Fatalf("bob should be accepted, got %d", code)
+	}
+	close(gate)
+	waitIdle(t, s)
+	if got := alice.rejectedQueue.Load(); got != 1 {
+		t.Fatalf("rejectedQueue: want 1, got %d", got)
+	}
+}
+
+// TestOverBudgetBackpressure: while a tenant's live heap sits inside the
+// headroom band, new submissions bounce with errOverBudget and the
+// dispatcher stalls its queue; once the job frees, admission resumes.
+func TestOverBudgetBackpressure(t *testing.T) {
+	cfg := testConfig()
+	cfg.BudgetHeadroom = 0.5 // refuse at 4096 of hog's 8192
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	hog := s.adm.tenants["hog"]
+	gate := make(chan struct{})
+	holding := make(chan struct{})
+	j := &job{
+		id: "t-hold", tenant: hog, kind: "test", state: "pending", done: make(chan struct{}),
+		submitAt: time.Now(),
+		run: runnable{kind: "test", run: func(ctx context.Context, sub workload.Submitter) (jobResult, error) {
+			gj, err := sub.Submit(ctx, func(tt *grt.T) {
+				tt.Alloc(6000)
+				close(holding)
+				<-gate
+				tt.Free(6000)
+			})
+			if err != nil {
+				return jobResult{}, err
+			}
+			_, err = gj.Wait()
+			return jobResult{}, err
+		}},
+	}
+	if err := s.adm.enqueue(j); err != nil {
+		t.Fatalf("holder: %v", err)
+	}
+	<-holding // 6000 live ≥ 4096 headroom limit
+
+	code, _, ae := postJob(t, ts, JobRequest{Tenant: "hog", Tree: &TreeSpec{Depth: 1}}, false)
+	if code != http.StatusTooManyRequests || !strings.Contains(ae.Reason, "headroom") {
+		t.Fatalf("want over-budget 429, got %d (%+v)", code, ae)
+	}
+	if hog.rejectedBudget.Load() != 1 {
+		t.Fatalf("rejectedBudget not counted")
+	}
+	// Unrelated tenants keep flowing while hog is parked.
+	code, st, _ := postJob(t, ts, JobRequest{Tenant: "alice", Tree: &TreeSpec{Depth: 2, Alloc: 64}}, true)
+	if code != http.StatusOK || st.Status != "done" {
+		t.Fatalf("alice blocked by hog's budget: %d %+v", code, st)
+	}
+
+	close(gate)
+	<-j.done
+	// Settled: hog submits again successfully.
+	code, st, _ = postJob(t, ts, JobRequest{Tenant: "hog", Tree: &TreeSpec{Depth: 1, Alloc: 32}}, true)
+	if code != http.StatusOK || st.Status != "done" {
+		t.Fatalf("hog should recover after free: %d %+v", code, st)
+	}
+}
+
+// TestWeightedAdmissionOrder pins the SFQ interleave: with every job
+// enqueued while the single inflight slot is held, a weight-3 tenant is
+// admitted three times for each admission of a weight-1 tenant.
+func TestWeightedAdmissionOrder(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxInflight = 1
+	cfg.Tenants = map[string]TenantConfig{
+		"a": {Weight: 3, MaxPending: 16},
+		"b": {Weight: 1, MaxPending: 16},
+		"c": {Weight: 1, MaxPending: 16},
+	}
+	s := newTestServer(t, cfg)
+
+	var mu sync.Mutex
+	var order []string
+	record := func(name string) *job {
+		return &job{
+			id: "t-" + name, kind: "test", state: "pending", done: make(chan struct{}),
+			submitAt: time.Now(), tenant: s.adm.tenants[name],
+			run: runnable{kind: "test", run: func(ctx context.Context, sub workload.Submitter) (jobResult, error) {
+				mu.Lock()
+				order = append(order, name)
+				mu.Unlock()
+				return jobResult{}, nil
+			}},
+		}
+	}
+
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	var once sync.Once
+	if err := s.adm.enqueue(blockingJob(s.adm.tenants["c"], gate, func() { once.Do(func() { close(running) }) })); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	<-running
+	// Tags freeze at enqueue: a gets 1/3, 2/3, 1, 4/3, 5/3, 2 and b gets
+	// 1, 2 — so admission must interleave 3:1 (ties go to "a" by name).
+	for i := 0; i < 6; i++ {
+		if err := s.adm.enqueue(record("a")); err != nil {
+			t.Fatalf("enqueue a#%d: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.adm.enqueue(record("b")); err != nil {
+			t.Fatalf("enqueue b#%d: %v", i, err)
+		}
+	}
+	close(gate)
+	waitIdle(t, s)
+
+	mu.Lock()
+	got := strings.Join(order, "")
+	mu.Unlock()
+	if got != "aaabaaab" {
+		t.Fatalf("admission order: want aaabaaab, got %q", got)
+	}
+}
+
+func waitIdle(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.adm.mu.Lock()
+		idle := s.adm.idleLocked()
+		s.adm.mu.Unlock()
+		if idle {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("admission never went idle")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestMetricsExposition scrapes /metrics after real traffic and checks
+// both families are present and well-formed.
+func TestMetricsExposition(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		if code, st, _ := postJob(t, ts, JobRequest{Tenant: "alice", Tree: &TreeSpec{Depth: 5, Alloc: 128, Work: 2}}, true); code != 200 || st.Status != "done" {
+			t.Fatalf("warmup job %d failed", i)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type: %q", ct)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	text := body.String()
+	for _, want := range []string{
+		"# TYPE dfd_threads_total counter",
+		"dfd_dispatches_total ",
+		"dfd_steal_attempts_total ",
+		"dfd_promotions_total ",
+		"dfd_quota_exhausts_total ",
+		`dfdserve_jobs_completed_total{tenant="alice"} 3`,
+		`dfdserve_budget_limit_bytes{tenant="hog"} 8192`,
+		`dfdserve_jobs_rejected_total{tenant="alice",reason="queue_full"} 0`,
+		`dfdserve_job_latency_seconds{tenant="alice",quantile="0.5"}`,
+		`dfdserve_job_latency_seconds_count{tenant="alice"} 3`,
+		"dfdserve_uptime_seconds ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestDrainAndGoroutines: Close flips /healthz, refuses new submissions,
+// finishes queued work, and leaves no server goroutine behind.
+func TestDrainAndGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz before drain: %v %v", err, resp)
+	} else {
+		resp.Body.Close()
+	}
+	code, st, _ := postJob(t, ts, JobRequest{Tenant: "bob", Tree: &TreeSpec{Depth: 6, Alloc: 64, Work: 4}}, false)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The queued job ran to completion during the drain.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatalf("poll after drain: %v", err)
+	}
+	var final JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&final); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if final.Status != "done" {
+		t.Fatalf("drain must finish queued jobs, got %+v", final)
+	}
+	// Draining surface: healthz 503, submit 503, Close idempotent.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: want 503, got %d", resp.StatusCode)
+	}
+	if code, _, _ := postJob(t, ts, JobRequest{Tenant: "bob", Tree: &TreeSpec{Depth: 1}}, false); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit after drain: want 503, got %d", code)
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close must be idempotent: %v", err)
+	}
+	ts.Close()
+
+	// Zero goroutine leaks: everything the server started is gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base+2 { // httptest teardown slack
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: started with %d, still at %d", base, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRetention evicts only completed jobs.
+func TestRetention(t *testing.T) {
+	cfg := testConfig()
+	cfg.RetainJobs = 2
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		code, st, _ := postJob(t, ts, JobRequest{Tenant: "alice", Tree: &TreeSpec{Depth: 1}}, true)
+		if code != 200 {
+			t.Fatalf("job %d: %d", i, code)
+		}
+		ids = append(ids, st.ID)
+	}
+	s.jmu.Lock()
+	n := len(s.jobs)
+	s.jmu.Unlock()
+	if n > 3 {
+		t.Fatalf("retention not enforced: %d jobs retained", n)
+	}
+	// The newest job is always still pollable.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + ids[3])
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("newest job evicted: %v %v", err, resp)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,305 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dfdeques"
+)
+
+// TestServeSoak exercises the whole service the way production would:
+// eight tenants hammer the HTTP surface concurrently for the soak
+// duration — seven well-behaved tenants submitting mixed scenario, tree,
+// and spec jobs, plus one "hog" whose allocations overrun its small
+// memory budget. The soak asserts the isolation story end to end: the
+// hog collects 429s and budget kills while every other tenant sees zero
+// rejections and zero failures, metrics stay scrapeable mid-run, the
+// drain finishes cleanly, and no goroutine survives Close.
+//
+// Durations: ~1s under -short, ~3s by default, DFDSERVE_SOAK_SECS
+// overrides for the minutes-long acceptance run:
+//
+//	DFDSERVE_SOAK_SECS=120 go test ./internal/serve/ -race -run TestServeSoak -v
+func TestServeSoak(t *testing.T) {
+	dur := 3 * time.Second
+	if testing.Short() {
+		dur = 1 * time.Second
+	}
+	if v := os.Getenv("DFDSERVE_SOAK_SECS"); v != "" {
+		secs, err := strconv.Atoi(v)
+		if err != nil || secs < 1 {
+			t.Fatalf("bad DFDSERVE_SOAK_SECS=%q", v)
+		}
+		dur = time.Duration(secs) * time.Second
+	}
+
+	baseGoroutines := runtime.NumGoroutine()
+
+	cfg := Config{
+		Runtime: dfdeques.RuntimeConfig{
+			Workers: runtime.GOMAXPROCS(0),
+			Sched:   dfdeques.SchedDFDeques,
+			K:       1024,
+			Seed:    1,
+		},
+		Tenants: map[string]TenantConfig{
+			"hog": {MemBudget: 16384, Weight: 1, MaxPending: 4},
+		},
+		BudgetHeadroom: 0.5,
+	}
+	wellBehaved := []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6"}
+	for i, name := range wellBehaved {
+		cfg.Tenants[name] = TenantConfig{Weight: 1 + i%3}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	post := func(req JobRequest, wait bool) (int, JobStatus) {
+		body, _ := json.Marshal(req)
+		url := ts.URL + "/v1/jobs"
+		if wait {
+			url += "?wait=1"
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Errorf("POST: %v", err)
+			return 0, JobStatus{}
+		}
+		defer resp.Body.Close()
+		var st JobStatus
+		_ = json.NewDecoder(resp.Body).Decode(&st)
+		return resp.StatusCode, st
+	}
+
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	var submissions, hogRejected, hogKilled, badFailures atomic.Int64
+
+	// Seven well-behaved tenants, two clients each, blocking submits of
+	// rotating job shapes. Every response must be a 200 with a done job.
+	specProg := &SpecNode{Label: "root", Instrs: []SpecInstr{
+		{Op: "alloc", N: 512},
+		{Op: "fork", Child: &SpecNode{Label: "kid", Instrs: []SpecInstr{
+			{Op: "work", N: 8}, {Op: "alloc", N: 128}, {Op: "free", N: 128},
+		}}},
+		{Op: "work", N: 8},
+		{Op: "join"},
+		{Op: "free", N: 512},
+	}}
+	for gi, name := range wellBehaved {
+		for c := 0; c < 2; c++ {
+			wg.Add(1)
+			go func(name string, seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for time.Now().Before(deadline) {
+					var req JobRequest
+					req.Tenant = name
+					switch rng.Intn(3) {
+					case 0:
+						req.Scenario, req.Seed, req.Scale = "pipeline", rng.Int63n(1000), 1
+					case 1:
+						req.Tree = &TreeSpec{Depth: 3 + rng.Intn(3), Alloc: 256, Work: 2}
+					default:
+						req.Spec = specProg
+					}
+					code, st := post(req, true)
+					submissions.Add(1)
+					if code != http.StatusOK || st.Status != "done" {
+						badFailures.Add(1)
+						t.Errorf("tenant %s: code %d status %q err %q", name, code, st.Status, st.Error)
+						return
+					}
+				}
+			}(name, int64(gi*2+c))
+		}
+	}
+
+	// The hog: three clients alternate "holders" — a single thread that
+	// sits on 12000 bytes (over the 8192 admission headroom, under the
+	// 16384 budget) through a long work phase, so overlapping hog
+	// submissions bounce with 429 — and "killers" whose 20000-byte
+	// allocation overruns the budget outright and dies with ErrBudget.
+	// Note the work-first engine runs a fork tree depth-first, so spread
+	// leaf allocations do NOT accumulate (that is the paper's space
+	// bound working); the overrun must sit on one path.
+	holder := &SpecNode{Label: "holder", Instrs: []SpecInstr{
+		// ~ms-scale hold so overlapping hog submissions observe the
+		// over-headroom heap and bounce.
+		{Op: "alloc", N: 12000}, {Op: "work", N: 1000000}, {Op: "free", N: 12000},
+	}}
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for time.Now().Before(deadline) {
+				req := JobRequest{Tenant: "hog"}
+				if rng.Intn(2) == 0 {
+					req.Spec = holder
+				} else {
+					req.Tree = &TreeSpec{Depth: 0, Alloc: 20000}
+				}
+				code, st := post(req, true)
+				submissions.Add(1)
+				switch {
+				case code == http.StatusTooManyRequests:
+					hogRejected.Add(1)
+					time.Sleep(time.Millisecond)
+				case code == http.StatusOK && st.Status == "failed":
+					if !strings.Contains(st.Error, "memory budget") {
+						t.Errorf("hog job failed for the wrong reason: %q", st.Error)
+						return
+					}
+					hogKilled.Add(1)
+				case code == http.StatusOK:
+				default:
+					t.Errorf("hog: unexpected code %d (%+v)", code, st)
+					return
+				}
+			}
+		}(int64(100 + c))
+	}
+	// A prober pins the backpressure path: launch a holder without
+	// waiting, watch /v1/tenants for the hog's live heap to cross the
+	// admission headroom, and submit exactly inside that window — the
+	// enqueue must answer 429.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			code, _ := post(JobRequest{Tenant: "hog", Spec: holder}, false)
+			submissions.Add(1)
+			if code == http.StatusTooManyRequests {
+				hogRejected.Add(1)
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if code != http.StatusAccepted {
+				continue
+			}
+			for probe := 0; probe < 200 && time.Now().Before(deadline); probe++ {
+				resp, err := http.Get(ts.URL + "/v1/tenants")
+				if err != nil {
+					break
+				}
+				var tens []TenantStatus
+				_ = json.NewDecoder(resp.Body).Decode(&tens)
+				resp.Body.Close()
+				var live int64
+				for _, st := range tens {
+					if st.Name == "hog" {
+						live = st.HeapLive
+					}
+				}
+				if live < 8192 {
+					continue
+				}
+				code, _ := post(JobRequest{Tenant: "hog", Tree: &TreeSpec{Depth: 1, Alloc: 64}}, false)
+				submissions.Add(1)
+				if code == http.StatusTooManyRequests {
+					hogRejected.Add(1)
+				}
+				break
+			}
+		}
+	}()
+
+	// A scraper keeps /metrics and /healthz hot mid-run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			resp, err := http.Get(ts.URL + "/metrics")
+			if err == nil {
+				var body bytes.Buffer
+				_, _ = body.ReadFrom(resp.Body)
+				resp.Body.Close()
+				if !strings.Contains(body.String(), "dfd_dispatches_total") {
+					t.Errorf("metrics scrape incomplete")
+					return
+				}
+			}
+			if resp, err := http.Get(ts.URL + "/healthz"); err == nil {
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("healthz mid-run: %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+
+	// Snapshot tenant accounting before shutdown.
+	resp, err := http.Get(ts.URL + "/v1/tenants")
+	if err != nil {
+		t.Fatalf("GET /v1/tenants: %v", err)
+	}
+	var tens []TenantStatus
+	if err := json.NewDecoder(resp.Body).Decode(&tens); err != nil {
+		t.Fatalf("decode tenants: %v", err)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ts.Close()
+
+	if badFailures.Load() > 0 {
+		t.Fatalf("well-behaved tenants saw %d failures", badFailures.Load())
+	}
+	t.Logf("soak %v: %d submissions, hog rejected=%d killed=%d",
+		dur, submissions.Load(), hogRejected.Load(), hogKilled.Load())
+	if submissions.Load() < 100 {
+		t.Fatalf("soak too quiet: only %d submissions", submissions.Load())
+	}
+	if hogRejected.Load() == 0 {
+		t.Fatalf("hog never saw backpressure (429)")
+	}
+	if hogKilled.Load() == 0 {
+		t.Fatalf("hog never saw a budget kill")
+	}
+	for _, st := range tens {
+		if st.Name == "hog" {
+			if st.HeapLive != 0 {
+				t.Fatalf("hog budget did not settle: %+v", st)
+			}
+			continue
+		}
+		if st.Failed != 0 || st.RejectedQueue != 0 || st.RejectedBudget != 0 {
+			t.Fatalf("tenant %s was collateral damage: %+v", st.Name, st)
+		}
+		if st.Completed == 0 {
+			t.Fatalf("tenant %s starved: %+v", st.Name, st)
+		}
+	}
+
+	// Zero goroutine leaks after the drain.
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseGoroutines+2 {
+		if time.Now().After(leakDeadline) {
+			t.Fatalf("goroutine leak: base %d, now %d", baseGoroutines, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

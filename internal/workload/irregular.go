@@ -49,6 +49,14 @@ func (c ScenarioConfig) scale() int {
 // Scenario.Threads is their exact thread count.
 const maxScenarioAlloc = 192
 
+// Submitter is the runtime surface a scenario drives: *grt.Runtime
+// satisfies it directly, and serving layers interpose their own (to
+// attach per-tenant budgets or admission accounting to every job a
+// scenario submits) without the scenarios knowing.
+type Submitter interface {
+	Submit(ctx context.Context, root func(*grt.T)) (*grt.Job, error)
+}
+
 // Scenario is one irregular workload: a driver that runs it on a live
 // runtime, a serial reference for its checksum, and its exact thread
 // count.
@@ -61,8 +69,9 @@ type Scenario struct {
 	// Threads is the total thread count across all jobs, excluding any
 	// dummy threads (none are created when K ≥ maxScenarioAlloc or K = 0).
 	Threads func(cfg ScenarioConfig) int64
-	// Run executes the scenario on rt and returns its checksum.
-	Run func(ctx context.Context, rt *grt.Runtime, cfg ScenarioConfig) (uint64, error)
+	// Run executes the scenario via sub (a *grt.Runtime, or a serving
+	// layer's wrapper around one) and returns its checksum.
+	Run func(ctx context.Context, sub Submitter, cfg ScenarioConfig) (uint64, error)
 	// Expect computes the checksum serially, without the runtime.
 	Expect func(cfg ScenarioConfig) uint64
 }
@@ -128,7 +137,7 @@ func pipelineScenario() Scenario {
 		Name:    "pipeline",
 		Jobs:    func(ScenarioConfig) int { return 1 },
 		Threads: func(cfg ScenarioConfig) int64 { return 1 + int64(pipeStages*items(cfg)) },
-		Run: func(ctx context.Context, rt *grt.Runtime, cfg ScenarioConfig) (uint64, error) {
+		Run: func(ctx context.Context, sub Submitter, cfg ScenarioConfig) (uint64, error) {
 			n := items(cfg)
 			cells := futureGrid(pipeStages, n)
 			acks := futureGrid(pipeStages, n)
@@ -171,7 +180,7 @@ func pipelineScenario() Scenario {
 					root.Join(hs[k])
 				}
 			}
-			return sum, runJob(ctx, rt, body)
+			return sum, runJob(ctx, sub, body)
 		},
 		Expect: func(cfg ScenarioConfig) uint64 {
 			n := items(cfg)
@@ -213,8 +222,8 @@ func futureGrid(s, n int) [][]*grt.Future {
 }
 
 // runJob submits body as one job and waits for it.
-func runJob(ctx context.Context, rt *grt.Runtime, body func(*grt.T)) error {
-	j, err := rt.Submit(ctx, body)
+func runJob(ctx context.Context, sub Submitter, body func(*grt.T)) error {
+	j, err := sub.Submit(ctx, body)
 	if err != nil {
 		return err
 	}
@@ -249,14 +258,14 @@ func streamScenario() Scenario {
 			// threads including its root.
 			return int64(windows(cfg)) * streamItems
 		},
-		Run: func(ctx context.Context, rt *grt.Runtime, cfg ScenarioConfig) (uint64, error) {
+		Run: func(ctx context.Context, sub Submitter, cfg ScenarioConfig) (uint64, error) {
 			m := windows(cfg)
 			jobs := make([]*grt.Job, m)
 			sums := make([]uint64, m)
 			for w := 0; w < m; w++ {
 				lo := w * streamStride
 				slot := &sums[w]
-				j, err := rt.Submit(ctx, func(root *grt.T) {
+				j, err := sub.Submit(ctx, func(root *grt.T) {
 					*slot = streamReduce(root, cfg.Seed, lo, lo+streamItems)
 				})
 				if err != nil {
@@ -340,7 +349,7 @@ func taskgraphScenario() Scenario {
 		Name:    "taskgraph",
 		Jobs:    func(ScenarioConfig) int { return 1 },
 		Threads: func(cfg ScenarioConfig) int64 { return 1 + int64(nodes(cfg)) },
-		Run: func(ctx context.Context, rt *grt.Runtime, cfg ScenarioConfig) (uint64, error) {
+		Run: func(ctx context.Context, sub Submitter, cfg ScenarioConfig) (uint64, error) {
 			n := nodes(cfg)
 			deps := taskgraphDeps(cfg)
 			futs := make([]*grt.Future, n)
@@ -375,7 +384,7 @@ func taskgraphScenario() Scenario {
 					sum += futs[i].Get(root).(uint64)
 				}
 			}
-			return sum, runJob(ctx, rt, body)
+			return sum, runJob(ctx, sub, body)
 		},
 		Expect: func(cfg ScenarioConfig) uint64 {
 			deps := taskgraphDeps(cfg)

@@ -49,14 +49,15 @@ type RuntimeConfig struct {
 	Probe TraceProbe
 }
 
-// ConfigError describes an invalid RuntimeConfig field.
+// ConfigError describes an invalid configuration field (a RuntimeConfig
+// field, or a memory-budget limit passed to NewMemBudget).
 type ConfigError struct {
-	Field  string // the RuntimeConfig field name
+	Field  string // the configuration field name
 	Reason string
 }
 
 func (e *ConfigError) Error() string {
-	return fmt.Sprintf("dfdeques: invalid RuntimeConfig.%s: %s", e.Field, e.Reason)
+	return fmt.Sprintf("dfdeques: invalid configuration: %s: %s", e.Field, e.Reason)
 }
 
 // Validate reports the first configuration mistake as a *ConfigError, or
@@ -112,6 +113,30 @@ type JobStats = grt.JobStats
 // error of jobs aborted by a shutdown whose context expired.
 var ErrShutdown = grt.ErrShutdown
 
+// ErrBudget is the error of jobs killed because an allocation pushed
+// their MemBudget's live heap past its limit (see SubmitIn).
+var ErrBudget = grt.ErrBudget
+
+// MemBudget is a shared memory-accounting group: jobs submitted into one
+// (SubmitIn) charge their Alloc/Free traffic against the group's live
+// balance, and the job whose allocation crosses the group's limit is
+// killed with ErrBudget. It is the multi-tenant isolation knob layered
+// above the scheduler's K: K bounds each stolen thread's allocation
+// burst (the paper's S1 + O(K·p·D) space bound), a MemBudget caps one
+// tenant's total concurrently-live heap across all of its jobs.
+type MemBudget = grt.Budget
+
+// NewMemBudget returns a budget enforcing limit bytes of live heap
+// across its jobs. 0 means no quota (∞) — the same convention as
+// RuntimeConfig.K — leaving the group purely accounting. A negative
+// limit is a *ConfigError.
+func NewMemBudget(limit int64) (*MemBudget, error) {
+	if limit < 0 {
+		return nil, &ConfigError{Field: "MemBudget", Reason: fmt.Sprintf("must be >= 0 (0 means no quota), got %d", limit)}
+	}
+	return grt.NewBudget(limit), nil
+}
+
 // NewRuntime validates cfg, builds a runtime, and starts its worker pool.
 // The workers idle (parked, not spinning) until Submit gives them work.
 // Callers must eventually call Shutdown to join them.
@@ -135,6 +160,20 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 // begun.
 func (r *Runtime) Submit(ctx context.Context, root func(*Thread)) (*Job, error) {
 	j, err := r.rt.Submit(ctx, root)
+	if err != nil {
+		return nil, err
+	}
+	return &Job{j: j}, nil
+}
+
+// SubmitIn submits like Submit, additionally charging the job's heap
+// accounting against budget (nil behaves exactly like Submit). If the
+// job's allocations push the budget's live heap past its limit, the job
+// is canceled and Wait returns ErrBudget; its remaining balance returns
+// to the budget when its last thread retires, so one runaway job never
+// consumes its tenant's budget forever.
+func (r *Runtime) SubmitIn(ctx context.Context, budget *MemBudget, root func(*Thread)) (*Job, error) {
+	j, err := r.rt.SubmitWith(ctx, root, grt.SubmitOpts{Budget: budget})
 	if err != nil {
 		return nil, err
 	}

@@ -40,7 +40,7 @@ func TestRuntimeConfigValidate(t *testing.T) {
 			if ce.Field != tc.field {
 				t.Fatalf("ConfigError.Field = %q, want %q", ce.Field, tc.field)
 			}
-			if !strings.Contains(err.Error(), "RuntimeConfig."+tc.field) {
+			if !strings.Contains(err.Error(), tc.field+": ") {
 				t.Fatalf("error %q does not name the field", err)
 			}
 		})
@@ -149,5 +149,104 @@ func TestPublicTraceSurface(t *testing.T) {
 	}
 	if rep2.Threads != rep.Threads {
 		t.Fatalf("file replay threads %d != in-memory %d", rep2.Threads, rep.Threads)
+	}
+}
+
+// TestNewMemBudgetValidation pins the budget facade's configuration
+// contract: 0 means no quota (the RuntimeConfig.K convention), negative
+// is a *ConfigError naming MemBudget.
+func TestNewMemBudgetValidation(t *testing.T) {
+	b, err := dfdeques.NewMemBudget(0)
+	if err != nil || b == nil {
+		t.Fatalf("NewMemBudget(0) = %v, %v; want unlimited budget", b, err)
+	}
+	if b.Limit() != 0 {
+		t.Fatalf("unlimited budget Limit = %d, want 0", b.Limit())
+	}
+	_, err = dfdeques.NewMemBudget(-4096)
+	var ce *dfdeques.ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("NewMemBudget(-4096) = %v, want *ConfigError", err)
+	}
+	if ce.Field != "MemBudget" || !strings.Contains(ce.Reason, "0 means no quota") {
+		t.Fatalf("wrong error: %+v", ce)
+	}
+}
+
+// TestSubmitInBudgetIsolation runs the public multi-tenant story: two
+// budgets on one runtime, the over-allocating job dies with ErrBudget,
+// the other tenant's job is untouched, and the killed job's balance
+// settles back so the budget is reusable.
+func TestSubmitInBudgetIsolation(t *testing.T) {
+	rt, err := dfdeques.NewRuntime(dfdeques.RuntimeConfig{Workers: 2, Sched: dfdeques.SchedDFDeques, K: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := rt.Shutdown(context.Background()); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	}()
+
+	small, err := dfdeques.NewMemBudget(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := dfdeques.NewMemBudget(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	overrun := func(th *dfdeques.Thread) {
+		for i := 0; i < 100; i++ {
+			th.Alloc(512)
+		}
+	}
+	polite := func(th *dfdeques.Thread) {
+		h := th.Fork(func(c *dfdeques.Thread) { c.Alloc(4096); c.Free(4096) })
+		th.Alloc(256)
+		th.Free(256)
+		th.Join(h)
+	}
+
+	j1, err := rt.SubmitIn(context.Background(), small, overrun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := rt.SubmitIn(context.Background(), big, polite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j1.Wait(); !errors.Is(err, dfdeques.ErrBudget) {
+		t.Fatalf("overrunning job: want ErrBudget, got %v", err)
+	}
+	if _, err := j2.Wait(); err != nil {
+		t.Fatalf("polite job must be unaffected: %v", err)
+	}
+	if small.Kills() != 1 {
+		t.Fatalf("Kills = %d, want 1", small.Kills())
+	}
+	if small.HeapLive() != 0 {
+		t.Fatalf("killed job's balance must settle, live = %d", small.HeapLive())
+	}
+	if small.HeapHW() <= 8192 {
+		t.Fatalf("high water should record the overrun, got %d", small.HeapHW())
+	}
+
+	// The settled budget admits new jobs: SubmitIn with a nil budget
+	// behaves exactly like Submit.
+	j3, err := rt.SubmitIn(context.Background(), small, polite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j3.Wait(); err != nil {
+		t.Fatalf("budget must be reusable after a kill: %v", err)
+	}
+	j4, err := rt.SubmitIn(context.Background(), nil, polite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j4.Wait(); err != nil {
+		t.Fatalf("nil budget: %v", err)
 	}
 }

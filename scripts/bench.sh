@@ -1,8 +1,9 @@
 #!/bin/sh
 # Benchmark snapshot: runs the contention, speedup, runtime, simulator,
-# and steal-hot-path benchmarks and writes a machine-readable
-# BENCH_<label>.json (one object per benchmark: op, ns_per_op,
-# allocs_per_op, workers, engine) for cross-commit comparison.
+# steal-hot-path and serving-layer benchmarks and writes a
+# machine-readable BENCH_<label>.json (one object per benchmark: op,
+# ns_per_op, allocs_per_op, workers, engine, and jobs_per_sec where the
+# benchmark reports it) for cross-commit comparison.
 #
 # usage: scripts/bench.sh [label]     (default label: short git commit)
 #        BENCHTIME=1s scripts/bench.sh soak
@@ -74,6 +75,11 @@ go test -run='^$' -benchtime="$benchtime" -benchmem \
 go test -run='^$' -benchtime="$benchtime" -benchmem \
 	-bench='^BenchmarkStealCycle$' \
 	./internal/core/ | tee -a "$tmp"
+# End-to-end serving throughput: HTTP submit -> admission -> runtime ->
+# response, reported as jobs/s alongside ns/op.
+go test -run='^$' -benchtime="$benchtime" -benchmem \
+	-bench='^BenchmarkServeThroughput$' \
+	./internal/serve/ | tee -a "$tmp"
 
 # Fold "Benchmark<Name>/<sub>-<gomaxprocs> N v1 unit1 v2 unit2 ..." lines
 # into JSON. workers comes from a pN path element (0 = not applicable);
@@ -83,10 +89,11 @@ awk -v label="$label" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
-	ns = ""; allocs = ""
+	ns = ""; allocs = ""; jps = ""
 	for (i = 3; i < NF; i += 2) {
 		if ($(i + 1) == "ns/op") ns = $i
 		if ($(i + 1) == "allocs/op") allocs = $i
+		if ($(i + 1) == "jobs/s") jps = $i
 	}
 	workers = 0
 	if (match(name, /\/p[0-9]+/)) workers = substr(name, RSTART + 2, RLENGTH - 2)
@@ -99,8 +106,10 @@ awk -v label="$label" '
 	else if (name ~ /^BenchmarkGrtTrace/) engine = "fine"
 	else if (name ~ /^BenchmarkRuntimeForkJoin/) { engine = "fine"; workers = 4 }
 	else if (name ~ /^BenchmarkSimulator/) { engine = "sim"; workers = 8 }
-	printf "%s{\"op\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"workers\": %s, \"engine\": \"%s\"}",
-		(n++ ? ",\n  " : ""), name, ns, (allocs == "" ? "null" : allocs), workers, engine
+	else if (name ~ /^BenchmarkServeThroughput/) engine = "serve"
+	extra = (jps == "" ? "" : sprintf(", \"jobs_per_sec\": %s", jps))
+	printf "%s{\"op\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"workers\": %s, \"engine\": \"%s\"%s}",
+		(n++ ? ",\n  " : ""), name, ns, (allocs == "" ? "null" : allocs), workers, engine, extra
 }
 BEGIN { printf "{\n \"label\": \"" label "\",\n \"benchmarks\": [\n  " }
 END { printf "\n ]\n}\n" }

@@ -16,7 +16,11 @@ if command -v staticcheck >/dev/null 2>&1; then
     staticcheck ./...
 fi
 go test ./...
-go test -race ./internal/grt/... ./internal/deque/... ./internal/core/... ./internal/policy/... ./internal/rtrace/...
+go test -race ./internal/grt/... ./internal/deque/... ./internal/core/... ./internal/policy/... ./internal/rtrace/... ./internal/serve/...
+# Serving-layer soak (short mode): 8 tenants over HTTP with one
+# over-budget hog, asserting isolation (429s + budget kills for the hog
+# only) and a leak-free drain. DFDSERVE_SOAK_SECS=120 runs the long one.
+go test -race -short -run TestServeSoak -count=1 ./internal/serve/
 # Lifecycle stress: cancellation, shutdown and drain paths repeated under
 # the race detector — the park/wake, poison-sweep and job-retirement
 # races only show up across many runs.
