@@ -1,31 +1,47 @@
 // Command dfdserve runs the multi-tenant job service: an HTTP/JSON
-// facade over one shared DFDeques runtime, with per-tenant memory
-// budgets, weighted-fair admission, backpressure, and live Prometheus
-// metrics.
+// facade over one shared DFDeques runtime, with per-tenant API keys,
+// memory budgets, cost-based admission, weighted-fair queueing, an
+// adaptive budget controller, and live Prometheus metrics.
 //
 // Usage:
 //
-//	dfdserve -addr :8080 -tenants alice:3:1048576,bob:1:0
+//	dfdserve -addr :8080 -admin-key root \
+//	    -tenants alice:3:1048576::alice-key,bob:1:0
 //
-// Endpoints:
+// Endpoints (v1):
 //
-//	POST /v1/jobs        submit a job (?wait=1 blocks for the result)
-//	GET  /v1/jobs/{id}   poll a job
-//	GET  /v1/tenants     per-tenant accounting
-//	GET  /metrics        Prometheus text exposition
-//	GET  /healthz        200 ok / 503 draining
+//	POST   /v1/jobs          submit a job (?wait=1 blocks for the result)
+//	GET    /v1/jobs/{id}     poll a job
+//	DELETE /v1/jobs/{id}     cancel a pending or running job
+//	GET    /v1/tenants       per-tenant accounting (admin)
+//	GET    /v1/tenants/{id}  one tenant's accounting row
+//	PUT    /v1/tenants/{id}  create or update a tenant contract (admin)
+//	DELETE /v1/tenants/{id}  remove a tenant (admin)
+//	GET    /metrics          Prometheus text exposition
+//	GET    /healthz          200 ok / 503 draining
+//
+// Tenant requests authenticate with X-API-Key (or Authorization:
+// Bearer); management requests with X-Admin-Key. A tenant with no key
+// configured is open, as is management when -admin-key is unset — a
+// dev-mode convenience, not a production posture.
 //
 // Flags:
 //
-//	-addr A       listen address (default :8080)
-//	-workers N    scheduler workers (default GOMAXPROCS)
-//	-sched S      dfd | ws | adf | fifo (default dfd)
-//	-k BYTES      memory threshold K; 0 = no quota (default 4096)
-//	-seed S       steal-victim seed (default 1)
-//	-tenants T    comma-separated name:weight:budget[:pending] specs;
-//	              budget 0 means no quota (default "default:1:0")
-//	-config FILE  JSON serve.Config (overrides the flags above except -addr)
-//	-drain D      max graceful-drain duration on SIGTERM (default 30s)
+//	-addr A          listen address (default :8080)
+//	-workers N       scheduler workers (default GOMAXPROCS)
+//	-sched S         dfd | ws | adf | fifo (default dfd)
+//	-k BYTES         memory threshold K; 0 = no quota (default 4096)
+//	-seed S          steal-victim seed (default 1)
+//	-tenants T       comma-separated name:weight:budget[:pending[:key]]
+//	                 specs; budget 0 means no quota (default "default:1:0")
+//	-admin-key KEY   management credential; empty = open (default "")
+//	-ctl-interval D  adaptive controller tick period; <0 disables
+//	-ctl-floor F     lowest effective-headroom fraction (0 = default)
+//	-ctl-step F      headroom fraction moved per tick (0 = default)
+//	-config FILE     JSON serve.Config (overrides the flags above except -addr)
+//	-drain D         max graceful-drain duration on SIGTERM (default 30s)
+//	-smoke URL       run the client-driven smoke sequence against a
+//	                 running dfdserve at URL and exit (uses -admin-key)
 //
 // SIGTERM/SIGINT starts a graceful drain: /healthz flips to 503, new
 // submissions are refused, pending and running jobs finish (bounded by
@@ -53,21 +69,41 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "scheduler workers")
-		schedN  = flag.String("sched", "dfd", "scheduler: dfd | ws | adf | fifo")
-		k       = flag.Int64("k", 4096, "memory threshold K in bytes (0 = no quota)")
-		seed    = flag.Int64("seed", 1, "steal-victim seed")
-		tenants = flag.String("tenants", "default:1:0", "name:weight:budget[:pending],... tenant specs")
-		cfgPath = flag.String("config", "", "JSON config file (overrides scheduler/tenant flags)")
-		drain   = flag.Duration("drain", 30*time.Second, "max graceful-drain duration")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "scheduler workers")
+		schedN      = flag.String("sched", "dfd", "scheduler: dfd | ws | adf | fifo")
+		k           = flag.Int64("k", 4096, "memory threshold K in bytes (0 = no quota)")
+		seed        = flag.Int64("seed", 1, "steal-victim seed")
+		tenants     = flag.String("tenants", "default:1:0", "name:weight:budget[:pending[:key]],... tenant specs")
+		adminKey    = flag.String("admin-key", "", "management credential (empty = open)")
+		ctlInterval = flag.Duration("ctl-interval", 0, "adaptive controller tick period (0 = default, <0 disables)")
+		ctlFloor    = flag.Float64("ctl-floor", 0, "controller headroom floor fraction (0 = default)")
+		ctlStep     = flag.Float64("ctl-step", 0, "controller step fraction per tick (0 = default)")
+		cfgPath     = flag.String("config", "", "JSON config file (overrides scheduler/tenant flags)")
+		drain       = flag.Duration("drain", 30*time.Second, "max graceful-drain duration")
+		smoke       = flag.String("smoke", "", "run the smoke sequence against a dfdserve at this URL and exit")
 	)
 	flag.Parse()
+
+	if *smoke != "" {
+		if err := runSmoke(*smoke, *adminKey); err != nil {
+			fmt.Fprintln(os.Stderr, "dfdserve: smoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("dfdserve: smoke ok")
+		return
+	}
 
 	cfg, err := buildConfig(*cfgPath, *workers, *schedN, *k, *seed, *tenants)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dfdserve:", err)
 		os.Exit(2)
+	}
+	if *cfgPath == "" {
+		cfg.AdminKey = *adminKey
+		cfg.ControllerInterval = *ctlInterval
+		cfg.ControllerFloor = *ctlFloor
+		cfg.ControllerStep = *ctlStep
 	}
 	s, err := serve.New(cfg)
 	if err != nil {
@@ -86,8 +122,12 @@ func main() {
 	for name := range cfg.Tenants {
 		names = append(names, name)
 	}
-	fmt.Printf("dfdserve: listening on %s (%d workers, sched=%s, K=%d, tenants=%s)\n",
-		*addr, cfg.Runtime.Workers, *schedN, cfg.Runtime.K, strings.Join(names, ","))
+	auth := "open"
+	if cfg.AdminKey != "" {
+		auth = "keyed"
+	}
+	fmt.Printf("dfdserve: listening on %s (%d workers, sched=%s, K=%d, admin=%s, tenants=%s)\n",
+		*addr, cfg.Runtime.Workers, *schedN, cfg.Runtime.K, auth, strings.Join(names, ","))
 
 	select {
 	case sig := <-sigc:
@@ -139,17 +179,21 @@ func buildConfig(path string, workers int, schedName string, k, seed int64, tena
 }
 
 // fileConfig is the JSON projection of serve.Config (the scheduler kind
-// by name instead of enum value).
+// by name instead of enum value, the controller interval in ns).
 type fileConfig struct {
-	Workers        int                           `json:"workers"`
-	Sched          string                        `json:"sched"`
-	K              int64                         `json:"k"`
-	Seed           int64                         `json:"seed"`
-	Tenants        map[string]serve.TenantConfig `json:"tenants"`
-	MaxInflight    int                           `json:"max_inflight"`
-	MaxBodyBytes   int64                         `json:"max_body_bytes"`
-	BudgetHeadroom float64                       `json:"budget_headroom"`
-	RetainJobs     int                           `json:"retain_jobs"`
+	Workers            int                           `json:"workers"`
+	Sched              string                        `json:"sched"`
+	K                  int64                         `json:"k"`
+	Seed               int64                         `json:"seed"`
+	Tenants            map[string]serve.TenantConfig `json:"tenants"`
+	MaxInflight        int                           `json:"max_inflight"`
+	MaxBodyBytes       int64                         `json:"max_body_bytes"`
+	BudgetHeadroom     float64                       `json:"budget_headroom"`
+	RetainJobs         int                           `json:"retain_jobs"`
+	AdminKey           string                        `json:"admin_key"`
+	ControllerInterval time.Duration                 `json:"controller_interval"`
+	ControllerFloor    float64                       `json:"controller_floor"`
+	ControllerStep     float64                       `json:"controller_step"`
 }
 
 func (fc fileConfig) toConfig() (serve.Config, error) {
@@ -162,12 +206,16 @@ func (fc fileConfig) toConfig() (serve.Config, error) {
 		return serve.Config{}, err
 	}
 	return serve.Config{
-		Runtime:        dfdeques.RuntimeConfig{Workers: fc.Workers, Sched: sched, K: fc.K, Seed: fc.Seed},
-		Tenants:        fc.Tenants,
-		MaxInflight:    fc.MaxInflight,
-		MaxBodyBytes:   fc.MaxBodyBytes,
-		BudgetHeadroom: fc.BudgetHeadroom,
-		RetainJobs:     fc.RetainJobs,
+		Runtime:            dfdeques.RuntimeConfig{Workers: fc.Workers, Sched: sched, K: fc.K, Seed: fc.Seed},
+		Tenants:            fc.Tenants,
+		MaxInflight:        fc.MaxInflight,
+		MaxBodyBytes:       fc.MaxBodyBytes,
+		BudgetHeadroom:     fc.BudgetHeadroom,
+		RetainJobs:         fc.RetainJobs,
+		AdminKey:           fc.AdminKey,
+		ControllerInterval: fc.ControllerInterval,
+		ControllerFloor:    fc.ControllerFloor,
+		ControllerStep:     fc.ControllerStep,
 	}, nil
 }
 
@@ -185,7 +233,7 @@ func parseSched(name string) (dfdeques.SchedKind, error) {
 	return 0, fmt.Errorf("unknown scheduler %q (want dfd, ws, adf, fifo)", name)
 }
 
-// parseTenants parses "name:weight:budget[:pending],..." specs.
+// parseTenants parses "name:weight:budget[:pending[:key]],..." specs.
 func parseTenants(spec string) (map[string]serve.TenantConfig, error) {
 	out := make(map[string]serve.TenantConfig)
 	for _, field := range strings.Split(spec, ",") {
@@ -194,8 +242,8 @@ func parseTenants(spec string) (map[string]serve.TenantConfig, error) {
 			continue
 		}
 		parts := strings.Split(field, ":")
-		if len(parts) < 3 || len(parts) > 4 {
-			return nil, fmt.Errorf("tenant spec %q: want name:weight:budget[:pending]", field)
+		if len(parts) < 3 || len(parts) > 5 {
+			return nil, fmt.Errorf("tenant spec %q: want name:weight:budget[:pending[:key]]", field)
 		}
 		name := parts[0]
 		weight, err := strconv.Atoi(parts[1])
@@ -207,12 +255,15 @@ func parseTenants(spec string) (map[string]serve.TenantConfig, error) {
 			return nil, fmt.Errorf("tenant %s: bad budget %q", name, parts[2])
 		}
 		tc := serve.TenantConfig{Weight: weight, MemBudget: budget}
-		if len(parts) == 4 {
+		if len(parts) >= 4 && parts[3] != "" {
 			pending, err := strconv.Atoi(parts[3])
 			if err != nil {
 				return nil, fmt.Errorf("tenant %s: bad pending bound %q", name, parts[3])
 			}
 			tc.MaxPending = pending
+		}
+		if len(parts) == 5 {
+			tc.APIKey = parts[4]
 		}
 		out[name] = tc
 	}

@@ -25,7 +25,7 @@ var ErrBudget = errors.New("grt: memory budget exceeded")
 // A limit of 0 means no quota (∞) — the same convention as Config.K.
 // All methods are safe for concurrent use; charging is lock-free.
 type Budget struct {
-	limit int64
+	limit atomic.Int64
 	live  atomic.Int64
 	hw    atomic.Int64
 	kills atomic.Int64
@@ -34,14 +34,29 @@ type Budget struct {
 // NewBudget returns a budget enforcing limit bytes of live heap across
 // its jobs; limit <= 0 means no quota (∞), accounting only.
 func NewBudget(limit int64) *Budget {
+	b := &Budget{}
+	if limit > 0 {
+		b.limit.Store(limit)
+	}
+	return b
+}
+
+// Limit returns the current limit (0 = no quota).
+func (b *Budget) Limit() int64 { return b.limit.Load() }
+
+// SetLimit resizes the budget online — the paper's §7 observation that
+// the memory threshold can be adjusted at runtime to trade space for
+// parallelism, applied to the tenant quota layered above K. The new
+// limit governs the next charge: raising it immediately stops further
+// kills, lowering it does not retroactively kill jobs whose heap is
+// already live — the next allocation that lands past the new line does.
+// limit <= 0 disables the quota (accounting continues).
+func (b *Budget) SetLimit(limit int64) {
 	if limit < 0 {
 		limit = 0
 	}
-	return &Budget{limit: limit}
+	b.limit.Store(limit)
 }
-
-// Limit returns the configured limit (0 = no quota).
-func (b *Budget) Limit() int64 { return b.limit }
 
 // HeapLive returns the group's current Alloc−Free balance. It is the sum
 // of the live balances of the budget's in-flight jobs: every retiring job
@@ -59,10 +74,11 @@ func (b *Budget) Kills() int64 { return b.kills.Load() }
 // controller gates on; it returns 0 when over and is meaningless (always
 // 0) for an unlimited budget.
 func (b *Budget) Remaining() int64 {
-	if b.limit <= 0 {
+	limit := b.limit.Load()
+	if limit <= 0 {
 		return 0
 	}
-	if r := b.limit - b.live.Load(); r > 0 {
+	if r := limit - b.live.Load(); r > 0 {
 		return r
 	}
 	return 0
@@ -79,7 +95,8 @@ func (b *Budget) charge(n int64) (exceeded bool) {
 		return false
 	}
 	atomicMax(&b.hw, v)
-	return b.limit > 0 && v > b.limit
+	limit := b.limit.Load()
+	return limit > 0 && v > limit
 }
 
 // kill cancels j with ErrBudget, counting each job at most once (cancel
@@ -107,6 +124,15 @@ type SubmitOpts struct {
 	// accounting against this shared group and cancels the job with
 	// ErrBudget if its allocations push the group past its limit.
 	Budget *Budget
+
+	// TenantTag and JobTag, when either is nonzero, are recorded as an
+	// EvJobAnnotate trace event right after the job's EvJobBegin — under
+	// the same submission lock, so replay learns the job's owner before
+	// any of its threads run. Both are opaque to the runtime; the serving
+	// layer stamps its tenant id and request sequence so a recorded trace
+	// can be filtered per tenant (rtrace.FilterTenant).
+	TenantTag int64
+	JobTag    int64
 }
 
 // SubmitWith is Submit plus options; Submit is SubmitWith with none.

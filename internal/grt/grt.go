@@ -486,6 +486,9 @@ func (rt *Runtime) submit(ctx context.Context, root func(*T), opts SubmitOpts) (
 	rootT.tid = rt.tids.Add(1)
 	rt.live.Add(1)
 	rt.trace(-1, rtrace.EvJobBegin, j.id, rootT.tid, 0)
+	if opts.TenantTag != 0 || opts.JobTag != 0 {
+		rt.trace(-1, rtrace.EvJobAnnotate, j.id, opts.TenantTag, opts.JobTag)
+	}
 	gl := rt.beginEvent()
 	rt.pol.Inject(rootT)
 	rt.endEvent(gl)

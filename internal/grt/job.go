@@ -167,6 +167,21 @@ func (j *Job) unregisterBlocked(t *T) {
 	j.mu.Unlock()
 }
 
+// Cancel poisons the job with context.Canceled, exactly as if its
+// submission context had fired: every thread dies at its next scheduling
+// point and Wait returns context.Canceled once the tree drains. It is
+// the API-level kill switch (the serving layer's DELETE /v1/jobs/{id});
+// idempotent, reporting whether this call was the one that canceled the
+// job (false if it already finished or was already poisoned).
+func (j *Job) Cancel() bool {
+	select {
+	case <-j.done:
+		return false
+	default:
+	}
+	return j.cancel(context.Canceled)
+}
+
 // cancel poisons the job with the given reason and unblocks everything
 // that would otherwise keep Wait from returning: threads parked on a
 // Mutex or Future are removed from their waiter lists and republished to

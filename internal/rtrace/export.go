@@ -296,6 +296,8 @@ func Export(w io.Writer, meta Meta, evs []Event, dropped uint64) error {
 			}
 		case EvJobBegin:
 			instant(e, "job-begin", map[string]any{"job": e.A, "root": e.B})
+		case EvJobAnnotate:
+			instant(e, "job-annotate", map[string]any{"job": e.A, "tenant": e.B, "tag": e.C})
 		case EvJobCancel:
 			instant(e, "job-cancel", map[string]any{"job": e.A})
 		case EvJobEnd:

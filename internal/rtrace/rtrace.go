@@ -116,6 +116,16 @@ const (
 	// verifier rejects it in channel-engine streams. Appended after EvTouch
 	// so older trace files keep loading unchanged.
 	EvPromote
+	// EvJobAnnotate: job A carries the submitter's annotation — B is an
+	// opaque tenant tag and C an opaque per-submitter job tag (the serving
+	// layer stamps its tenant id and request sequence). Recorded on the
+	// scheduler lane (W = -1) immediately after the job's EvJobBegin,
+	// under the same submission lock, so replay always learns a job's
+	// owner before any of its threads run. Purely informational to the
+	// verifier; FilterTenant/SummarizeTenant use it to slice a recorded
+	// stream per tenant. Appended after EvPromote so older trace files
+	// keep loading unchanged.
+	EvJobAnnotate
 
 	numKinds
 )
@@ -145,7 +155,7 @@ var kindNames = [numKinds]string{
 	"free", "quota-exhaust", "dummy", "idle", "steal-attempt", "steal",
 	"deque-create", "deque-release", "deque-retire", "push", "pop",
 	"queue-push", "queue-take", "job-begin", "job-cancel", "job-end",
-	"touch", "promote",
+	"touch", "promote", "job-annotate",
 }
 
 func (k Kind) String() string {
@@ -209,7 +219,7 @@ type Meta struct {
 // Replay verification orders by Seq, never TS.
 const exactTS = 1<<EvBlock | 1<<EvComplete |
 	1<<EvQuotaExhaust | 1<<EvIdle | 1<<EvSteal | 1<<EvAllocExempt |
-	1<<EvJobBegin | 1<<EvJobCancel | 1<<EvJobEnd
+	1<<EvJobBegin | 1<<EvJobCancel | 1<<EvJobEnd | 1<<EvJobAnnotate
 
 // lane is one worker's private ring buffer. Only that worker writes it;
 // the merger reads it after the run (the runtime's WaitGroup provides the

@@ -1,0 +1,66 @@
+package rtrace
+
+// Per-tenant trace slicing. The serving layer stamps every submission
+// with an EvJobAnnotate record (A = job id, B = tenant tag, C = the
+// submitter's job tag) on the scheduler lane right after the job's
+// EvJobBegin. FilterTenant uses those annotations to cut a merged
+// multi-tenant stream down to one tenant's jobs, and SummarizeTenant
+// derives the usual Summary from the slice — the post-hoc answer to
+// "what did tenant X actually run, fork, allocate and steal?".
+
+// FilterTenant returns the sub-stream attributable to jobs annotated
+// with tenantTag, in the original Seq order.
+//
+// Membership is computed the way the verifier computes job ownership:
+// an annotated job's root thread (from its EvJobBegin) seeds the set and
+// every EvFork propagates membership parent→child. Events are kept when
+// their subject — the job id of lifecycle records, the thread id of
+// worker-lane records — belongs to the tenant. Purely structural records
+// with no single owning thread (idle transitions, failed steal attempts,
+// deque lifecycle) are dropped: they describe the shared scheduler, not
+// any one tenant. The slice is therefore NOT replay-verifiable; it is a
+// per-tenant accounting view. Verify the full stream instead.
+func FilterTenant(evs []Event, tenantTag int64) []Event {
+	jobs := map[int64]bool{}
+	for _, e := range evs {
+		if e.Kind == EvJobAnnotate && e.B == tenantTag {
+			jobs[e.A] = true
+		}
+	}
+	threads := map[int64]bool{}
+	var out []Event
+	for _, e := range evs {
+		keep := false
+		switch e.Kind {
+		case EvJobBegin:
+			if jobs[e.A] {
+				threads[e.B] = true
+				keep = true
+			}
+		case EvJobAnnotate, EvJobCancel, EvJobEnd:
+			keep = jobs[e.A]
+		case EvFork:
+			if threads[e.A] {
+				threads[e.B] = true
+				keep = true
+			}
+		case EvDispatch, EvBlock, EvComplete, EvAlloc, EvAllocExempt,
+			EvFree, EvQuotaExhaust, EvDummy, EvTouch, EvPromote,
+			EvSteal, EvPush, EvPop, EvQueuePush, EvQueueTake:
+			keep = threads[e.A]
+		}
+		if keep {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SummarizeTenant summarizes one tenant's slice of a merged stream.
+// Thread, dispatch, steal, quota and dummy counts are exact for the
+// tenant; the per-worker busy fractions describe only the tenant's
+// execution segments laid over the whole run's wall clock, so they read
+// as the tenant's share of each worker, not the worker's utilization.
+func SummarizeTenant(meta Meta, evs []Event, tenantTag int64) Summary {
+	return Summarize(meta, FilterTenant(evs, tenantTag), 0)
+}

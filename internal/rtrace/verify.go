@@ -468,6 +468,15 @@ func (v *verifier) step(e *Event) error {
 		// only exist downstream of a lock/future block, which already
 		// disabled the ordering checks above.
 
+	case EvJobAnnotate:
+		if w != -1 {
+			return v.fail(e, "job annotation on a worker lane (must be scheduler-side)")
+		}
+		if _, ok := v.jobs[e.A]; !ok {
+			return v.fail(e, "annotation of unknown job %d", e.A)
+		}
+		// Tags are opaque submitter metadata; nothing further to model.
+
 	case EvJobCancel:
 		j, ok := v.jobs[e.A]
 		if !ok {

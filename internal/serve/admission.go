@@ -1,25 +1,35 @@
 package serve
 
-// Weighted-fair admission control. Each tenant owns a bounded FIFO of
-// pending jobs; one dispatcher goroutine interleaves tenants by
-// start-time fair queuing — an accepted job is tagged AT ENQUEUE with a
-// start tag S = max(V, tenant's last finish tag) and a finish tag
-// F = S + 1/weight, the queued job with the smallest F is admitted, and
-// V advances to the admitted job's S — so over any contended interval
-// tenants are admitted in proportion to their weights. Tags freeze at
-// arrival (recomputing them at pick time would let the virtual clock
-// inflate a backlogged tenant's tags and erase its earned share). An
-// admitted root enters the scheduler through policy.Inject at
-// back-of-priority order (grt.Submit), which makes the admission order
-// the execution-priority order among job roots: weighted fairness here
-// IS the Lemma 3.1 priority ordering of the paper, applied at job
-// granularity.
+// Weighted-fair admission control over a dynamic tenant table. Each
+// tenant owns a bounded FIFO of pending jobs; one dispatcher goroutine
+// interleaves tenants by start-time fair queuing — an accepted job is
+// tagged AT ENQUEUE with a start tag S = max(V, tenant's last finish
+// tag) and a finish tag F = S + 1/weight, the queued job with the
+// smallest F is admitted, and V advances to the admitted job's S — so
+// over any contended interval tenants are admitted in proportion to
+// their weights. Tags freeze at arrival (recomputing them at pick time
+// would let the virtual clock inflate a backlogged tenant's tags and
+// erase its earned share). An admitted root enters the scheduler through
+// policy.Inject at back-of-priority order (grt.Submit), which makes the
+// admission order the execution-priority order among job roots: weighted
+// fairness here IS the Lemma 3.1 priority ordering of the paper, applied
+// at job granularity.
 //
-// Backpressure is two-layered: enqueue refuses (429) when the tenant's
-// queue is full or its live heap is within the configured headroom of
-// its budget, and the dispatcher skips over-headroom tenants (their
-// queues stall while other tenants flow) until completions free budget.
-// The hard layer — the in-run ErrBudget kill — lives in grt.
+// The tenant table is mutable at runtime (PUT/DELETE /v1/tenants/{id}):
+// every lookup, queue operation and tag assignment happens under
+// admission.mu, so a table swap is atomic with respect to concurrent
+// submits — a submission either sees the old contract or the new one,
+// never a torn mix. Deleting a tenant fails its pending jobs and leaves
+// its running jobs to finish against the (now orphaned) budget.
+//
+// Backpressure is three-layered: enqueue refuses (429) when the tenant's
+// live heap is inside the effective headroom band (over_budget), when
+// the job's predicted cost cannot fit the remaining headroom (cost_shed
+// — see cost.go), or when the queue is full (queue_full); the dispatcher
+// skips over-headroom tenants until completions free budget. The hard
+// layer — the in-run ErrBudget kill — lives in grt. The effective
+// headroom itself is moved inside [floor, base] by the adaptive
+// controller (controller.go).
 
 import (
 	"context"
@@ -35,29 +45,37 @@ import (
 
 // Enqueue refusals, mapped to HTTP statuses by the handler layer.
 var (
-	errQueueFull  = errors.New("serve: tenant pending queue is full")
-	errOverBudget = errors.New("serve: tenant memory budget has no admission headroom")
-	errDraining   = errors.New("serve: server is draining")
+	errQueueFull     = errors.New("serve: tenant pending queue is full")
+	errOverBudget    = errors.New("serve: tenant memory budget has no admission headroom")
+	errOverCost      = errors.New("serve: predicted job cost exceeds tenant headroom")
+	errDraining      = errors.New("serve: server is draining")
+	errTenantGone    = errors.New("serve: tenant was deleted")
+	errJobCanceled   = errors.New("serve: job canceled by request")
+	errTenantDeleted = errors.New("serve: tenant deleted while job was pending")
 )
 
 // job is one submission moving through the service.
 type job struct {
 	id       string
+	seq      int64 // numeric id, stamped into rtrace as the job tag
 	tenant   *tenant
 	kind     string
 	run      runnable
+	cost     int64 // predicted live-memory price (0 = exempt)
 	submitAt time.Time
 
 	// SFQ tags, assigned under admission.mu when the job is accepted.
 	startTag  float64
 	finishTag float64
 
-	mu       sync.Mutex
-	state    string // "pending" → "running" → "done" | "failed"
-	err      error
-	result   jobResult
-	startAt  time.Time
-	finishAt time.Time
+	mu        sync.Mutex
+	state     string // "pending" → "running" → "done" | "failed" | "canceled"
+	err       error
+	result    jobResult
+	startAt   time.Time
+	finishAt  time.Time
+	cancelReq bool   // DELETE arrived; run must be aborted
+	cancelFn  func() // cancels the running job's context (set by runJob)
 
 	done chan struct{}
 }
@@ -72,22 +90,77 @@ func (j *job) setRunning() {
 func (j *job) finish(res jobResult, err error) {
 	j.mu.Lock()
 	j.finishAt = time.Now()
-	if err != nil {
-		j.state, j.err = "failed", err
-	} else {
+	switch {
+	case err == nil:
 		j.state, j.result = "done", res
+	case errors.Is(err, errJobCanceled) || errors.Is(err, context.Canceled):
+		j.state, j.err = "canceled", err
+	default:
+		j.state, j.err = "failed", err
 	}
 	j.mu.Unlock()
 	close(j.done)
 }
 
-// tenant is the server-side state of one configured tenant.
+func (j *job) stateNow() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// attachCancel installs the running job's context canceler; if a cancel
+// request raced in while the job was leaving the queue, it fires now.
+func (j *job) attachCancel(fn func()) {
+	j.mu.Lock()
+	j.cancelFn = fn
+	requested := j.cancelReq
+	j.mu.Unlock()
+	if requested {
+		fn()
+	}
+}
+
+// requestCancel marks a non-finished job for cancellation and fires its
+// context canceler when one is installed. Reports whether this call was
+// the first to request it (false once finished or already requested).
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	switch j.state {
+	case "done", "failed", "canceled":
+		j.mu.Unlock()
+		return false
+	}
+	first := !j.cancelReq
+	j.cancelReq = true
+	fn := j.cancelFn
+	j.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+	return first
+}
+
+// tenant is the server-side state of one tenant. Rows live in the
+// admission table; weight, maxPending, pending, finishTag, reserved and
+// gone are guarded by admission.mu. The budget limit and the headroom
+// thresholds are atomics — read on every enqueue, moved by tenant CRUD
+// and the adaptive controller without stalling admission.
 type tenant struct {
-	name       string
-	weight     float64
-	maxPending int
-	budget     *grt.Budget
-	headLimit  int64 // admission refusal threshold: headroom × budget (0 = none)
+	name   string
+	tag    int64 // rtrace tenant tag (stable for the tenant's lifetime)
+	budget *grt.Budget
+	apiKey atomic.Pointer[string]
+
+	// baseHead is the configured admission threshold (BudgetHeadroom ×
+	// MemBudget; 0 = none); effHead is the controller-adjusted effective
+	// threshold actually enforced, always in [floor, baseHead].
+	baseHead atomic.Int64
+	effHead  atomic.Int64
+
+	weight     float64 // admission.mu
+	maxPending int     // admission.mu
+	reserved   int64   // admission.mu: sum of unfinished admitted costs
+	gone       bool    // admission.mu: removed from the table
 
 	// pending and finishTag are guarded by admission.mu.
 	pending   []*job
@@ -98,27 +171,72 @@ type tenant struct {
 	admitted       atomic.Int64
 	completed      atomic.Int64
 	failed         atomic.Int64
+	canceled       atomic.Int64
 	rejectedQueue  atomic.Int64
 	rejectedBudget atomic.Int64
+	rejectedCost   atomic.Int64
+	rejectedAuth   atomic.Int64
+
+	// ctlLast is the controller's pressure snapshot at its previous
+	// tick; touched only by the (single-threaded) controller.
+	ctlLast int64
 
 	lat latencyRing
 }
 
+// key returns the tenant's current API key ("" = open).
+func (t *tenant) key() string {
+	if p := t.apiKey.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// setContract applies the mutable parts of a TenantConfig. Callers hold
+// admission.mu (creation runs before the tenant is published).
+func (t *tenant) setContract(tc TenantConfig, headroom float64) {
+	w := tc.Weight
+	if w < 1 {
+		w = 1
+	}
+	t.weight = float64(w)
+	mp := tc.MaxPending
+	if mp < 1 {
+		mp = DefaultMaxPending
+	}
+	t.maxPending = mp
+	key := tc.APIKey
+	t.apiKey.Store(&key)
+	t.budget.SetLimit(tc.MemBudget)
+	var h int64
+	if tc.MemBudget > 0 {
+		h = int64(headroom * float64(tc.MemBudget))
+		if h < 1 {
+			h = 1
+		}
+	}
+	t.baseHead.Store(h)
+	t.effHead.Store(h)
+}
+
 // overHeadroom reports whether the tenant's live heap leaves no
-// admission headroom.
+// admission headroom under the effective (controller-adjusted) limit.
 func (t *tenant) overHeadroom() bool {
-	return t.headLimit > 0 && t.budget.HeapLive() >= t.headLimit
+	lim := t.effHead.Load()
+	return lim > 0 && t.budget.HeapLive() >= lim
 }
 
 // admission is the dispatcher: tenant queues in, running jobs out.
 type admission struct {
-	rt      *grt.Runtime
-	baseCtx context.Context
+	rt       *grt.Runtime
+	baseCtx  context.Context
+	headroom float64 // BudgetHeadroom fraction, for dynamically added tenants
 
 	mu          sync.Mutex
 	cond        *sync.Cond
 	tenants     map[string]*tenant
 	names       []string // sorted, for deterministic tie-breaks and scrapes
+	tagSeq      int64    // rtrace tenant-tag allocator
 	vtime       float64
 	inflight    int
 	maxInflight int
@@ -131,51 +249,126 @@ type admission struct {
 func newAdmission(rt *grt.Runtime, baseCtx context.Context, cfg Config) *admission {
 	a := &admission{
 		rt: rt, baseCtx: baseCtx,
+		headroom:    cfg.BudgetHeadroom,
 		tenants:     make(map[string]*tenant, len(cfg.Tenants)),
 		maxInflight: cfg.MaxInflight,
 	}
 	a.cond = sync.NewCond(&a.mu)
-	for name, tc := range cfg.Tenants {
-		w := tc.Weight
-		if w < 1 {
-			w = 1
-		}
-		mp := tc.MaxPending
-		if mp < 1 {
-			mp = DefaultMaxPending
-		}
-		t := &tenant{
-			name: name, weight: float64(w), maxPending: mp,
-			budget: grt.NewBudget(tc.MemBudget),
-		}
-		if tc.MemBudget > 0 {
-			t.headLimit = int64(cfg.BudgetHeadroom * float64(tc.MemBudget))
-			if t.headLimit < 1 {
-				t.headLimit = 1
-			}
-		}
-		a.tenants[name] = t
+	for name := range cfg.Tenants {
 		a.names = append(a.names, name)
 	}
-	sort.Strings(a.names)
+	sort.Strings(a.names) // deterministic trace tags for the seed set
+	for _, name := range a.names {
+		a.tagSeq++
+		t := &tenant{name: name, tag: a.tagSeq, budget: grt.NewBudget(0)}
+		t.setContract(cfg.Tenants[name], a.headroom)
+		a.tenants[name] = t
+	}
 	a.wg.Add(1)
 	go a.dispatch()
 	return a
 }
 
+// lookup resolves a tenant by name under the table lock.
+func (a *admission) lookup(name string) (*tenant, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t, ok := a.tenants[name]
+	return t, ok
+}
+
+// snapshot returns the live tenant rows in name order.
+func (a *admission) snapshot() []*tenant {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*tenant, 0, len(a.names))
+	for _, name := range a.names {
+		out = append(out, a.tenants[name])
+	}
+	return out
+}
+
+// upsertTenant creates or replaces a tenant contract atomically with
+// respect to concurrent submits: queued jobs and counters survive an
+// update; budget limit, headroom, weight, queue bound and API key switch
+// in one critical section. Reports whether the tenant was created.
+func (a *admission) upsertTenant(name string, tc TenantConfig) (*tenant, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if t, ok := a.tenants[name]; ok {
+		t.setContract(tc, a.headroom)
+		// A raised budget or queue bound can unblock the dispatcher.
+		a.cond.Broadcast()
+		return t, false
+	}
+	a.tagSeq++
+	t := &tenant{name: name, tag: a.tagSeq, budget: grt.NewBudget(0)}
+	t.setContract(tc, a.headroom)
+	a.tenants[name] = t
+	a.names = append(a.names, name)
+	sort.Strings(a.names)
+	return t, true
+}
+
+// removeTenant deletes a tenant from the table. Its pending jobs fail
+// with errTenantDeleted; running jobs keep their budget pointer and
+// finish normally (their reservations unwind through runJob). Returns
+// the removed row, or nil if the name was unknown.
+func (a *admission) removeTenant(name string) *tenant {
+	a.mu.Lock()
+	t, ok := a.tenants[name]
+	if !ok {
+		a.mu.Unlock()
+		return nil
+	}
+	delete(a.tenants, name)
+	for i, n := range a.names {
+		if n == name {
+			a.names = append(a.names[:i], a.names[i+1:]...)
+			break
+		}
+	}
+	t.gone = true
+	orphans := t.pending
+	t.pending = nil
+	for _, j := range orphans {
+		t.reserved -= j.cost
+	}
+	a.cond.Broadcast()
+	a.mu.Unlock()
+	for _, j := range orphans {
+		j.finish(jobResult{}, errTenantDeleted)
+		t.failed.Add(1)
+	}
+	return t
+}
+
 // enqueue admits j into its tenant's pending queue, or refuses with one
-// of the sentinel errors above.
+// of the sentinel errors above. The whole decision — headroom band, cost
+// gate against live+reserved, queue bound, tag assignment — is one
+// critical section, so it is atomic against tenant CRUD.
 func (a *admission) enqueue(j *job) error {
 	t := j.tenant
 	t.submitted.Add(1)
-	if t.overHeadroom() {
-		t.rejectedBudget.Add(1)
-		return errOverBudget
-	}
 	a.mu.Lock()
 	if a.draining {
 		a.mu.Unlock()
 		return errDraining
+	}
+	if t.gone {
+		a.mu.Unlock()
+		return errTenantGone
+	}
+	if t.overHeadroom() {
+		a.mu.Unlock()
+		t.rejectedBudget.Add(1)
+		return errOverBudget
+	}
+	if lim := t.effHead.Load(); lim > 0 && j.cost > 0 &&
+		t.budget.HeapLive()+t.reserved+j.cost > lim {
+		a.mu.Unlock()
+		t.rejectedCost.Add(1)
+		return errOverCost
 	}
 	if len(t.pending) >= t.maxPending {
 		a.mu.Unlock()
@@ -188,10 +381,33 @@ func (a *admission) enqueue(j *job) error {
 	}
 	j.finishTag = j.startTag + 1/t.weight
 	t.finishTag = j.finishTag
+	t.reserved += j.cost
 	t.pending = append(t.pending, j)
 	a.cond.Broadcast()
 	a.mu.Unlock()
 	return nil
+}
+
+// cancelJob cancels j wherever it is: still pending → removed from the
+// queue and finished as canceled; running → its job context is canceled
+// and the grt poison path kills its threads (runJob then classifies the
+// finish). Reports whether this call initiated a cancellation.
+func (a *admission) cancelJob(j *job) bool {
+	t := j.tenant
+	a.mu.Lock()
+	for i, q := range t.pending {
+		if q == j {
+			t.pending = append(t.pending[:i], t.pending[i+1:]...)
+			t.reserved -= j.cost
+			a.cond.Broadcast()
+			a.mu.Unlock()
+			j.finish(jobResult{}, errJobCanceled)
+			t.canceled.Add(1)
+			return true
+		}
+	}
+	a.mu.Unlock()
+	return j.requestCancel()
 }
 
 // pickLocked returns the eligible tenant whose head-of-queue job has the
@@ -246,24 +462,33 @@ func (a *admission) dispatch() {
 }
 
 // runJob executes one admitted job through the tenant's budget-attaching
-// submitter and retires it.
+// submitter and retires it, releasing its cost reservation.
 func (a *admission) runJob(j *job) {
 	defer a.wg.Done()
+	ctx, cancel := context.WithCancel(a.baseCtx)
+	j.attachCancel(cancel)
 	j.setRunning()
 	t := j.tenant
-	res, err := j.run.run(a.baseCtx, tenantSubmitter{rt: a.rt, budget: t.budget})
+	res, err := j.run.run(ctx, tenantSubmitter{
+		rt: a.rt, budget: t.budget, tenantTag: t.tag, jobTag: j.seq,
+	})
+	cancel()
 	j.finish(res, err)
-	if err != nil {
+	switch j.stateNow() {
+	case "canceled":
+		t.canceled.Add(1)
+	case "failed":
 		t.failed.Add(1)
-	} else {
+	default:
 		t.completed.Add(1)
 	}
 	t.lat.record(time.Since(j.submitAt))
 
 	a.mu.Lock()
 	a.inflight--
-	// Completions free budget headroom and an inflight slot; both gate
-	// the dispatcher and the drain waiter.
+	t.reserved -= j.cost
+	// Completions free budget headroom, reservations and an inflight
+	// slot; all three gate the dispatcher and the drain waiter.
 	a.cond.Broadcast()
 	a.mu.Unlock()
 }
@@ -294,6 +519,7 @@ func (a *admission) drain(ctx context.Context) error {
 		for _, name := range a.names {
 			t := a.tenants[name]
 			for _, j := range t.pending {
+				t.reserved -= j.cost
 				j.finish(jobResult{}, grt.ErrShutdown)
 				t.failed.Add(1)
 			}
@@ -343,15 +569,27 @@ func (a *admission) tenantPending(t *tenant) int {
 	return len(t.pending)
 }
 
-// tenantSubmitter attaches the tenant's budget to every job a driver
-// submits; it is the workload.Submitter the compiled runnables see.
+// tenantShape reads the mu-guarded parts of a tenant row for status
+// reporting.
+func (a *admission) tenantShape(t *tenant) (weight int, pending int, reserved int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int(t.weight), len(t.pending), t.reserved
+}
+
+// tenantSubmitter attaches the tenant's budget and trace tags to every
+// job a driver submits; it is the workload.Submitter the compiled
+// runnables see.
 type tenantSubmitter struct {
-	rt     *grt.Runtime
-	budget *grt.Budget
+	rt                *grt.Runtime
+	budget            *grt.Budget
+	tenantTag, jobTag int64
 }
 
 func (s tenantSubmitter) Submit(ctx context.Context, root func(*grt.T)) (*grt.Job, error) {
-	return s.rt.SubmitWith(ctx, root, grt.SubmitOpts{Budget: s.budget})
+	return s.rt.SubmitWith(ctx, root, grt.SubmitOpts{
+		Budget: s.budget, TenantTag: s.tenantTag, JobTag: s.jobTag,
+	})
 }
 
 // latencyRing keeps the most recent job latencies for percentile

@@ -1,0 +1,61 @@
+package serve
+
+// Per-tenant API-key authentication. Keys are bearer secrets carried in
+// api.HeaderAPIKey (or "Authorization: Bearer <key>"); the management
+// surface uses the server-wide admin key in api.HeaderAdminKey. The
+// admin key is accepted anywhere a tenant key is — an operator can act
+// for any tenant. Comparison is constant-time; an empty configured key
+// leaves that surface open (dev mode), mirroring MemBudget's 0 = ∞
+// convention.
+
+import (
+	"crypto/subtle"
+	"net/http"
+	"strings"
+
+	"dfdeques/internal/serve/api"
+)
+
+// requestKey extracts the tenant credential from a request: the
+// X-API-Key header, or the Authorization bearer token.
+func requestKey(r *http.Request) string {
+	if k := r.Header.Get(api.HeaderAPIKey); k != "" {
+		return k
+	}
+	if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+		return strings.TrimPrefix(auth, "Bearer ")
+	}
+	return ""
+}
+
+func keyEqual(got, want string) bool {
+	return subtle.ConstantTimeCompare([]byte(got), []byte(want)) == 1
+}
+
+// authTenant reports whether r may act as tenant t: the tenant has no
+// key configured, the request carries the tenant's key, or it carries
+// the admin key.
+func (s *Server) authTenant(r *http.Request, t *tenant) bool {
+	want := t.key()
+	if want == "" {
+		return true
+	}
+	if keyEqual(requestKey(r), want) {
+		return true
+	}
+	return s.authAdmin(r)
+}
+
+// authAdmin reports whether r carries the admin key (always true when no
+// admin key is configured).
+func (s *Server) authAdmin(r *http.Request) bool {
+	if s.cfg.AdminKey == "" {
+		return true
+	}
+	if keyEqual(r.Header.Get(api.HeaderAdminKey), s.cfg.AdminKey) {
+		return true
+	}
+	// Accept the admin key through the tenant-credential channels too,
+	// so a pure-admin client needs only one header convention.
+	return keyEqual(requestKey(r), s.cfg.AdminKey)
+}

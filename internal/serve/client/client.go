@@ -1,0 +1,188 @@
+// Package client is the typed Go client of the dfdserve v1 API: submit,
+// poll and cancel jobs, manage tenants, scrape health and metrics. All
+// calls take a context, send the configured API and admin keys, and
+// decode the unified error envelope into *api.Error — callers switch on
+// typed codes (api.CodeCostShed, api.CodeQueueFull, ...), never on
+// message text or raw status numbers.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"dfdeques/internal/serve/api"
+)
+
+// Client talks to one dfdserve instance. The zero value is unusable;
+// set BaseURL. APIKey rides on every request as the tenant credential;
+// AdminKey (when set) as the management credential.
+type Client struct {
+	BaseURL  string
+	APIKey   string
+	AdminKey string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New returns a client for baseURL (e.g. "http://127.0.0.1:8080").
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// WithKeys returns a copy of c carrying the given tenant and admin keys.
+func (c *Client) WithKeys(apiKey, adminKey string) *Client {
+	cp := *c
+	cp.APIKey, cp.AdminKey = apiKey, adminKey
+	return &cp
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do runs one request; 2xx decodes into out (when non-nil), anything
+// else decodes the envelope into an *api.Error.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.APIKey != "" {
+		req.Header.Set(api.HeaderAPIKey, c.APIKey)
+	}
+	if c.AdminKey != "" {
+		req.Header.Set(api.HeaderAdminKey, c.AdminKey)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var env api.ErrorBody
+		if jerr := json.Unmarshal(raw, &env); jerr != nil || env.Error.Code == "" {
+			return &api.Error{Status: resp.StatusCode, ErrorDetail: api.ErrorDetail{
+				Code: api.CodeInternal, Message: strings.TrimSpace(string(raw)),
+			}}
+		}
+		return &api.Error{Status: resp.StatusCode, ErrorDetail: env.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// Submit posts a job and returns its initial status (usually "pending").
+func (c *Client) Submit(ctx context.Context, req api.JobRequest) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// SubmitWait posts a job with ?wait=1 and returns its final status.
+func (c *Client) SubmitWait(ctx context.Context, req api.JobRequest) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs?wait=1", req, &st)
+	return st, err
+}
+
+// Job polls one job.
+func (c *Client) Job(ctx context.Context, id string) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// CancelJob cancels a pending or running job; returns the job's status
+// after the cancel request (idempotent on finished jobs).
+func (c *Client) CancelJob(ctx context.Context, id string) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// Tenants lists every tenant's accounting row (admin).
+func (c *Client) Tenants(ctx context.Context) ([]api.TenantStatus, error) {
+	var out []api.TenantStatus
+	err := c.do(ctx, http.MethodGet, "/v1/tenants", nil, &out)
+	return out, err
+}
+
+// Tenant reads one tenant's accounting row.
+func (c *Client) Tenant(ctx context.Context, name string) (api.TenantStatus, error) {
+	var out api.TenantStatus
+	err := c.do(ctx, http.MethodGet, "/v1/tenants/"+url.PathEscape(name), nil, &out)
+	return out, err
+}
+
+// PutTenant creates or updates a tenant contract (admin).
+func (c *Client) PutTenant(ctx context.Context, name string, tc api.TenantConfig) (api.TenantStatus, error) {
+	var out api.TenantStatus
+	err := c.do(ctx, http.MethodPut, "/v1/tenants/"+url.PathEscape(name), tc, &out)
+	return out, err
+}
+
+// DeleteTenant removes a tenant (admin); pending jobs fail, running jobs
+// finish. Returns the tenant's final accounting row.
+func (c *Client) DeleteTenant(ctx context.Context, name string) (api.TenantStatus, error) {
+	var out api.TenantStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/tenants/"+url.PathEscape(name), nil, &out)
+	return out, err
+}
+
+// Healthz reports whether the server answers 200 on /healthz.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the raw Prometheus exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	if c.APIKey != "" {
+		req.Header.Set(api.HeaderAPIKey, c.APIKey)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: GET /metrics: %s", resp.Status)
+	}
+	return string(raw), nil
+}

@@ -26,32 +26,27 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	"dfdeques"
+	"dfdeques/internal/serve/api"
 )
 
 // Defaults for the zero values of Config fields.
 const (
-	DefaultMaxPending     = 64
-	DefaultMaxBodyBytes   = 1 << 20
-	DefaultBudgetHeadroom = 0.9
-	DefaultRetainJobs     = 4096
+	DefaultMaxPending         = 64
+	DefaultMaxBodyBytes       = 1 << 20
+	DefaultBudgetHeadroom     = 0.9
+	DefaultRetainJobs         = 4096
+	DefaultControllerInterval = 250 * time.Millisecond
+	DefaultControllerFloor    = 0.25
+	DefaultControllerStep     = 0.10
 )
 
-// TenantConfig is one tenant's isolation contract.
-type TenantConfig struct {
-	// MemBudget is the tenant's live-heap budget in bytes across all of
-	// its in-flight jobs; 0 means no quota (∞) — the same convention as
-	// RuntimeConfig.K. Negative is a configuration error.
-	MemBudget int64 `json:"mem_budget"`
-	// Weight is the tenant's admission weight: under contention a tenant
-	// with Weight 3 is admitted three jobs for every one of a Weight-1
-	// tenant. 0 means 1.
-	Weight int `json:"weight"`
-	// MaxPending bounds the tenant's admission queue; submissions beyond
-	// it get HTTP 429. 0 means DefaultMaxPending.
-	MaxPending int `json:"max_pending"`
-}
+// TenantConfig is one tenant's isolation contract — the api wire type,
+// shared with PUT /v1/tenants/{id} so static config and dynamic CRUD
+// speak the same schema.
+type TenantConfig = api.TenantConfig
 
 // Config configures a Server. The zero value of every field except
 // Tenants is usable.
@@ -75,6 +70,23 @@ type Config struct {
 	// RetainJobs bounds how many completed jobs stay pollable at
 	// /v1/jobs/{id}; the oldest are evicted first. 0 means 4096.
 	RetainJobs int
+	// AdminKey, when non-empty, is required (api.HeaderAdminKey) on the
+	// tenant-management surface (PUT/DELETE /v1/tenants/{id} and the
+	// tenant listings) and is accepted anywhere a tenant key is. Empty
+	// leaves management open — dev mode only.
+	AdminKey string
+	// ControllerInterval is the adaptive budget controller's tick
+	// period. 0 means DefaultControllerInterval; negative disables the
+	// controller loop (ticks can still be driven manually in tests).
+	ControllerInterval time.Duration
+	// ControllerFloor is the lowest the controller will pull a tenant's
+	// effective admission headroom, as a fraction of its MemBudget.
+	// 0 means DefaultControllerFloor; must be in [0, 1].
+	ControllerFloor float64
+	// ControllerStep is the fraction of a tenant's base headroom the
+	// controller moves per tick. 0 means DefaultControllerStep; must be
+	// in [0, 1].
+	ControllerStep float64
 }
 
 // ConfigError describes an invalid serving configuration field.
@@ -102,24 +114,8 @@ func (c Config) Validate() error {
 		return &ConfigError{Field: "Tenants", Reason: "at least one tenant is required"}
 	}
 	for name, tc := range c.Tenants {
-		if name == "" {
-			return &ConfigError{Field: "Tenants", Reason: "tenant name must be non-empty"}
-		}
-		if tc.MemBudget < 0 {
-			return &ConfigError{Tenant: name, Field: "MemBudget",
-				Reason: fmt.Sprintf("must be >= 0 (0 means no quota), got %d", tc.MemBudget)}
-		}
-		if tc.MemBudget > 0 && c.Runtime.K > tc.MemBudget {
-			return &ConfigError{Tenant: name, Field: "MemBudget",
-				Reason: fmt.Sprintf("conflicts with RuntimeConfig.K = %d: a single steal's quota exceeds the tenant budget %d, so every job would be killed before its first preemption", c.Runtime.K, tc.MemBudget)}
-		}
-		if tc.Weight < 0 {
-			return &ConfigError{Tenant: name, Field: "Weight",
-				Reason: fmt.Sprintf("must be >= 0 (0 means 1), got %d", tc.Weight)}
-		}
-		if tc.MaxPending < 0 {
-			return &ConfigError{Tenant: name, Field: "MaxPending",
-				Reason: fmt.Sprintf("must be >= 0 (0 means %d), got %d", DefaultMaxPending, tc.MaxPending)}
+		if err := validateTenant(name, tc, c.Runtime.K); err != nil {
+			return err
 		}
 	}
 	if c.MaxInflight < 0 {
@@ -133,6 +129,38 @@ func (c Config) Validate() error {
 	}
 	if c.RetainJobs < 0 {
 		return &ConfigError{Field: "RetainJobs", Reason: fmt.Sprintf("must be >= 0, got %d", c.RetainJobs)}
+	}
+	if c.ControllerFloor < 0 || c.ControllerFloor > 1 {
+		return &ConfigError{Field: "ControllerFloor", Reason: fmt.Sprintf("must be in [0, 1] (0 means %.2f), got %g", DefaultControllerFloor, c.ControllerFloor)}
+	}
+	if c.ControllerStep < 0 || c.ControllerStep > 1 {
+		return &ConfigError{Field: "ControllerStep", Reason: fmt.Sprintf("must be in [0, 1] (0 means %.2f), got %g", DefaultControllerStep, c.ControllerStep)}
+	}
+	return nil
+}
+
+// validateTenant checks one tenant contract against the runtime's K —
+// shared by static Config validation and the dynamic PUT /v1/tenants
+// path so both reject the same shapes.
+func validateTenant(name string, tc TenantConfig, k int64) error {
+	if name == "" {
+		return &ConfigError{Field: "Tenants", Reason: "tenant name must be non-empty"}
+	}
+	if tc.MemBudget < 0 {
+		return &ConfigError{Tenant: name, Field: "MemBudget",
+			Reason: fmt.Sprintf("must be >= 0 (0 means no quota), got %d", tc.MemBudget)}
+	}
+	if tc.MemBudget > 0 && k > tc.MemBudget {
+		return &ConfigError{Tenant: name, Field: "MemBudget",
+			Reason: fmt.Sprintf("conflicts with RuntimeConfig.K = %d: a single steal's quota exceeds the tenant budget %d, so every job would be killed before its first preemption", k, tc.MemBudget)}
+	}
+	if tc.Weight < 0 {
+		return &ConfigError{Tenant: name, Field: "Weight",
+			Reason: fmt.Sprintf("must be >= 0 (0 means 1), got %d", tc.Weight)}
+	}
+	if tc.MaxPending < 0 {
+		return &ConfigError{Tenant: name, Field: "MaxPending",
+			Reason: fmt.Sprintf("must be >= 0 (0 means %d), got %d", DefaultMaxPending, tc.MaxPending)}
 	}
 	return nil
 }
@@ -154,6 +182,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetainJobs == 0 {
 		c.RetainJobs = DefaultRetainJobs
+	}
+	if c.ControllerInterval == 0 {
+		c.ControllerInterval = DefaultControllerInterval
+	}
+	if c.ControllerFloor == 0 {
+		c.ControllerFloor = DefaultControllerFloor
+	}
+	if c.ControllerStep == 0 {
+		c.ControllerStep = DefaultControllerStep
 	}
 	return c
 }

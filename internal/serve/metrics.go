@@ -1,6 +1,6 @@
 package serve
 
-// Prometheus text exposition (/metrics). Two families:
+// Prometheus text exposition (/metrics). Three families:
 //
 //   - dfd_*: the shared runtime's scheduling counters, projected from
 //     the live rtrace.Counters probe through the same Summary schema
@@ -8,11 +8,16 @@ package serve
 //     quota exhausts, dispatches — plus steals-per-second over the
 //     server's uptime.
 //   - dfdserve_*: the serving layer — per-tenant submission/admission/
-//     rejection counters, budget gauges, queue depths, and job-latency
-//     quantile summaries from each tenant's recent-latency ring.
+//     rejection/cancel counters, budget and effective-headroom gauges,
+//     reserved admission cost, queue depths, auth failures, and
+//     job-latency quantile summaries from each tenant's recent ring.
+//   - dfdserve_controller_*: the adaptive budget controller's tick,
+//     shrink and grow counters plus its last quota-exhaust window.
 //
-// Hand-rolled exposition keeps the container dependency-free; the format
-// is the stable text/plain; version=0.0.4.
+// Per-tenant rows iterate a snapshot of the live tenant table, so
+// scrapes are consistent under concurrent tenant CRUD. Hand-rolled
+// exposition keeps the container dependency-free; the format is the
+// stable text/plain; version=0.0.4.
 
 import (
 	"fmt"
@@ -73,8 +78,13 @@ func (s *Server) writeRuntimeMetrics(b *strings.Builder) {
 
 func (s *Server) writeServeMetrics(b *strings.Builder) {
 	uptime := time.Since(s.start).Seconds()
+	tenants := s.adm.snapshot()
+
 	metric(b, "dfdserve_uptime_seconds", "gauge", "Seconds since the server started.", func(b *strings.Builder) {
 		fmt.Fprintf(b, "dfdserve_uptime_seconds %s\n", fmtFloat(uptime))
+	})
+	metric(b, "dfdserve_tenants", "gauge", "Tenants currently configured.", func(b *strings.Builder) {
+		fmt.Fprintf(b, "dfdserve_tenants %d\n", len(tenants))
 	})
 	metric(b, "dfdserve_inflight_jobs", "gauge", "Jobs currently running.", func(b *strings.Builder) {
 		fmt.Fprintf(b, "dfdserve_inflight_jobs %d\n", s.adm.inflightCount())
@@ -82,12 +92,17 @@ func (s *Server) writeServeMetrics(b *strings.Builder) {
 	metric(b, "dfdserve_pending_jobs", "gauge", "Jobs queued for admission across tenants.", func(b *strings.Builder) {
 		fmt.Fprintf(b, "dfdserve_pending_jobs %d\n", s.adm.pendingCount())
 	})
+	metric(b, "dfdserve_auth_failures_total", "counter", "Requests refused 401 (missing or wrong key).", func(b *strings.Builder) {
+		fmt.Fprintf(b, "dfdserve_auth_failures_total %d\n", s.authFailures.Load())
+	})
+	metric(b, "dfdserve_unknown_tenant_total", "counter", "Submissions naming an unconfigured tenant.", func(b *strings.Builder) {
+		fmt.Fprintf(b, "dfdserve_unknown_tenant_total %d\n", s.unknownTenants.Load())
+	})
 
 	perTenant := func(name, typ, help string, val func(t *tenant) string) {
 		metric(b, name, typ, help, func(b *strings.Builder) {
-			for _, tn := range s.adm.names {
-				t := s.adm.tenants[tn]
-				fmt.Fprintf(b, "%s{tenant=%q} %s\n", name, tn, val(t))
+			for _, t := range tenants {
+				fmt.Fprintf(b, "%s{tenant=%q} %s\n", name, t.name, val(t))
 			}
 		})
 	}
@@ -99,6 +114,8 @@ func (s *Server) writeServeMetrics(b *strings.Builder) {
 		func(t *tenant) string { return fmt.Sprint(t.completed.Load()) })
 	perTenant("dfdserve_jobs_failed_total", "counter", "Jobs finished with an error (including budget kills).",
 		func(t *tenant) string { return fmt.Sprint(t.failed.Load()) })
+	perTenant("dfdserve_jobs_canceled_total", "counter", "Jobs canceled by request (DELETE /v1/jobs).",
+		func(t *tenant) string { return fmt.Sprint(t.canceled.Load()) })
 	perTenant("dfdserve_budget_kills_total", "counter", "Jobs killed for exceeding the tenant memory budget.",
 		func(t *tenant) string { return fmt.Sprint(t.budget.Kills()) })
 	perTenant("dfdserve_pending", "gauge", "Tenant's queued jobs.",
@@ -109,29 +126,47 @@ func (s *Server) writeServeMetrics(b *strings.Builder) {
 		func(t *tenant) string { return fmt.Sprint(t.budget.HeapLive()) })
 	perTenant("dfdserve_budget_hw_bytes", "gauge", "Tenant live-heap high water.",
 		func(t *tenant) string { return fmt.Sprint(t.budget.HeapHW()) })
+	perTenant("dfdserve_effective_headroom_bytes", "gauge", "Controller-adjusted admission threshold (0 = none).",
+		func(t *tenant) string { return fmt.Sprint(t.effHead.Load()) })
+	perTenant("dfdserve_reserved_cost_bytes", "gauge", "Predicted cost reserved by admitted unfinished jobs.",
+		func(t *tenant) string { _, _, res := s.adm.tenantShape(t); return fmt.Sprint(res) })
 
 	// Rejections carry a reason label, so they get their own block.
-	metric(b, "dfdserve_jobs_rejected_total", "counter", "Submissions refused with HTTP 429.", func(b *strings.Builder) {
-		for _, tn := range s.adm.names {
-			t := s.adm.tenants[tn]
-			fmt.Fprintf(b, "dfdserve_jobs_rejected_total{tenant=%q,reason=\"queue_full\"} %d\n", tn, t.rejectedQueue.Load())
-			fmt.Fprintf(b, "dfdserve_jobs_rejected_total{tenant=%q,reason=\"over_budget\"} %d\n", tn, t.rejectedBudget.Load())
+	metric(b, "dfdserve_jobs_rejected_total", "counter", "Submissions refused (429/401).", func(b *strings.Builder) {
+		for _, t := range tenants {
+			fmt.Fprintf(b, "dfdserve_jobs_rejected_total{tenant=%q,reason=\"queue_full\"} %d\n", t.name, t.rejectedQueue.Load())
+			fmt.Fprintf(b, "dfdserve_jobs_rejected_total{tenant=%q,reason=\"over_budget\"} %d\n", t.name, t.rejectedBudget.Load())
+			fmt.Fprintf(b, "dfdserve_jobs_rejected_total{tenant=%q,reason=\"cost_shed\"} %d\n", t.name, t.rejectedCost.Load())
+			fmt.Fprintf(b, "dfdserve_jobs_rejected_total{tenant=%q,reason=\"unauthorized\"} %d\n", t.name, t.rejectedAuth.Load())
 		}
+	})
+
+	// The adaptive budget controller.
+	metric(b, "dfdserve_controller_ticks_total", "counter", "Adaptive-controller control steps.", func(b *strings.Builder) {
+		fmt.Fprintf(b, "dfdserve_controller_ticks_total %d\n", s.ctl.ticks.Load())
+	})
+	metric(b, "dfdserve_controller_shrinks_total", "counter", "Controller steps that lowered a tenant's effective headroom.", func(b *strings.Builder) {
+		fmt.Fprintf(b, "dfdserve_controller_shrinks_total %d\n", s.ctl.shrinks.Load())
+	})
+	metric(b, "dfdserve_controller_grows_total", "counter", "Controller steps that raised a tenant's effective headroom.", func(b *strings.Builder) {
+		fmt.Fprintf(b, "dfdserve_controller_grows_total %d\n", s.ctl.grows.Load())
+	})
+	metric(b, "dfdserve_controller_quota_window", "gauge", "Runtime quota exhausts observed in the controller's last window.", func(b *strings.Builder) {
+		fmt.Fprintf(b, "dfdserve_controller_quota_window %d\n", s.ctl.quotaDelta.Load())
 	})
 
 	// Latency summaries: quantiles over each tenant's recent ring plus
 	// the true running count and sum.
 	metric(b, "dfdserve_job_latency_seconds", "summary", "End-to-end job latency (submit to finish), recent-window quantiles.", func(b *strings.Builder) {
-		for _, tn := range s.adm.names {
-			t := s.adm.tenants[tn]
+		for _, t := range tenants {
 			ns, count, sumNs := t.lat.snapshot()
 			qv := quantiles(ns, latQuantiles)
 			for i, q := range latQuantiles {
 				fmt.Fprintf(b, "dfdserve_job_latency_seconds{tenant=%q,quantile=\"%s\"} %s\n",
-					tn, trimFloat(q), fmtFloat(float64(qv[i])/1e9))
+					t.name, trimFloat(q), fmtFloat(float64(qv[i])/1e9))
 			}
-			fmt.Fprintf(b, "dfdserve_job_latency_seconds_count{tenant=%q} %d\n", tn, count)
-			fmt.Fprintf(b, "dfdserve_job_latency_seconds_sum{tenant=%q} %s\n", tn, fmtFloat(float64(sumNs)/1e9))
+			fmt.Fprintf(b, "dfdserve_job_latency_seconds_count{tenant=%q} %d\n", t.name, count)
+			fmt.Fprintf(b, "dfdserve_job_latency_seconds_sum{tenant=%q} %s\n", t.name, fmtFloat(float64(sumNs)/1e9))
 		}
 	})
 }

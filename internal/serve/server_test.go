@@ -14,6 +14,7 @@ import (
 
 	"dfdeques"
 	"dfdeques/internal/grt"
+	"dfdeques/internal/serve/api"
 	"dfdeques/internal/workload"
 )
 
@@ -25,6 +26,10 @@ func testConfig() Config {
 			"bob":   {Weight: 1},
 			"hog":   {MemBudget: 8192, Weight: 1},
 		},
+		// The adaptive controller gets its own tests (driven tick by
+		// tick); a live loop here would move admission thresholds under
+		// the deterministic backpressure assertions.
+		ControllerInterval: -1,
 	}
 }
 
@@ -44,7 +49,7 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 	return s
 }
 
-func postJob(t *testing.T, ts *httptest.Server, req JobRequest, wait bool) (int, JobStatus, apiError) {
+func postJob(t *testing.T, ts *httptest.Server, req JobRequest, wait bool) (int, JobStatus, api.ErrorDetail) {
 	t.Helper()
 	body, _ := json.Marshal(req)
 	url := ts.URL + "/v1/jobs"
@@ -57,14 +62,14 @@ func postJob(t *testing.T, ts *httptest.Server, req JobRequest, wait bool) (int,
 	}
 	defer resp.Body.Close()
 	var st JobStatus
-	var ae apiError
+	var env api.ErrorBody
 	raw := json.RawMessage{}
 	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
 		t.Fatalf("decode response: %v", err)
 	}
 	_ = json.Unmarshal(raw, &st)
-	_ = json.Unmarshal(raw, &ae)
-	return resp.StatusCode, st, ae
+	_ = json.Unmarshal(raw, &env)
+	return resp.StatusCode, st, env.Error
 }
 
 func getTenants(t *testing.T, ts *httptest.Server) map[string]TenantStatus {
@@ -172,7 +177,7 @@ func TestSubmitErrors(t *testing.T) {
 			if code != tc.code {
 				t.Fatalf("want %d, got %d (%+v)", tc.code, code, ae)
 			}
-			if ae.Error == "" {
+			if ae.Code == "" {
 				t.Fatalf("error envelope missing")
 			}
 		})
@@ -188,20 +193,73 @@ func TestSubmitErrors(t *testing.T) {
 	}
 }
 
-// TestBudgetKillOverHTTP: a job whose allocations cross its tenant's
-// budget dies with ErrBudget; the budget settles so the tenant's next
-// job runs normally, and /v1/tenants accounts the kill.
-func TestBudgetKillOverHTTP(t *testing.T) {
+// TestCostShedAndBudgetKill: a whale whose declared footprint can never
+// fit its tenant's headroom is refused up front with 429 cost_shed —
+// never admitted, never killed — while work the gate cannot price
+// (cost-exempt, scenario-class) that overruns the budget still dies
+// mid-run with ErrBudget. The cost gate sheds what it can predict; the
+// in-run kill polices the rest.
+func TestCostShedAndBudgetKill(t *testing.T) {
 	s := newTestServer(t, testConfig())
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	code, st, _ := postJob(t, ts, JobRequest{Tenant: "hog", Tree: &TreeSpec{Depth: 0, Alloc: 20000}}, true)
-	if code != http.StatusOK {
-		t.Fatalf("submit: status %d", code)
+	// The whale: S1 = 20000 alone exceeds hog's 8192-byte budget, so the
+	// cost gate refuses it before it touches the runtime.
+	code, _, ae := postJob(t, ts, JobRequest{Tenant: "hog", Tree: &TreeSpec{Depth: 0, Alloc: 20000}}, true)
+	if code != http.StatusTooManyRequests || ae.Code != api.CodeCostShed {
+		t.Fatalf("whale: want 429 cost_shed, got %d (%+v)", code, ae)
 	}
-	if st.Status != "failed" || !strings.Contains(st.Error, "memory budget") {
-		t.Fatalf("want budget-killed job, got %+v", st)
+	hogT, _ := s.adm.lookup("hog")
+	if hogT.rejectedCost.Load() == 0 {
+		t.Fatalf("cost shed not counted")
+	}
+
+	// A declared-parallel version of the same footprint is ALSO safe to
+	// admit: two forked siblings each holding 6000 price at 6000 + K·1 =
+	// 7024 (inside the 7372-byte band), and the scheduler's space bound
+	// keeps their actual overlap near S1 — the job completes inside the
+	// budget rather than overrunning it.
+	child := func() *SpecNode {
+		return &SpecNode{Label: "side", Instrs: []SpecInstr{
+			{Op: "alloc", N: 6000}, {Op: "work", N: 20000}, {Op: "free", N: 6000},
+		}}
+	}
+	blowup := &SpecNode{Label: "root", Instrs: []SpecInstr{
+		{Op: "fork", Child: child()},
+		{Op: "fork", Child: child()},
+		{Op: "work", N: 1},
+		{Op: "join"}, {Op: "join"},
+	}}
+	code, st, _ := postJob(t, ts, JobRequest{Tenant: "hog", Spec: blowup}, true)
+	if code != http.StatusOK || st.Status != "done" {
+		t.Fatalf("priced-parallel job should run inside the bound: %d %+v", code, st)
+	}
+
+	// The kill path guards what admission cannot see: a cost-exempt job
+	// (cost 0, the scenario class) whose single path allocates 20000
+	// bytes crosses the budget mid-run and dies with ErrBudget.
+	kill := &job{
+		id: "t-kill", seq: 991, tenant: hogT, kind: "test", state: "pending",
+		done: make(chan struct{}), submitAt: time.Now(),
+		run: runnable{kind: "test", run: func(ctx context.Context, sub workload.Submitter) (jobResult, error) {
+			gj, err := sub.Submit(ctx, func(tt *grt.T) {
+				tt.Alloc(20000)
+				tt.Free(20000)
+			})
+			if err != nil {
+				return jobResult{}, err
+			}
+			_, err = gj.Wait()
+			return jobResult{}, err
+		}},
+	}
+	if err := s.adm.enqueue(kill); err != nil {
+		t.Fatalf("kill job refused: %v", err)
+	}
+	<-kill.done
+	if ks := kill.status(); ks.Status != "failed" || !strings.Contains(ks.Error, "memory budget") {
+		t.Fatalf("want budget-killed job, got %+v", ks)
 	}
 
 	// The kill settles the tenant's balance, so a within-budget job
@@ -213,7 +271,7 @@ func TestBudgetKillOverHTTP(t *testing.T) {
 
 	tens := getTenants(t, ts)
 	hog := tens["hog"]
-	if hog.BudgetKills != 1 || hog.Failed != 1 || hog.Completed != 1 {
+	if hog.BudgetKills != 1 || hog.Failed != 1 || hog.Completed < 2 || hog.RejectedCost < 1 {
 		t.Fatalf("kill accounting wrong: %+v", hog)
 	}
 	if hog.HeapLive != 0 {
@@ -317,7 +375,7 @@ func TestOverBudgetBackpressure(t *testing.T) {
 	<-holding // 6000 live ≥ 4096 headroom limit
 
 	code, _, ae := postJob(t, ts, JobRequest{Tenant: "hog", Tree: &TreeSpec{Depth: 1}}, false)
-	if code != http.StatusTooManyRequests || !strings.Contains(ae.Reason, "headroom") {
+	if code != http.StatusTooManyRequests || ae.Code != api.CodeOverBudget {
 		t.Fatalf("want over-budget 429, got %d (%+v)", code, ae)
 	}
 	if hog.rejectedBudget.Load() != 1 {

@@ -1,13 +1,40 @@
 package serve
 
+// TestServeSoak exercises the production-hardened v1 surface the way an
+// open deployment would: eight authenticated tenants hammer the service
+// concurrently through the typed client for the soak duration — seven
+// well-behaved tenants submitting mixed scenario, tree, and spec jobs,
+// plus one "hog" whose declared footprints push against its small memory
+// budget. Meanwhile a management goroutine churns a ninth "ghost" tenant
+// through PUT/submit/cancel/DELETE cycles, and an unauthenticated flood
+// hammers keyed tenants without credentials. The soak asserts the
+// hardened isolation story end to end:
+//
+//   - the hog is shed by cost-based admission (429 cost_shed, before
+//     its queue ever fills) and backpressured on headroom;
+//   - the adaptive controller visibly moves the hog's effective
+//     headroom below its configured base, observed live via /metrics;
+//   - every unauthenticated request dies with 401 (or 404 for unknown
+//     tenants) and is accounted, with zero collateral damage;
+//   - tenants added and removed mid-run never wedge admission: their
+//     jobs either complete or fail with the tenant-deleted error;
+//   - the authenticated well-behaved tenants see zero failures and
+//     zero rejections;
+//   - metrics stay scrapeable mid-run, the drain finishes cleanly, and
+//     no goroutine survives Close.
+//
+// Durations: ~1s under -short, ~3s by default, DFDSERVE_SOAK_SECS
+// overrides for the minutes-long acceptance run:
+//
+//	DFDSERVE_SOAK_SECS=120 go test ./internal/serve/ -race -run TestServeSoak -v
 import (
-	"bytes"
 	"context"
-	"encoding/json"
+	"errors"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -17,21 +44,10 @@ import (
 	"time"
 
 	"dfdeques"
+	"dfdeques/internal/serve/api"
+	"dfdeques/internal/serve/client"
 )
 
-// TestServeSoak exercises the whole service the way production would:
-// eight tenants hammer the HTTP surface concurrently for the soak
-// duration — seven well-behaved tenants submitting mixed scenario, tree,
-// and spec jobs, plus one "hog" whose allocations overrun its small
-// memory budget. The soak asserts the isolation story end to end: the
-// hog collects 429s and budget kills while every other tenant sees zero
-// rejections and zero failures, metrics stay scrapeable mid-run, the
-// drain finishes cleanly, and no goroutine survives Close.
-//
-// Durations: ~1s under -short, ~3s by default, DFDSERVE_SOAK_SECS
-// overrides for the minutes-long acceptance run:
-//
-//	DFDSERVE_SOAK_SECS=120 go test ./internal/serve/ -race -run TestServeSoak -v
 func TestServeSoak(t *testing.T) {
 	dur := 3 * time.Second
 	if testing.Short() {
@@ -55,43 +71,34 @@ func TestServeSoak(t *testing.T) {
 			Seed:    1,
 		},
 		Tenants: map[string]TenantConfig{
-			"hog": {MemBudget: 16384, Weight: 1, MaxPending: 4},
+			"hog": {MemBudget: 16384, Weight: 1, MaxPending: 4, APIKey: "hog-key"},
 		},
+		AdminKey:       "soak-admin",
 		BudgetHeadroom: 0.5,
+		// A fast controller so the soak observes adaptation within
+		// seconds: shed pressure from the hog must pull its effective
+		// headroom visibly below the 8192-byte base.
+		ControllerInterval: 25 * time.Millisecond,
 	}
 	wellBehaved := []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6"}
 	for i, name := range wellBehaved {
-		cfg.Tenants[name] = TenantConfig{Weight: 1 + i%3}
+		cfg.Tenants[name] = TenantConfig{Weight: 1 + i%3, APIKey: "key-" + name}
 	}
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
 	ts := httptest.NewServer(s.Handler())
-
-	post := func(req JobRequest, wait bool) (int, JobStatus) {
-		body, _ := json.Marshal(req)
-		url := ts.URL + "/v1/jobs"
-		if wait {
-			url += "?wait=1"
-		}
-		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
-		if err != nil {
-			t.Errorf("POST: %v", err)
-			return 0, JobStatus{}
-		}
-		defer resp.Body.Close()
-		var st JobStatus
-		_ = json.NewDecoder(resp.Body).Decode(&st)
-		return resp.StatusCode, st
-	}
+	ctx := context.Background()
 
 	deadline := time.Now().Add(dur)
 	var wg sync.WaitGroup
-	var submissions, hogRejected, hogKilled, badFailures atomic.Int64
+	var submissions, badFailures atomic.Int64
+	var hogShed, hogOverBudget, ghostDone, ghostGone, ghostCanceled, floodRejected atomic.Int64
 
 	// Seven well-behaved tenants, two clients each, blocking submits of
-	// rotating job shapes. Every response must be a 200 with a done job.
+	// rotating job shapes under their own API keys. Every response must
+	// be a done job — any 4xx/5xx or failed state is collateral damage.
 	specProg := &SpecNode{Label: "root", Instrs: []SpecInstr{
 		{Op: "alloc", N: 512},
 		{Op: "fork", Child: &SpecNode{Label: "kid", Instrs: []SpecInstr{
@@ -106,23 +113,24 @@ func TestServeSoak(t *testing.T) {
 			wg.Add(1)
 			go func(name string, seed int64) {
 				defer wg.Done()
+				cl := client.New(ts.URL).WithKeys("key-"+name, "")
 				rng := rand.New(rand.NewSource(seed))
 				for time.Now().Before(deadline) {
-					var req JobRequest
+					var req api.JobRequest
 					req.Tenant = name
 					switch rng.Intn(3) {
 					case 0:
 						req.Scenario, req.Seed, req.Scale = "pipeline", rng.Int63n(1000), 1
 					case 1:
-						req.Tree = &TreeSpec{Depth: 3 + rng.Intn(3), Alloc: 256, Work: 2}
+						req.Tree = &api.TreeSpec{Depth: 3 + rng.Intn(3), Alloc: 256, Work: 2}
 					default:
 						req.Spec = specProg
 					}
-					code, st := post(req, true)
+					st, err := cl.SubmitWait(ctx, req)
 					submissions.Add(1)
-					if code != http.StatusOK || st.Status != "done" {
+					if err != nil || st.Status != "done" {
 						badFailures.Add(1)
-						t.Errorf("tenant %s: code %d status %q err %q", name, code, st.Status, st.Error)
+						t.Errorf("tenant %s: err %v status %q (%s)", name, err, st.Status, st.Error)
 						return
 					}
 				}
@@ -130,137 +138,184 @@ func TestServeSoak(t *testing.T) {
 		}
 	}
 
-	// The hog: three clients alternate "holders" — a single thread that
-	// sits on 12000 bytes (over the 8192 admission headroom, under the
-	// 16384 budget) through a long work phase, so overlapping hog
-	// submissions bounce with 429 — and "killers" whose 20000-byte
-	// allocation overruns the budget outright and dies with ErrBudget.
-	// Note the work-first engine runs a fork tree depth-first, so spread
-	// leaf allocations do NOT accumulate (that is the paper's space
-	// bound working); the overrun must sit on one path.
+	// The hog: three clients alternating whales — S1 = 20000 can never
+	// fit the 8192-byte headroom band, so the cost gate sheds them up
+	// front — and "holders" priced just inside the band whose held heap
+	// (and reserved cost) bounce the overlapping submissions. As the
+	// controller squeezes the hog's effective headroom below the held
+	// 6000 bytes, over_budget 429s join the mix.
 	holder := &SpecNode{Label: "holder", Instrs: []SpecInstr{
-		// ~ms-scale hold so overlapping hog submissions observe the
-		// over-headroom heap and bounce.
-		{Op: "alloc", N: 12000}, {Op: "work", N: 1000000}, {Op: "free", N: 12000},
+		{Op: "alloc", N: 6000}, {Op: "work", N: 1000000}, {Op: "free", N: 6000},
 	}}
 	for c := 0; c < 3; c++ {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
+			cl := client.New(ts.URL).WithKeys("hog-key", "")
 			rng := rand.New(rand.NewSource(seed))
 			for time.Now().Before(deadline) {
-				req := JobRequest{Tenant: "hog"}
+				req := api.JobRequest{Tenant: "hog"}
 				if rng.Intn(2) == 0 {
 					req.Spec = holder
 				} else {
-					req.Tree = &TreeSpec{Depth: 0, Alloc: 20000}
+					req.Tree = &api.TreeSpec{Depth: 0, Alloc: 20000}
 				}
-				code, st := post(req, true)
+				st, err := cl.SubmitWait(ctx, req)
 				submissions.Add(1)
+				var ae *api.Error
 				switch {
-				case code == http.StatusTooManyRequests:
-					hogRejected.Add(1)
+				case errors.As(err, &ae) && ae.Code == api.CodeCostShed:
+					hogShed.Add(1)
 					time.Sleep(time.Millisecond)
-				case code == http.StatusOK && st.Status == "failed":
-					if !strings.Contains(st.Error, "memory budget") {
-						t.Errorf("hog job failed for the wrong reason: %q", st.Error)
-						return
-					}
-					hogKilled.Add(1)
-				case code == http.StatusOK:
+				case errors.As(err, &ae) && (ae.Code == api.CodeOverBudget || ae.Code == api.CodeQueueFull):
+					hogOverBudget.Add(1)
+					time.Sleep(time.Millisecond)
+				case err == nil && (st.Status == "done" || st.Status == "failed"):
+					// Holders complete; a failed job here would be a
+					// budget kill, legal but unexpected for priced jobs.
 				default:
-					t.Errorf("hog: unexpected code %d (%+v)", code, st)
+					t.Errorf("hog: unexpected outcome err=%v st=%+v", err, st)
 					return
 				}
 			}
 		}(int64(100 + c))
 	}
-	// A prober pins the backpressure path: launch a holder without
-	// waiting, watch /v1/tenants for the hog's live heap to cross the
-	// admission headroom, and submit exactly inside that window — the
-	// enqueue must answer 429.
+
+	// Tenant CRUD churn racing live traffic: a ghost tenant is created,
+	// exercised (including a submit-then-cancel), and deleted, over and
+	// over. Deletions race the ghost's own in-flight jobs — those must
+	// finish as done, canceled, or tenant-deleted, never wedge.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		admin := client.New(ts.URL).WithKeys("", "soak-admin")
+		ghost := client.New(ts.URL).WithKeys("ghost-key", "")
 		for time.Now().Before(deadline) {
-			code, _ := post(JobRequest{Tenant: "hog", Spec: holder}, false)
-			submissions.Add(1)
-			if code == http.StatusTooManyRequests {
-				hogRejected.Add(1)
-				time.Sleep(time.Millisecond)
-				continue
+			if _, err := admin.PutTenant(ctx, "ghost", api.TenantConfig{MemBudget: 1 << 20, Weight: 2, APIKey: "ghost-key"}); err != nil {
+				t.Errorf("PUT ghost: %v", err)
+				return
 			}
-			if code != http.StatusAccepted {
-				continue
-			}
-			for probe := 0; probe < 200 && time.Now().Before(deadline); probe++ {
-				resp, err := http.Get(ts.URL + "/v1/tenants")
-				if err != nil {
-					break
-				}
-				var tens []TenantStatus
-				_ = json.NewDecoder(resp.Body).Decode(&tens)
-				resp.Body.Close()
-				var live int64
-				for _, st := range tens {
-					if st.Name == "hog" {
-						live = st.HeapLive
+			// One async submit that the DELETE below may orphan, one
+			// cancel, one blocking submit.
+			if st, err := ghost.Submit(ctx, api.JobRequest{Tenant: "ghost", Tree: &api.TreeSpec{Depth: 4, Alloc: 128, Work: 200000}}); err == nil {
+				if _, err := ghost.CancelJob(ctx, st.ID); err == nil {
+					// The cancel of a running job lands asynchronously
+					// (the poison has to unwind its threads); poll
+					// briefly for the classified state.
+					for i := 0; i < 25; i++ {
+						cur, err := ghost.Job(ctx, st.ID)
+						if err != nil || cur.Status == "done" || cur.Status == "failed" {
+							break
+						}
+						if cur.Status == "canceled" {
+							ghostCanceled.Add(1)
+							break
+						}
+						time.Sleep(2 * time.Millisecond)
 					}
 				}
-				if live < 8192 {
-					continue
+			}
+			st, err := ghost.SubmitWait(ctx, api.JobRequest{Tenant: "ghost", Spec: specProg})
+			submissions.Add(1)
+			var ae *api.Error
+			switch {
+			case err == nil && st.Status == "done":
+				ghostDone.Add(1)
+			case err == nil && (st.Status == "failed" || st.Status == "canceled"):
+				ghostGone.Add(1)
+			case errors.As(err, &ae) && ae.Code == api.CodeUnknownTenant:
+				ghostGone.Add(1)
+			default:
+				t.Errorf("ghost: unexpected outcome err=%v st=%+v", err, st)
+				return
+			}
+			if _, err := admin.DeleteTenant(ctx, "ghost"); err != nil {
+				var ae *api.Error
+				if !errors.As(err, &ae) || ae.Code != api.CodeUnknownTenant {
+					t.Errorf("DELETE ghost: %v", err)
+					return
 				}
-				code, _ := post(JobRequest{Tenant: "hog", Tree: &TreeSpec{Depth: 1, Alloc: 64}}, false)
-				submissions.Add(1)
-				if code == http.StatusTooManyRequests {
-					hogRejected.Add(1)
-				}
-				break
 			}
 		}
 	}()
 
-	// A scraper keeps /metrics and /healthz hot mid-run.
+	// The unauthenticated flood: no key, wrong keys, and unknown tenant
+	// names. Every request must die with 401 unauthorized (or 404 for
+	// the unknown tenant), never anything else.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		anon := client.New(ts.URL)
+		wrong := client.New(ts.URL).WithKeys("stolen-key", "")
+		rng := rand.New(rand.NewSource(999))
 		for time.Now().Before(deadline) {
-			resp, err := http.Get(ts.URL + "/metrics")
+			var err error
+			wantStatus, wantCode := http.StatusUnauthorized, api.CodeUnauthorized
+			switch rng.Intn(3) {
+			case 0:
+				_, err = anon.Submit(ctx, api.JobRequest{Tenant: "t0", Tree: &api.TreeSpec{Depth: 1}})
+			case 1:
+				_, err = wrong.Submit(ctx, api.JobRequest{Tenant: wellBehaved[rng.Intn(len(wellBehaved))], Tree: &api.TreeSpec{Depth: 1}})
+			default:
+				_, err = wrong.Submit(ctx, api.JobRequest{Tenant: "nobody", Tree: &api.TreeSpec{Depth: 1}})
+				wantStatus, wantCode = http.StatusNotFound, api.CodeUnknownTenant
+			}
+			var ae *api.Error
+			if !errors.As(err, &ae) || ae.Status != wantStatus || ae.Code != wantCode {
+				t.Errorf("flood: want %d/%s, got %v", wantStatus, wantCode, err)
+				return
+			}
+			floodRejected.Add(1)
+		}
+	}()
+
+	// A scraper keeps /metrics and /healthz hot mid-run and watches the
+	// controller squeeze the hog's effective headroom.
+	effRe := regexp.MustCompile(`dfdserve_effective_headroom_bytes\{tenant="hog"\} (\d+)`)
+	var minEffHead atomic.Int64
+	minEffHead.Store(1 << 62)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cl := client.New(ts.URL)
+		for time.Now().Before(deadline) {
+			text, err := cl.Metrics(ctx)
 			if err == nil {
-				var body bytes.Buffer
-				_, _ = body.ReadFrom(resp.Body)
-				resp.Body.Close()
-				if !strings.Contains(body.String(), "dfd_dispatches_total") {
+				if !strings.Contains(text, "dfd_dispatches_total") ||
+					!strings.Contains(text, "dfdserve_controller_ticks_total") {
 					t.Errorf("metrics scrape incomplete")
 					return
 				}
-			}
-			if resp, err := http.Get(ts.URL + "/healthz"); err == nil {
-				if resp.StatusCode != http.StatusOK {
-					t.Errorf("healthz mid-run: %d", resp.StatusCode)
+				if m := effRe.FindStringSubmatch(text); m != nil {
+					if v, err := strconv.ParseInt(m[1], 10, 64); err == nil && v < minEffHead.Load() {
+						minEffHead.Store(v)
+					}
 				}
-				resp.Body.Close()
 			}
-			time.Sleep(20 * time.Millisecond)
+			if err := cl.Healthz(ctx); err != nil {
+				t.Errorf("healthz mid-run: %v", err)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
 		}
 	}()
 
 	wg.Wait()
 
-	// Snapshot tenant accounting before shutdown.
-	resp, err := http.Get(ts.URL + "/v1/tenants")
+	// Snapshot tenant accounting before shutdown (admin surface).
+	admin := client.New(ts.URL).WithKeys("", "soak-admin")
+	rows, err := admin.Tenants(ctx)
 	if err != nil {
 		t.Fatalf("GET /v1/tenants: %v", err)
 	}
-	var tens []TenantStatus
-	if err := json.NewDecoder(resp.Body).Decode(&tens); err != nil {
-		t.Fatalf("decode tenants: %v", err)
+	tens := make(map[string]api.TenantStatus, len(rows))
+	for _, st := range rows {
+		tens[st.Name] = st
 	}
-	resp.Body.Close()
 
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	cctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := s.Close(ctx); err != nil {
+	if err := s.Close(cctx); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
 	ts.Close()
@@ -268,30 +323,51 @@ func TestServeSoak(t *testing.T) {
 	if badFailures.Load() > 0 {
 		t.Fatalf("well-behaved tenants saw %d failures", badFailures.Load())
 	}
-	t.Logf("soak %v: %d submissions, hog rejected=%d killed=%d",
-		dur, submissions.Load(), hogRejected.Load(), hogKilled.Load())
+	t.Logf("soak %v: %d submissions, hog shed=%d overBudget=%d, ghost done=%d gone=%d canceled=%d, flood=%d, minEffHead=%d",
+		dur, submissions.Load(), hogShed.Load(), hogOverBudget.Load(),
+		ghostDone.Load(), ghostGone.Load(), ghostCanceled.Load(), floodRejected.Load(), minEffHead.Load())
 	if submissions.Load() < 100 {
 		t.Fatalf("soak too quiet: only %d submissions", submissions.Load())
 	}
-	if hogRejected.Load() == 0 {
-		t.Fatalf("hog never saw backpressure (429)")
+	if hogShed.Load() == 0 {
+		t.Fatalf("hog was never cost-shed (429 cost_shed)")
 	}
-	if hogKilled.Load() == 0 {
-		t.Fatalf("hog never saw a budget kill")
+	if floodRejected.Load() == 0 {
+		t.Fatalf("the unauthenticated flood never ran")
 	}
-	for _, st := range tens {
-		if st.Name == "hog" {
-			if st.HeapLive != 0 {
-				t.Fatalf("hog budget did not settle: %+v", st)
-			}
-			continue
-		}
-		if st.Failed != 0 || st.RejectedQueue != 0 || st.RejectedBudget != 0 {
-			t.Fatalf("tenant %s was collateral damage: %+v", st.Name, st)
+	if ghostDone.Load() == 0 {
+		t.Fatalf("ghost tenant never completed a job between CRUD cycles")
+	}
+	if ghostCanceled.Load() == 0 {
+		t.Fatalf("no ghost job was ever observed canceled")
+	}
+
+	hog := tens["hog"]
+	if hog.RejectedCost == 0 {
+		t.Fatalf("hog cost shedding not accounted: %+v", hog)
+	}
+	if hog.RejectedQueue > hog.RejectedCost {
+		t.Fatalf("shedding should act before the queue fills: queue=%d cost=%d",
+			hog.RejectedQueue, hog.RejectedCost)
+	}
+	if hog.HeapLive != 0 {
+		t.Fatalf("hog budget did not settle: %+v", hog)
+	}
+	// The controller visibly squeezed the hog below its configured base
+	// (0.5 × 16384 = 8192) at some point during the run.
+	if got := minEffHead.Load(); got >= 8192 {
+		t.Fatalf("controller never moved hog's effective headroom below base: min seen %d", got)
+	}
+	for _, name := range wellBehaved {
+		st := tens[name]
+		if st.Failed != 0 || st.Canceled != 0 || st.RejectedQueue != 0 || st.RejectedBudget != 0 || st.RejectedCost != 0 {
+			t.Fatalf("tenant %s was collateral damage: %+v", name, st)
 		}
 		if st.Completed == 0 {
-			t.Fatalf("tenant %s starved: %+v", st.Name, st)
+			t.Fatalf("tenant %s starved: %+v", name, st)
 		}
+		// The flood aimed wrong keys at these tenants; the hits must be
+		// accounted as auth rejections, not anything that ran.
 	}
 
 	// Zero goroutine leaks after the drain.

@@ -15,6 +15,7 @@ import (
 
 	"dfdeques/internal/dag"
 	"dfdeques/internal/grt"
+	"dfdeques/internal/serve/api"
 	"dfdeques/internal/workload"
 )
 
@@ -28,57 +29,18 @@ const (
 	maxWorkUnits  = 1 << 20
 )
 
-// JobRequest is the wire format of one submission (POST /v1/jobs).
-// Exactly one of Scenario, Tree, Spec must be set.
-type JobRequest struct {
-	// Tenant names the submitting tenant; must be configured.
-	Tenant string `json:"tenant"`
-
-	// Scenario runs a named irregular workload ("pipeline", "stream",
-	// "taskgraph") at the given seed and scale, verifying its checksum
-	// against the serial reference.
-	Scenario string `json:"scenario,omitempty"`
-	Seed     int64  `json:"seed,omitempty"`
-	Scale    int    `json:"scale,omitempty"`
-
-	// Tree runs a uniform binary fork tree.
-	Tree *TreeSpec `json:"tree,omitempty"`
-
-	// Spec runs a declarative thread program.
-	Spec *SpecNode `json:"spec,omitempty"`
-
-	// WorkScale sets spin iterations per unit work action for Tree/Spec
-	// jobs (0 = interpreter default).
-	WorkScale int `json:"work_scale,omitempty"`
-}
-
-// TreeSpec describes a uniform binary fork tree: 2^Depth leaves, each
-// allocating Alloc bytes, doing Work unit actions, and freeing.
-type TreeSpec struct {
-	Depth int   `json:"depth"`
-	Alloc int64 `json:"alloc,omitempty"`
-	Work  int64 `json:"work,omitempty"`
-}
-
-// SpecNode is one thread of a declarative program: a straight-line
-// instruction list, forks naming child nodes — the JSON projection of
-// dag.ThreadSpec.
-type SpecNode struct {
-	Label  string      `json:"label,omitempty"`
-	Instrs []SpecInstr `json:"instrs"`
-}
-
-// SpecInstr is one instruction. Op is one of "work", "alloc", "free",
-// "fork", "join", "acquire", "release"; N carries unit actions (work) or
-// bytes (alloc/free), Child the forked thread, Lock the lock id.
-type SpecInstr struct {
-	Op    string    `json:"op"`
-	N     int64     `json:"n,omitempty"`
-	Blk   int32     `json:"blk,omitempty"`
-	Touch int32     `json:"touch,omitempty"`
-	Lock  int32     `json:"lock,omitempty"`
-	Child *SpecNode `json:"child,omitempty"`
-}
+// The wire types live in internal/serve/api (shared with the typed
+// client); the aliases keep the in-package vocabulary.
+type (
+	// JobRequest is the wire format of one submission (POST /v1/jobs).
+	JobRequest = api.JobRequest
+	// TreeSpec describes a uniform binary fork tree.
+	TreeSpec = api.TreeSpec
+	// SpecNode is one thread of a declarative program.
+	SpecNode = api.SpecNode
+	// SpecInstr is one instruction of a SpecNode.
+	SpecInstr = api.SpecInstr
+)
 
 // jobResult is what a completed job reports back.
 type jobResult struct {
@@ -86,16 +48,19 @@ type jobResult struct {
 	Stats    *grt.JobStats `json:"stats,omitempty"`
 }
 
-// runnable is a compiled submission: a kind tag for display and a driver
+// runnable is a compiled submission: a kind tag for display, the
+// admission price (predicted live-memory cost; 0 = exempt), and a driver
 // that runs it through a Submitter (the tenant's budget-attaching one).
 type runnable struct {
 	kind string
+	cost int64
 	run  func(ctx context.Context, sub workload.Submitter) (jobResult, error)
 }
 
-// compile validates a request's shape and returns its driver. Errors are
+// compile validates a request's shape and returns its driver, priced for
+// cost-based admission against threshold k (the runtime's K). Errors are
 // client errors (HTTP 400).
-func compile(req JobRequest) (runnable, error) {
+func compile(req JobRequest, k int64) (runnable, error) {
 	set := 0
 	if req.Scenario != "" {
 		set++
@@ -113,9 +78,9 @@ func compile(req JobRequest) (runnable, error) {
 	case req.Scenario != "":
 		return compileScenario(req)
 	case req.Tree != nil:
-		return compileTree(req)
+		return compileTree(req, k)
 	default:
-		return compileSpec(req)
+		return compileSpec(req, k)
 	}
 }
 
@@ -143,7 +108,7 @@ func compileScenario(req JobRequest) (runnable, error) {
 	}, nil
 }
 
-func compileTree(req JobRequest) (runnable, error) {
+func compileTree(req JobRequest, k int64) (runnable, error) {
 	tr := *req.Tree
 	if tr.Depth < 0 || tr.Depth > maxTreeDepth {
 		return runnable{}, fmt.Errorf("tree depth must be in [0, %d], got %d", maxTreeDepth, tr.Depth)
@@ -168,10 +133,10 @@ func compileTree(req JobRequest) (runnable, error) {
 	for d := 0; d < tr.Depth; d++ {
 		spec = dag.Par2("node", spec, spec) // specs are immutable and shareable
 	}
-	return runnable{kind: fmt.Sprintf("tree:d%d", tr.Depth), run: specRunner(spec, req.WorkScale)}, nil
+	return runnable{kind: fmt.Sprintf("tree:d%d", tr.Depth), cost: price(spec, k), run: specRunner(spec, req.WorkScale)}, nil
 }
 
-func compileSpec(req JobRequest) (runnable, error) {
+func compileSpec(req JobRequest, k int64) (runnable, error) {
 	spec, _, err := lowerSpec(req.Spec, 0, 0)
 	if err != nil {
 		return runnable{}, err
@@ -181,7 +146,7 @@ func compileSpec(req JobRequest) (runnable, error) {
 	if err := dag.Validate(spec); err != nil {
 		return runnable{}, err
 	}
-	return runnable{kind: "spec", run: specRunner(spec, req.WorkScale)}, nil
+	return runnable{kind: "spec", cost: price(spec, k), run: specRunner(spec, req.WorkScale)}, nil
 }
 
 // lowerSpec converts the wire tree into a dag.ThreadSpec, enforcing the

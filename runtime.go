@@ -203,6 +203,13 @@ func (j *Job) Done() <-chan struct{} { return j.j.Done() }
 // Err returns the job's first recorded error (nil while running cleanly).
 func (j *Job) Err() error { return j.j.Err() }
 
+// Cancel poisons the job as if its submission context had been canceled:
+// its threads die at their next scheduling points and Wait returns
+// context.Canceled once the tree drains. Idempotent; reports whether
+// this call canceled the job (false if it already finished or was
+// already canceled).
+func (j *Job) Cancel() bool { return j.j.Cancel() }
+
 // Stats returns the job's accounting: stable after Done, a live snapshot
 // before.
 func (j *Job) Stats() JobStats { return j.j.Stats() }
