@@ -263,7 +263,7 @@ func (pl *Pool[T]) noteR() {
 // executing thread (ok=false when idle) for clause (2).
 func (pl *Pool[T]) CheckInvariants(curr func(w int) (T, bool)) error {
 	for i := 0; i < pl.r.Len(); i++ {
-		items := pl.r.Kth(i).UnsafeItems()
+		items := pl.r.Kth(i).Items()
 		for j := 1; j < len(items); j++ {
 			if !pl.less(items[j], items[j-1]) {
 				return fmt.Errorf("core: lemma 3.1(1): deque %d unsorted at %d", i, j)

@@ -16,11 +16,14 @@ import (
 //
 // Synchronization design (see DESIGN.md §5, "beyond the paper"):
 //
-//   - Every deque carries its own lock (deque.Deque.Mu) plus the biased
-//     owner fast path (deque.OwnerAcquire): the owner's hot path — PushOwn
-//     on fork, PopOwn on block — runs lock-free while no thief has
-//     targeted the deque, and falls back to Mu (rebiasing on the way out)
-//     once one has. Thieves always take Mu and Share the deque first.
+//   - Every item operation on a deque is NONBLOCKING: the ABP-style
+//     tag/bottom protocol in internal/deque gives the owner a lock-free
+//     PushTop/PopTop and thieves a single-CAS PopBottom, with a
+//     generation tag defeating ABA across the freelist recycling below.
+//     There is no per-deque mutex at all — a preempted thief can never
+//     wedge an owner, and owners never block thieves. (This replaces the
+//     PR 5 biased protocol, whose Share bit degraded every owner op to a
+//     plain Mu the moment a thief touched the deque.)
 //   - R's spine (membership and left-to-right order) is guarded by an
 //     RWMutex. Only operations that change membership take it exclusively:
 //     Steal (pop-bottom + insert-right must be one linearization point, or
@@ -28,20 +31,31 @@ import (
 //     priority order), deque deletion, and the woken-thread insert. The
 //     read side covers cheap observations — including Steal's screening
 //     phase, which rejects an empty victim via SizeHint without ever
-//     taking the spine exclusively.
+//     taking the spine exclusively. The spine serializes thieves against
+//     each other and against membership changes, never against an owner's
+//     push/pop: the steady-state owner hot path acquires zero mutexes.
 //   - A pool-wide atomic counter of ready threads makes HasWork lock-free,
 //     so idle workers can poll for work without touching any lock.
 //   - Deques deleted from R are Reset onto a freelist (guarded by the
 //     spine lock, which already covers every membership change) and reused
 //     by the next steal or wake, so the steady-state steal cycle
-//     allocates nothing. A deque is recycled only under the exclusive
-//     spine lock and only after its owner pointer is cleared, so no
-//     stale reference can observe the reuse.
+//     allocates nothing. A deque only leaves R under the exclusive spine
+//     lock and only after its owner pointer is cleared; a thief that read
+//     the deque's state before the recycle is defeated by the tag bump in
+//     Reset, not by blocking it out.
 //
-// Lock order, here and in internal/grt: R spine → deque.Mu → (the
-// runtime's priority-list lock, taken inside the less callback). All pool
-// methods are safe for concurrent use; methods taking a worker index w
-// must only be called by worker w.
+// Trace linearization without locks: pushes are recorded BEFORE the item
+// is published (a thief can only steal x after the owner's top-store
+// makes it visible, which is after the record, so EvPush always carries
+// an earlier global sequence number than the EvSteal of the same thread);
+// pops and steals are recorded AFTER the claim succeeds. Steal and
+// membership events are still recorded under the exclusive spine, which
+// linearizes R's structural history exactly as before.
+//
+// Lock order, here and in internal/grt: R spine → (the runtime's
+// priority-list lock, taken inside the less callback). All pool methods
+// are safe for concurrent use; methods taking a worker index w must only
+// be called by worker w.
 type SharedPool[T comparable] struct {
 	p    int
 	less func(a, b T) bool
@@ -80,8 +94,8 @@ type SharedPool[T comparable] struct {
 
 // NewSharedPool builds a concurrent pool for p workers; the parameters
 // mirror NewPool. less may acquire the caller's priority lock (it is
-// invoked with the spine and at most one deque lock held, never more).
-// seed determines every worker's private victim-selection stream.
+// invoked with the spine lock held, never with any deque lock — there are
+// none). seed determines every worker's private victim-selection stream.
 func NewSharedPool[T comparable](p int, less func(a, b T) bool, seed int64) *SharedPool[T] {
 	if p < 1 {
 		panic("core: pool needs at least one worker")
@@ -127,8 +141,10 @@ func (pl *SharedPool[T]) Instrument(p rtrace.Probe, tid func(T) int64) {
 }
 
 // trace records one event when a probe is attached. Structural events are
-// recorded while the mutating lock is held, so their global sequence
-// numbers linearize R's history (see internal/rtrace).
+// recorded while the spine lock is held, so their global sequence numbers
+// linearize R's history; item events follow the record-before-publish /
+// record-after-claim discipline described on SharedPool (see
+// internal/rtrace).
 func (pl *SharedPool[T]) trace(w int, k rtrace.Kind, a, b, c int64) {
 	if rtrace.Enabled && pl.probe != nil {
 		pl.probe.Event(w, k, a, b, c)
@@ -160,9 +176,10 @@ func (pl *SharedPool[T]) takeFree() *deque.Deque[T] {
 }
 
 // retire deletes d from R and recycles it. The caller must hold the spine
-// lock exclusively but not d's Mu, and d must be empty and its own
-// pointer already cleared: every other accessor reaches a deque through R
-// under the spine lock, so nothing can observe the Reset or the reuse.
+// lock exclusively, and d must be empty and its own pointer already
+// cleared. A thief that loaded d's word before the recycle can still
+// attempt its CAS afterwards — the tag bump inside Reset makes that CAS
+// fail, so recycling needs no blocking handshake with in-flight thieves.
 func (pl *SharedPool[T]) retire(w int, d *deque.Deque[T]) {
 	pl.r.Delete(d)
 	pl.trace(w, rtrace.EvDequeRetire, d.ID, 0, 0)
@@ -177,72 +194,48 @@ func (pl *SharedPool[T]) Seed(root T) {
 	d := pl.takeFree()
 	pl.r.PushLeftReuse(d)
 	pl.trace(-1, rtrace.EvDequeCreate, d.ID, -1, 0)
-	d.Mu.Lock()
-	d.PushTop(root)
 	if pl.tidOf != nil {
 		pl.trace(-1, rtrace.EvPush, pl.tidOf(root), d.ID, 0)
 	}
-	d.Mu.Unlock()
+	d.PushTop(root)
 	pl.noteR()
 	pl.listMu.Unlock()
 	pl.ready.Add(1)
 }
 
 // PushOwn pushes x onto worker w's deque top (the fork and preemption
-// path). While the deque is unshared this is entirely lock-free (the
-// biased fast path); once a thief has targeted it, it takes the deque's
-// own lock and rebiases. The worker must own a deque. Traces are emitted
-// inside the protected window either way, so a thief's later steal of x
-// gets a later global sequence number than this push.
+// path). Entirely nonblocking: a single owner-side PushTop, no mutex in
+// any state. The worker must own a deque. The trace is recorded before
+// the push publishes x — a thief can only steal x afterwards, so the
+// steal's event sequences after this one.
 func (pl *SharedPool[T]) PushOwn(w int, x T) {
 	d := pl.own[w].Load()
 	if d == nil {
 		panic("core: PushOwn without an owned deque")
 	}
-	if d.OwnerAcquire() {
-		d.PushTop(x)
-		if pl.tidOf != nil {
-			pl.trace(w, rtrace.EvPush, pl.tidOf(x), d.ID, 0)
-		}
-		d.OwnerRelease()
-	} else {
-		d.Mu.Lock()
-		d.PushTop(x)
-		if pl.tidOf != nil {
-			pl.trace(w, rtrace.EvPush, pl.tidOf(x), d.ID, 0)
-		}
-		d.Rebias()
-		d.Mu.Unlock()
+	if pl.tidOf != nil {
+		pl.trace(w, rtrace.EvPush, pl.tidOf(x), d.ID, 0)
 	}
+	d.PushTop(x)
 	pl.ready.Add(1)
 }
 
-// PopOwn pops the top of w's deque. The non-empty case is lock-free on
-// the biased fast path (or takes only the deque's lock once shared); when
-// the deque turns out empty it is deleted from R under the spine lock
-// (only the owner adds items, so emptiness is stable once the owner
-// observes it) and ok is false — the worker must steal next.
+// PopOwn pops the top of w's deque. The non-empty case is a nonblocking
+// owner-side PopTop (one CAS only when racing a thief for the last item);
+// when the deque turns out empty it is deleted from R under the spine
+// lock (only the owner adds items, and with the spine held no thief's
+// insert-right can target it, so emptiness is stable once observed) and
+// ok is false — the worker must steal next.
 func (pl *SharedPool[T]) PopOwn(w int) (x T, ok bool) {
 	d := pl.own[w].Load()
 	if d == nil {
 		return x, false
 	}
-	if d.OwnerAcquire() {
-		x, ok = d.PopTop()
-		if ok && pl.tidOf != nil {
-			pl.trace(w, rtrace.EvPop, pl.tidOf(x), d.ID, 0)
-		}
-		d.OwnerRelease()
-	} else {
-		d.Mu.Lock()
-		x, ok = d.PopTop()
-		if ok && pl.tidOf != nil {
-			pl.trace(w, rtrace.EvPop, pl.tidOf(x), d.ID, 0)
-		}
-		d.Rebias()
-		d.Mu.Unlock()
-	}
+	x, ok = d.PopTop()
 	if ok {
+		if pl.tidOf != nil {
+			pl.trace(w, rtrace.EvPop, pl.tidOf(x), d.ID, 0)
+		}
 		pl.ready.Add(-1)
 		pl.local.Add(1)
 		return x, true
@@ -264,33 +257,22 @@ func (pl *SharedPool[T]) PopOwn(w int) (x T, ok bool) {
 // claim: the parent may run its forked child in place of parking only
 // when that child is still the top of the parent's own deque — untouched
 // by thieves and undisplaced by woken threads — and the check and the pop
-// must share the deque's one linearization point (PopTopIf under the
-// owner protocol) or a racing bottom-steal of a single-item deque could
-// double-claim the thread. A miss leaves the pool untouched: unlike
-// PopOwn, an empty deque is NOT retired here, because the caller is still
-// running and will push or pop again.
+// share the deque's one linearization point (PopTopIf delegates the
+// contested last-item case to PopTop's conflict CAS, so a racing
+// bottom-steal of a single-item deque can never double-claim the thread).
+// A miss leaves the pool untouched: unlike PopOwn, an empty deque is NOT
+// retired here, because the caller is still running and will push or pop
+// again.
 func (pl *SharedPool[T]) PopOwnIf(w int, want T) bool {
 	d := pl.own[w].Load()
 	if d == nil {
 		return false
 	}
-	var ok bool
-	if d.OwnerAcquire() {
-		ok = d.PopTopIf(want)
-		if ok && pl.tidOf != nil {
-			pl.trace(w, rtrace.EvPop, pl.tidOf(want), d.ID, 0)
-		}
-		d.OwnerRelease()
-	} else {
-		d.Mu.Lock()
-		ok = d.PopTopIf(want)
-		if ok && pl.tidOf != nil {
-			pl.trace(w, rtrace.EvPop, pl.tidOf(want), d.ID, 0)
-		}
-		d.Rebias()
-		d.Mu.Unlock()
-	}
+	ok := d.PopTopIf(want)
 	if ok {
+		if pl.tidOf != nil {
+			pl.trace(w, rtrace.EvPop, pl.tidOf(want), d.ID, 0)
+		}
 		pl.ready.Add(-1)
 		pl.local.Add(1)
 	}
@@ -299,10 +281,10 @@ func (pl *SharedPool[T]) PopOwnIf(w int, want T) bool {
 
 // GiveUp releases ownership of w's deque without popping (the
 // quota-exhaustion and dummy-thread paths): the deque stays in R, unowned
-// and stealable. An empty deque is deleted instead. The exclusive spine
-// lock alone freezes the deque here: thieves and invariant checkers reach
-// deques only through R under the spine, and the one goroutine that works
-// without it — the owner's biased fast path — is the caller itself.
+// and stealable. An empty deque is deleted instead. The emptiness read is
+// stable under the exclusive spine lock: thieves pop bottoms only inside
+// Steal's spine-held section, and the one goroutine that pushes without
+// the spine — the owner — is the caller itself.
 func (pl *SharedPool[T]) GiveUp(w int) {
 	d := pl.own[w].Load()
 	if d == nil {
@@ -332,11 +314,14 @@ func (pl *SharedPool[T]) GiveUp(w int) {
 // serializes the owners' membership changes. Only a promising pick takes
 // the spine exclusively and re-validates: pop-bottom and insert-right
 // form the steal's single linearization point, which is what keeps Lemma
-// 3.1's left-to-right order intact when two thieves race on one victim —
-// but it never blocks owners running on their own deques.
+// 3.1's left-to-right order intact when two thieves race on one victim.
+// The pop itself is the lock-free bottom-word CAS — the victim's owner is
+// never blocked, not even for the duration of this critical section, and
+// can race the thief for the last item (the deque's conflict arbitration
+// decides; a CAS loss here is just a failed attempt).
 //
-// ok is false if the attempt failed (nonexistent or empty victim). The
-// worker must not own a deque.
+// ok is false if the attempt failed (nonexistent or empty victim, or the
+// CAS lost a race). The worker must not own a deque.
 func (pl *SharedPool[T]) Steal(w int) (x T, ok bool) {
 	if pl.own[w].Load() != nil {
 		panic("core: Steal while owning a deque")
@@ -358,12 +343,9 @@ func (pl *SharedPool[T]) Steal(w int) (x T, ok bool) {
 		return x, false
 	}
 	victim := pl.r.Kth(c)
-	victim.Mu.Lock()
-	victim.Share()
 	pl.trace(w, rtrace.EvStealAttempt, victim.ID, 0, 0)
 	x, ok = victim.PopBottom()
 	if !ok {
-		victim.Mu.Unlock()
 		pl.listMu.Unlock()
 		pl.failed.Add(1)
 		return x, false
@@ -375,9 +357,10 @@ func (pl *SharedPool[T]) Steal(w int) (x T, ok bool) {
 	if pl.tidOf != nil {
 		pl.trace(w, rtrace.EvSteal, pl.tidOf(x), victim.ID, nd.ID)
 	}
-	stale := victim.Empty() && victim.Owner == -1
-	victim.Mu.Unlock()
-	if stale {
+	// An abandoned victim drained by this steal is retired now. With the
+	// spine held no other thief can touch it, and Owner == -1 means no
+	// owner-side op can be in flight, so the emptiness read is stable.
+	if victim.Owner == -1 && victim.Empty() {
 		pl.retire(w, victim)
 	}
 	pl.noteR()
@@ -390,16 +373,17 @@ func (pl *SharedPool[T]) Steal(w int) (x T, ok bool) {
 // PushWoken places a thread woken by a blocking synchronization into a
 // new deque at its priority position in R (§5's extension beyond the
 // nested-parallel model), on behalf of the waking worker w. It scans R
-// under the spine lock, peeking each deque's top under that deque's lock.
+// under the spine lock with validated racy PeekTops: each observed top
+// was that deque's top at some instant during the scan, which is the
+// strongest claim any priority placement can make while owners keep
+// running — the paper's R order is itself only instantaneous. A peek that
+// cannot stabilize (its owner is mid-op) is skipped, biasing the insert
+// rightward, which is the safe direction for the space bound.
 func (pl *SharedPool[T]) PushWoken(w int, x T) {
 	pl.lockList()
 	insertAt := pl.r.Len()
 	for i := 0; i < pl.r.Len(); i++ {
-		d := pl.r.Kth(i)
-		d.Mu.Lock()
-		d.Share() // waits out the owner's in-flight fast-path op
-		top, ok := d.PeekTop()
-		d.Mu.Unlock()
+		top, ok := pl.r.Kth(i).PeekTop()
 		if !ok {
 			continue
 		}
@@ -418,12 +402,10 @@ func (pl *SharedPool[T]) PushWoken(w int, x T) {
 		pl.r.InsertRightReuse(left, nd)
 	}
 	pl.trace(w, rtrace.EvDequeCreate, nd.ID, after, 1)
-	nd.Mu.Lock()
-	nd.PushTop(x)
 	if pl.tidOf != nil {
 		pl.trace(w, rtrace.EvPush, pl.tidOf(x), nd.ID, 0)
 	}
-	nd.Mu.Unlock()
+	nd.PushTop(x)
 	pl.noteR()
 	pl.listMu.Unlock()
 	pl.ready.Add(1)
@@ -468,35 +450,24 @@ func (pl *SharedPool[T]) noteR() {
 }
 
 // CheckInvariants verifies the Lemma 3.1 ordering over the pool's deques,
-// exactly as Pool.CheckInvariants does. It freezes the pool by holding
-// the spine lock for the whole scan, so it is meant for tests and
-// quiescent moments, not steady-state use.
+// exactly as Pool.CheckInvariants does. The spine lock freezes R's
+// membership and blocks all thieves, and each deque's contents are read
+// through Items' consistent-snapshot loop — but with no per-deque mutex
+// there is nothing left that can freeze a running OWNER. The check is
+// therefore exact when owners are quiescent or push-only (a pushed
+// continuation ranks above its own deque's previous top but below
+// everything in deques to the left, so a concurrent push keeps the pool
+// order the scan reads); concurrent owner POPS can yield transient false
+// positives, so call it from tests and quiescent moments, as before.
 func (pl *SharedPool[T]) CheckInvariants(curr func(w int) (T, bool)) error {
 	pl.lockList()
 	defer pl.listMu.Unlock()
-	// The spine lock freezes membership but not contents — owners push
-	// and pop under only their deque's lock or the biased fast path — so
-	// freeze every deque too: lock it and Share it, which waits out any
-	// in-flight owner fast-path op and forces the owner onto the (held)
-	// Mu. Spine → deque is the normal order, and no pool path holds a
-	// deque lock while waiting for the spine, so this cannot deadlock.
-	for i := 0; i < pl.r.Len(); i++ {
-		d := pl.r.Kth(i)
-		d.Mu.Lock()
-		d.Share()
-	}
-	defer func() {
-		for i := 0; i < pl.r.Len(); i++ {
-			pl.r.Kth(i).Mu.Unlock()
-		}
-	}()
 	shadow := Pool[T]{p: pl.p, less: pl.less}
 	shadow.own = make([]*deque.Deque[T], pl.p)
 	for w := range shadow.own {
 		// Skip a deque already deleted from R (a worker between its
-		// empty-pop delete and clearing its own pointer): it is not
-		// frozen by the loop above and no longer participates in R's
-		// ordering.
+		// empty-pop delete and clearing its own pointer): it no longer
+		// participates in R's ordering.
 		if d := pl.own[w].Load(); d != nil && d.InList() {
 			shadow.own[w] = d
 		}

@@ -242,10 +242,14 @@ func TestSharedPoolConcurrentHammer(t *testing.T) {
 }
 
 // TestSharedPoolConcurrentInvariants interleaves protocol traffic with
-// CheckInvariants calls from a separate goroutine: the checker freezes
-// the pool via the spine lock, so it must always observe a consistent
-// Lemma 3.1 state even mid-storm. Each worker forks exactly once per
-// steal, re-pushing the stolen value as the continuation — that keeps
+// CheckInvariants calls from a separate goroutine: the spine lock blocks
+// thieves and membership changes, Items reads each deque through its
+// consistent-snapshot loop, and the storm below is push-only on the
+// owner side (Steal/PushOwn/GiveUp, never PopOwn) — the regime in which
+// the snapshot checker is exact (see SharedPool.CheckInvariants) — so it
+// must always observe a consistent Lemma 3.1 state even mid-storm. Each
+// worker forks exactly once per steal, re-pushing the stolen value as
+// the continuation — that keeps
 // the global ordering provably intact (the stolen bottom is, at the
 // moment of the steal, larger than everything left of its new deque and
 // smaller than everything right of it), so any ordering error the

@@ -2,6 +2,8 @@ package deque
 
 import (
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -232,23 +234,84 @@ func BenchmarkStealPattern(b *testing.B) {
 	}
 }
 
-// TestPopZeroesVacatedSlots pins the memory-retention contract: PopTop
-// and PopBottom must zero the slot an item vacates, so popped thread
-// frames become collectable instead of lingering live in the deque's
-// backing array — retention there directly skews the paper's space
-// measurements. The test keeps its own alias of the backing array and
-// checks every vacated slot through it.
+// BenchmarkOwnerUnderStealStorm is the steal-latency benchmark: ns/op is
+// the owner's push/pop cost while three unthrottled thieves hammer the
+// bottom word of the same deque. Under the old biased protocol every
+// owner op in this regime went through the deque mutex (the thieves'
+// Share marks never stopped arriving); under the lock-free protocol the
+// owner pays at most one conflict CAS, so this number is the direct
+// measure of what killing the Mu fallback bought. steals/op reports how
+// much thief throughput the owner sustained alongside.
+func BenchmarkOwnerUnderStealStorm(b *testing.B) {
+	d := NewDeque[int]()
+	stop := make(chan struct{})
+	var stolen atomic.Int64
+	var thieves sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		thieves.Add(1)
+		go func() {
+			defer thieves.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, ok := d.PopBottom(); ok {
+					stolen.Add(1)
+				}
+			}
+		}()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushTop(i)
+		if i&1 == 1 {
+			d.PopTop()
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	thieves.Wait()
+	b.ReportMetric(float64(stolen.Load())/float64(b.N), "steals/op")
+}
+
+// liveSlots counts slots in d's backing array that still hold a non-zero
+// T — the stale references the scrubbing contract is about (white-box).
+func liveSlots[T comparable](d *Deque[T]) int {
+	ap := d.arr.Load()
+	if ap == nil {
+		return 0
+	}
+	var zero T
+	n := 0
+	for i := range *ap {
+		if x, ok := (*ap)[i].Load().(T); ok && x != zero {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPopZeroesVacatedSlots pins the memory-retention contract of the
+// lock-free deque: the owner zeroes the slot of every item it pops
+// immediately, and slots vacated by thieves (PopBottom) are scrubbed by
+// the owner's next operation that observes them — here the empty
+// transition of a final PopTop. Retention in the backing array would
+// directly skew the paper's space measurements.
 func TestPopZeroesVacatedSlots(t *testing.T) {
 	d := NewDeque[*int]()
 	const n = 8
 	for i := 0; i < n; i++ {
 		d.PushTop(new(int))
 	}
-	backing := d.UnsafeItems() // aliases all n slots
 	for i := 0; i < n/2; i++ {
 		if _, ok := d.PopTop(); !ok {
 			t.Fatal("PopTop failed")
 		}
+	}
+	if got := liveSlots(d); got != n/2 {
+		t.Fatalf("after owner pops: %d live slots, want %d (owner pops zero eagerly)", got, n/2)
 	}
 	for i := 0; i < n/2; i++ {
 		if _, ok := d.PopBottom(); !ok {
@@ -258,28 +321,39 @@ func TestPopZeroesVacatedSlots(t *testing.T) {
 	if !d.Empty() {
 		t.Fatalf("deque not drained: %d left", d.Len())
 	}
-	for i, p := range backing {
-		if p != nil {
-			t.Errorf("vacated slot %d still holds a live pointer", i)
-		}
+	// Thief-vacated slots are scrubbed lazily: the owner's next empty
+	// transition sweeps them.
+	if _, ok := d.PopTop(); ok {
+		t.Fatal("PopTop on drained deque succeeded")
+	}
+	if got := liveSlots(d); got != 0 {
+		t.Errorf("%d vacated slots still hold live pointers after the owner's empty transition", got)
+	}
+	// A push after steals also sweeps everything below the new bottom.
+	d2 := NewDeque[*int]()
+	for i := 0; i < 4; i++ {
+		d2.PushTop(new(int))
+	}
+	for i := 0; i < 3; i++ {
+		d2.PopBottom()
+	}
+	d2.PushTop(new(int))
+	if got := liveSlots(d2); got != 2 {
+		t.Errorf("after steal+push: %d live slots, want 2 (lazy sweep below bottom)", got)
 	}
 }
 
 // TestResetClearsState pins Reset's freelist contract: a recycled deque
-// is empty, unowned, unbiased, and detached.
+// is empty, scrubbed, unowned, and detached — and its generation tag is
+// bumped, not zeroed, so Reset itself is an ABA barrier (see
+// TestStaleThiefCASFailsAcrossReset).
 func TestResetClearsState(t *testing.T) {
 	var l List[int]
 	d := l.PushLeft()
 	d.Owner = 3
 	d.ID = 17
 	d.PushTop(1)
-	if !d.OwnerAcquire() {
-		t.Fatal("OwnerAcquire on fresh deque failed")
-	}
-	d.OwnerRelease()
-	d.Mu.Lock()
-	d.Share()
-	d.Mu.Unlock()
+	tagBefore, _ := unpack(d.bottom.Load())
 	l.Delete(d)
 	d.Reset()
 	if d.Len() != 0 || d.SizeHint() != 0 || d.Owner != -1 || d.ID != 0 ||
@@ -287,8 +361,15 @@ func TestResetClearsState(t *testing.T) {
 		t.Fatalf("Reset left state behind: len=%d hint=%d owner=%d id=%d inlist=%v pos=%d",
 			d.Len(), d.SizeHint(), d.Owner, d.ID, d.InList(), d.Pos())
 	}
-	if !d.OwnerAcquire() {
-		t.Fatal("Reset did not clear the shared bit: owner fast path unavailable")
+	if got := liveSlots(d); got != 0 {
+		t.Fatalf("Reset left %d live slots behind", got)
 	}
-	d.OwnerRelease()
+	if tagAfter, bot := unpack(d.bottom.Load()); tagAfter != tagBefore+1 || bot != 0 {
+		t.Fatalf("Reset word = (tag %d, bot %d), want (tag %d, bot 0)", tagAfter, bot, tagBefore+1)
+	}
+	// The recycled deque is immediately usable.
+	d.PushTop(42)
+	if x, ok := d.PopTop(); !ok || x != 42 {
+		t.Fatalf("recycled deque PopTop = (%d, %v), want (42, true)", x, ok)
+	}
 }

@@ -14,6 +14,18 @@ package deque_test
 // randomizes is the interleaving — which worker acts, which victim a
 // thief picks, when deques are given up — which is exactly the freedom
 // the concurrent runtime has.
+//
+// Under the lock-free protocol every operation here is a direct call:
+// there is no Mu to take, no Share/Rebias state machine to model. Op 4,
+// which used to be the biased protocol's share-mark, is reinterpreted as
+// a foreign PROBE — a validated PeekBottom/PeekTop taking nothing — so
+// the old biased-protocol corpus seeds remain meaningful regression
+// inputs (they now exercise peeks at the same interleaving points where
+// they used to force the Mu slow path).
+//
+// For the adversarial lock-free oracle — stale thieves whose read phase
+// and CAS are split across arbitrary owner activity — see
+// FuzzDequeStaleThief in aba_test.go (white-box).
 
 import (
 	"math/rand"
@@ -68,8 +80,9 @@ func FuzzDequeConcurrent(f *testing.F) {
 	f.Add([]byte{4, 0, 0, 0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 1, 0, 1, 1, 2, 1, 3, 1})
 	f.Add([]byte{3, 2, 5, 0, 0, 0, 0, 3, 0, 2, 1, 2, 2, 0, 1, 1, 2, 3, 3})
 	f.Add([]byte{1, 0, 0, 0, 0, 1, 0, 1, 0, 1, 0})
-	// Biased-protocol interleavings: share-marks (op 4) force the
-	// owner's next fork/terminate through the Mu + Rebias slow path.
+	// Former biased-protocol interleavings, kept as regression inputs:
+	// op 4 was a share-mark forcing the Mu + Rebias slow path and is now
+	// a foreign probe at the same points.
 	f.Add([]byte{2, 0, 0, 0, 0, 4, 0, 0, 0, 0, 0, 2, 1, 1, 0, 1, 1})
 	f.Add([]byte{1, 0, 0, 0, 0, 4, 0, 1, 0, 0, 0, 4, 0, 0, 0, 1, 0, 1, 0})
 	// Pipeline-scenario shapes (see internal/workload): a producer forks
@@ -84,11 +97,11 @@ func FuzzDequeConcurrent(f *testing.F) {
 		1, 1, 1, 2, 1, 3, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0})
 	// Backpressure shape: a consumer steals, gives its deque up
 	// (suspending on a full buffer), re-steals the abandoned work, and a
-	// share-mark forces the producer's next fork through Rebias.
+	// probe lands between the producer's forks.
 	f.Add([]byte{1,
 		0, 0, 0, 0, 0, 0, 0, 0, // w0 forks 4 deep
 		2, 1, 3, 1, 2, 1, // w1: steal, give up, steal again
-		4, 0, 0, 0, // share-mark, then w0 forks via the slow path
+		4, 0, 0, 0, // probe, then w0 keeps forking
 		1, 0, 1, 0, 1, 0, 1, 0, 1, 1, 1, 1})
 	// Bottom-steal-dense ladder across stages: steals target interior
 	// deques (victim index 1), not just the leftmost, as when a
@@ -97,9 +110,24 @@ func FuzzDequeConcurrent(f *testing.F) {
 		0, 0, 0, 0, 0, 0, // w0 forks 3 deep
 		2, 1, 0, 1, 0, 1, // w1 steals, forks twice on its deque
 		2, 5, 0, 2, // w2 steals deque index 1's bottom, forks
-		4, 1, // share-mark an interior deque
+		4, 1, // probe an interior deque
 		1, 0, 1, 0, 1, 0, 1, 1, 1, 1, 1, 1, 1, 2, 1, 2,
 		2, 1, 1, 1})
+	// Steal storms for the lock-free protocol: every spare worker hammers
+	// steals back-to-back against one deep victim, emptying deques are
+	// recycled (tag bumps), and probes interleave with the steal burst.
+	f.Add([]byte{3,
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, // w0 forks 8 deep
+		2, 1, 2, 2, 2, 3, 2, 1, 2, 2, 2, 3, // six steals, one victim
+		4, 0, 2, 1, 4, 1, 2, 2, // probes inside the storm
+		1, 1, 1, 2, 1, 3, 1, 1, 1, 2, 1, 3,
+		1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0})
+	f.Add([]byte{3,
+		0, 0, 0, 0, // w0 forks twice
+		2, 1, 2, 2, 2, 3, // storm drains it past empty (misses)
+		0, 1, 0, 1, // a thief's deque becomes the next victim
+		2, 6, 2, 7, // steals land on interior deques
+		1, 1, 1, 2, 1, 1, 1, 2, 1, 0, 1, 0, 1, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 2 {
@@ -115,35 +143,6 @@ func FuzzDequeConcurrent(f *testing.F) {
 		r := &deque.List[*item]{}
 		curr := make([]*item, p)              // running thread per worker
 		own := make([]*deque.Deque[*item], p) // owned deque per worker
-
-		// shared models each deque's bias word: present ⇔ a thief has
-		// Share()d it since the owner last Rebias()ed. In this serial
-		// fuzzer no goroutine holds ownerBit concurrently, so
-		// OwnerAcquire must succeed exactly when the model says the
-		// deque is unshared — a direct oracle for the state machine.
-		shared := map[*deque.Deque[*item]]bool{}
-
-		// ownerOp performs f under the owner protocol: the lock-free
-		// fast path while the deque is biased, the Mu + Rebias slow
-		// path once a thief has shared it.
-		ownerOp := func(step int, d *deque.Deque[*item], f func()) {
-			if d.OwnerAcquire() {
-				if shared[d] {
-					t.Fatalf("step %d: OwnerAcquire succeeded on a shared deque", step)
-				}
-				f()
-				d.OwnerRelease()
-			} else {
-				if !shared[d] {
-					t.Fatalf("step %d: OwnerAcquire failed on an unshared deque", step)
-				}
-				d.Mu.Lock()
-				f()
-				d.Rebias()
-				d.Mu.Unlock()
-				delete(shared, d)
-			}
-		}
 
 		// Seed: worker 0 runs the root thread from a fresh leftmost deque.
 		root := &item{id: -1}
@@ -169,7 +168,7 @@ func FuzzDequeConcurrent(f *testing.F) {
 			// decreasing priority (strictly increasing oracle index).
 			last := -1
 			for i := 0; i < r.Len(); i++ {
-				items := r.Kth(i).UnsafeItems() // bottom → top
+				items := r.Kth(i).Items() // bottom → top
 				for j := len(items) - 1; j >= 0; j-- {
 					idx := oracle.idx(items[j])
 					if idx < 0 {
@@ -201,12 +200,12 @@ func FuzzDequeConcurrent(f *testing.F) {
 		for step := 0; step+1 < len(data); step += 2 {
 			w := int(data[step+1]) % p
 			switch data[step] % 5 {
-			case 0: // fork: push continuation, run the child (owner protocol)
+			case 0: // fork: push continuation, run the child
 				if curr[w] == nil {
 					continue
 				}
 				child := oracle.insertBefore(curr[w])
-				ownerOp(step, own[w], func() { own[w].PushTop(curr[w]) })
+				own[w].PushTop(curr[w])
 				curr[w] = child
 				check(step, "fork")
 
@@ -215,19 +214,15 @@ func FuzzDequeConcurrent(f *testing.F) {
 					continue
 				}
 				oracle.remove(curr[w])
-				var x *item
-				var ok bool
-				ownerOp(step, own[w], func() { x, ok = own[w].PopTop() })
-				if ok {
+				if x, ok := own[w].PopTop(); ok {
 					curr[w] = x
 				} else {
-					delete(shared, own[w])
 					r.Delete(own[w])
 					own[w], curr[w] = nil, nil
 				}
 				check(step, "terminate")
 
-			case 2: // steal: Share + PopBottom a leftmost-p victim, InsertRight
+			case 2: // steal: PopBottom a leftmost-p victim, InsertRight
 				if curr[w] != nil || r.Len() == 0 {
 					continue
 				}
@@ -236,15 +231,10 @@ func FuzzDequeConcurrent(f *testing.F) {
 					win = p
 				}
 				victim := r.Kth((int(data[step+1]) / p) % win)
-				victim.Mu.Lock()
-				victim.Share()
-				shared[victim] = true
 				x, ok := victim.PopBottom()
-				victim.Mu.Unlock()
 				if !ok {
 					// Empty victim: delete it if abandoned, else retry later.
 					if victim.Owner < 0 {
-						delete(shared, victim)
 						r.Delete(victim)
 					}
 					check(step, "steal-miss")
@@ -254,7 +244,6 @@ func FuzzDequeConcurrent(f *testing.F) {
 				nd.Owner = w
 				own[w], curr[w] = nd, x
 				if victim.Empty() && victim.Owner < 0 {
-					delete(shared, victim)
 					r.Delete(victim)
 				}
 				check(step, "steal")
@@ -265,7 +254,6 @@ func FuzzDequeConcurrent(f *testing.F) {
 				}
 				oracle.remove(curr[w])
 				if own[w].Empty() {
-					delete(shared, own[w])
 					r.Delete(own[w])
 				} else {
 					own[w].Owner = -1
@@ -273,30 +261,40 @@ func FuzzDequeConcurrent(f *testing.F) {
 				own[w], curr[w] = nil, nil
 				check(step, "giveup")
 
-			case 4: // share-mark: a thief screens a victim, shares it,
-				// takes nothing — the state the owner's next op must
-				// detect and recover from via Rebias.
+			case 4: // probe: a thief screens a victim with validated
+				// peeks, taking nothing — the read-only foreign path.
 				if r.Len() == 0 {
 					continue
 				}
 				d := r.Kth(int(data[step+1]) % r.Len())
-				d.Mu.Lock()
-				d.Share()
-				d.Mu.Unlock()
-				shared[d] = true
-				check(step, "share")
+				items := d.Items()
+				if bot, ok := d.PeekBottom(); ok {
+					if len(items) == 0 || items[0] != bot {
+						t.Fatalf("step %d: PeekBottom %d disagrees with Items", step, bot.id)
+					}
+				} else if len(items) != 0 {
+					t.Fatalf("step %d: PeekBottom empty but deque has %d items", step, len(items))
+				}
+				if top, ok := d.PeekTop(); ok {
+					if items[len(items)-1] != top {
+						t.Fatalf("step %d: PeekTop %d disagrees with Items", step, top.id)
+					}
+				}
+				check(step, "probe")
 			}
 		}
 	})
 }
 
-// TestDequeConcurrentHammer shares one deque between an owner and three
-// thieves through Deque.Mu — the arrangement core.SharedPool uses — and
-// checks conservation: every pushed item is popped by exactly one side
-// or left in the deque. Run under -race this also certifies that Mu
-// covers all of the deque's mutable state.
+// TestDequeConcurrentHammer shares one lock-free deque between an owner
+// and three thieves with NO mutual exclusion at all — every operation is
+// a direct call — and checks conservation: every pushed item is popped by
+// exactly one side or left in the deque. Run under -race this certifies
+// the protocol's happens-before edges (owner→thief through the top/array
+// publication, thief→owner through the bottom-word CAS) cover all of the
+// deque's mutable state.
 func TestDequeConcurrentHammer(t *testing.T) {
-	const pushes = 2000
+	const pushes = 20000
 	d := deque.NewDeque[int]()
 	var popped, stolen atomic.Int64
 	done := make(chan struct{})
@@ -306,14 +304,15 @@ func TestDequeConcurrentHammer(t *testing.T) {
 		defer close(done)
 		rng := rand.New(rand.NewSource(1))
 		for n := 0; n < pushes; {
-			d.Mu.Lock()
+			if rng.Intn(64) == 0 {
+				runtime.Gosched() // let thieves in even on GOMAXPROCS=1
+			}
 			if rng.Intn(3) > 0 {
 				d.PushTop(n)
 				n++
 			} else if _, ok := d.PopTop(); ok {
 				popped.Add(1)
 			}
-			d.Mu.Unlock()
 		}
 	}()
 
@@ -328,11 +327,13 @@ func TestDequeConcurrentHammer(t *testing.T) {
 					return
 				default:
 				}
-				d.Mu.Lock()
+				if d.SizeHint() == 0 {
+					runtime.Gosched() // avoid starving the owner on GOMAXPROCS=1
+					continue
+				}
 				if _, ok := d.PopBottom(); ok {
 					stolen.Add(1)
 				}
-				d.Mu.Unlock()
 			}
 		}()
 	}
@@ -347,51 +348,40 @@ func TestDequeConcurrentHammer(t *testing.T) {
 	if d.SizeHint() != d.Len() {
 		t.Errorf("SizeHint %d out of sync with Len %d", d.SizeHint(), d.Len())
 	}
+	t.Logf("owner popped %d, thieves stole %d, %d left", popped.Load(), stolen.Load(), d.Len())
 }
 
-// TestDequeBiasedHammer exercises the owner fast path under real
-// concurrency: the owner brackets raw pushes and pops with
-// OwnerAcquire/OwnerRelease (falling back to Mu + Rebias when a thief
-// has shared the deque), while three thieves follow the thief protocol —
-// Mu + Share — stealing bottoms. The deque therefore cycles between
-// biased and shared many times per run. Conservation certifies mutual
-// exclusion; -race certifies both handoff directions' happens-before
-// edges (thief→owner through Mu, owner→thief through the state word).
-func TestDequeBiasedHammer(t *testing.T) {
-	const pushes = 5000
+// TestDequeStealStormHammer (successor to the biased-protocol hammer) is
+// the owner-progress test: the deque is pinned shallow — the owner keeps
+// it between 0 and a few items — so nearly every owner pop runs the
+// one-element conflict CAS against three thieves hammering the same
+// bottom word, plus claim-all compactions when the eroded window hits the
+// array end. The owner must complete a fixed budget of operations while
+// the storm rages (nonblocking progress: no thief can wedge it, because
+// there is no lock to hold), and conservation plus the uniqueness check
+// certify that no item is ever double-claimed across the owner/thief
+// arbitration. Duplicated delivery is exactly what an ABA or a broken
+// conflict CAS would produce.
+func TestDequeStealStormHammer(t *testing.T) {
+	const pushes = 20000
 	d := deque.NewDeque[int]()
-	var popped, stolen, fastOps, slowOps atomic.Int64
+	taken := make([]atomic.Int32, pushes) // claim count per item identity
+	var popped, stolen atomic.Int64
 	done := make(chan struct{})
 	stop := make(chan struct{})
 
-	go func() { // owner
+	go func() { // owner: push one, pop one — maximal conflict-CAS density
 		defer close(done)
 		rng := rand.New(rand.NewSource(2))
 		for n := 0; n < pushes; {
-			if rng.Intn(16) == 0 {
-				runtime.Gosched() // let thieves in even on GOMAXPROCS=1
+			if rng.Intn(64) == 0 {
+				runtime.Gosched()
 			}
-			push := rng.Intn(3) > 0
-			if d.OwnerAcquire() {
-				if push {
-					d.PushTop(n)
-					n++
-				} else if _, ok := d.PopTop(); ok {
-					popped.Add(1)
-				}
-				d.OwnerRelease()
-				fastOps.Add(1)
-			} else {
-				d.Mu.Lock()
-				if push {
-					d.PushTop(n)
-					n++
-				} else if _, ok := d.PopTop(); ok {
-					popped.Add(1)
-				}
-				d.Rebias()
-				d.Mu.Unlock()
-				slowOps.Add(1)
+			d.PushTop(n)
+			n++
+			if x, ok := d.PopTop(); ok {
+				popped.Add(1)
+				taken[x].Add(1)
 			}
 		}
 	}()
@@ -408,15 +398,13 @@ func TestDequeBiasedHammer(t *testing.T) {
 				default:
 				}
 				if d.SizeHint() == 0 {
-					runtime.Gosched() // avoid starving the owner on GOMAXPROCS=1
+					runtime.Gosched()
 					continue
 				}
-				d.Mu.Lock()
-				d.Share()
-				if _, ok := d.PopBottom(); ok {
+				if x, ok := d.PopBottom(); ok {
 					stolen.Add(1)
+					taken[x].Add(1)
 				}
-				d.Mu.Unlock()
 			}
 		}()
 	}
@@ -424,13 +412,17 @@ func TestDequeBiasedHammer(t *testing.T) {
 	close(stop)
 	wg.Wait()
 
+	for _, x := range d.Items() { // drain leftovers into the claim table
+		taken[x].Add(1)
+	}
 	if got := popped.Load() + stolen.Load() + int64(d.Len()); got != pushes {
 		t.Errorf("items not conserved: popped %d + stolen %d + left %d = %d, want %d",
 			popped.Load(), stolen.Load(), d.Len(), got, pushes)
 	}
-	if d.SizeHint() != d.Len() {
-		t.Errorf("SizeHint %d out of sync with Len %d", d.SizeHint(), d.Len())
+	for id := range taken {
+		if c := taken[id].Load(); c != 1 {
+			t.Fatalf("item %d claimed %d times, want exactly 1", id, c)
+		}
 	}
-	t.Logf("owner ops: %d fast, %d slow (rebias); %d stolen",
-		fastOps.Load(), slowOps.Load(), stolen.Load())
+	t.Logf("owner popped %d, thieves stole %d, %d left", popped.Load(), stolen.Load(), d.Len())
 }

@@ -19,8 +19,9 @@ var errDeadlock = errors.New("grt: deadlock — all workers idle with live threa
 // The two synchronization modes share this loop:
 //
 //   - fine-grained (default): each event takes only the locks the policy
-//     internally needs (own-deque lock on fork, R spine on steal, queue
-//     mutex on a queue take, nothing at all for alloc/free);
+//     internally needs (the R spine on steal, queue mutex on a queue
+//     take, nothing at all for fork, own-deque pops, or alloc/free —
+//     deque item operations are lock-free end to end);
 //   - CoarseLock: the paper's §5 protocol — beginEvent wraps every
 //     scheduling event and every acquisition attempt in one global mutex.
 //
@@ -29,7 +30,7 @@ var errDeadlock = errors.New("grt: deadlock — all workers idle with live threa
 //
 //	rt.gmu  →  policy internals  →  rt.prioMu
 //	rt.gmu  →  rt.mu (wakeIdlers under a coarse event)
-//	policy: R spine → deque.Mu → rt.prioMu (see core.SharedPool)
+//	policy: R spine → rt.prioMu (see core.SharedPool; deques carry no lock)
 //
 // rt.mu is only ever held to park or wake idle workers, never while
 // consulting the policy.

@@ -17,11 +17,15 @@
 //
 // Lock-order contract (shared with core.SharedPool and internal/grt):
 //
-//	R spine → deque.Mu → the caller's priority lock (inside less)
+//	R spine → the caller's priority lock (inside less)
 //
-// The queue policies (ADF, FIFO) use a single internal mutex that is a
-// leaf to everything except the priority lock, which less may take inside
-// it. See DESIGN.md §5.
+// Deques themselves carry no lock: every item operation is nonblocking
+// (the ABP-style tag/bottom protocol in internal/deque), so owners and
+// thieves never serialize on anything but the spine for membership
+// changes — WS adds only the tiny injector-side inbox mutex, which no
+// worker path touches. The queue policies (ADF, FIFO) use a single
+// internal mutex that is a leaf to everything except the priority lock,
+// which less may take inside it. See DESIGN.md §5.
 package policy
 
 // Stats is the counter set every runtime policy reports.

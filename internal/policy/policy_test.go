@@ -163,15 +163,16 @@ func TestWSPoolConcurrent(t *testing.T) {
 	if n != workers*pushes {
 		t.Errorf("consumed %d tokens, want %d", n, workers*pushes)
 	}
-	steals, failed, local, lockOps := pl.Stats()
+	steals, _, local, lockOps := pl.Stats()
 	if steals+local != int64(n) {
 		t.Errorf("steals(%d)+local(%d) != consumed(%d)", steals, local, n)
 	}
-	// Every successful steal takes the victim's lock; a failed attempt
-	// only does when SizeHint screening let it through (the victim looked
-	// nonempty but was drained before the lock was acquired).
-	if lockOps < steals || lockOps > steals+failed {
-		t.Errorf("lockOps = %d, want within [steals(%d), steals+failed(%d)]", lockOps, steals, steals+failed)
+	// The lock-free protocol's contract: owner pushes/pops and steals
+	// acquire no mutex at all. lockOps counts only injectMu, which this
+	// test never touches — so across 16000 pushes, thousands of steals,
+	// and the contested drain it must stay exactly zero.
+	if lockOps != 0 {
+		t.Errorf("lockOps = %d, want 0 (steal and owner paths are mutex-free)", lockOps)
 	}
 }
 

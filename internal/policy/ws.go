@@ -2,6 +2,7 @@ package policy
 
 import (
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"dfdeques/internal/core"
@@ -10,20 +11,36 @@ import (
 )
 
 // WSPool is the ready pool of the Blumofe & Leiserson work stealer: one
-// deque per worker, fixed for the whole run. The owner pushes and pops at
-// the top; a thief pops the bottom (oldest, coarsest thread) of one named
-// victim. Unlike core.SharedPool there is no global order and no
-// membership change, so every operation takes exactly one deque lock —
-// the structure has no spine to contend on.
+// deque per worker, fixed for the whole run, plus one shared "inbox"
+// deque for threads that arrive from outside any worker (the pre-run seed
+// and mid-run Inject). Unlike core.SharedPool there is no global order
+// and no membership change; with the lock-free deque protocol every
+// owner push/pop and every steal is nonblocking, so the pool's only
+// mutex is the tiny injectMu serializing concurrent injectors — workers
+// never touch it.
+//
+// The inbox exists because the lock-free deque admits exactly one
+// owner-side writer: under the old per-deque Mu, an injector could push
+// straight into worker 0's deque by taking its lock, but now a foreign
+// PushTop would race the owner's. Injectors instead play the owner role
+// of the inbox (serialized by injectMu), and every worker drains it
+// thief-side (PopBottom — FIFO, so injection order is preserved) in
+// Acquire before trying a random steal.
 //
 // All methods are safe for concurrent use; methods taking an owner index
 // must only be called by that owner. The serial simulator drives the same
-// structure single-threaded (the locks are then uncontended).
+// structure single-threaded.
 type WSPool[T comparable] struct {
-	dq []*deque.Deque[T]
+	dq    []*deque.Deque[T]
+	inbox *deque.Deque[T]
 
-	// Tracing (nil probe: disabled). Deque i's trace id is i — the
-	// structure is fixed, so ids need no allocation protocol.
+	// injectMu serializes injectors (the inbox's collective owner role).
+	// It is never taken by a worker on any path.
+	injectMu sync.Mutex
+
+	// Tracing (nil probe: disabled). Deque i's trace id is i and the
+	// inbox's is len(dq) — the structure is fixed, so ids need no
+	// allocation protocol.
 	probe rtrace.Probe
 	tidOf func(T) int64
 
@@ -31,10 +48,10 @@ type WSPool[T comparable] struct {
 	steals  atomic.Int64
 	failed  atomic.Int64
 	local   atomic.Int64
-	lockOps atomic.Int64 // victim-deque acquisitions by thieves (cross-worker serialization)
+	lockOps atomic.Int64 // injectMu acquisitions (the pool's only lock)
 }
 
-// NewWSPool builds a pool of p per-worker deques.
+// NewWSPool builds a pool of p per-worker deques plus the shared inbox.
 func NewWSPool[T comparable](p int) *WSPool[T] {
 	if p < 1 {
 		panic("policy: WSPool needs at least one worker")
@@ -45,6 +62,8 @@ func NewWSPool[T comparable](p int) *WSPool[T] {
 		pl.dq[i].Owner = i
 		pl.dq[i].ID = int64(i)
 	}
+	pl.inbox = deque.NewDeque[T]()
+	pl.inbox.ID = int64(p)
 	return pl
 }
 
@@ -55,80 +74,76 @@ func (pl *WSPool[T]) Instrument(p rtrace.Probe, tid func(T) int64) {
 	pl.tidOf = tid
 }
 
-// trace records one event when a probe is attached; item events are
-// recorded under the deque's lock so the sequence linearizes its history.
+// trace records one event when a probe is attached. Pushes are recorded
+// before the item is published and pops/steals after the claim succeeds,
+// so the global sequence linearizes each deque's history without any
+// lock (a thief can only claim x after the publish, which is after the
+// push's record).
 func (pl *WSPool[T]) trace(w int, k rtrace.Kind, a, b, c int64) {
 	if rtrace.Enabled && pl.probe != nil {
 		pl.probe.Event(w, k, a, b, c)
 	}
 }
 
-// Workers returns the number of deques (= workers).
+// Workers returns the number of per-worker deques (= workers).
 func (pl *WSPool[T]) Workers() int { return len(pl.dq) }
 
 // Push pushes x onto the top of w's own deque — the owner's fork path.
-// While no thief has targeted the deque this is lock-free (the biased
-// fast path, see deque.Deque); once shared it takes the deque's lock and
-// rebiases. Traces are emitted inside the protected window so a later
-// steal of x linearizes after this push.
+// Nonblocking in every state: one owner-side PushTop, no mutex.
 func (pl *WSPool[T]) Push(w int, x T) {
 	d := pl.dq[w]
-	if d.OwnerAcquire() {
-		d.PushTop(x)
-		if pl.tidOf != nil {
-			pl.trace(w, rtrace.EvPush, pl.tidOf(x), d.ID, 0)
-		}
-		d.OwnerRelease()
-	} else {
-		d.Mu.Lock()
-		d.PushTop(x)
-		if pl.tidOf != nil {
-			pl.trace(w, rtrace.EvPush, pl.tidOf(x), d.ID, 0)
-		}
-		d.Rebias()
-		d.Mu.Unlock()
-	}
-	pl.ready.Add(1)
-}
-
-// push places x on worker w's deque on behalf of a goroutine that is NOT
-// worker w (recorder identifies it in the trace: -1 for the pre-run seed
-// and mid-run injection). A foreign push is a thief-side access: it locks
-// the deque and Shares it rather than touching the owner bias.
-func (pl *WSPool[T]) push(recorder, w int, x T) {
-	d := pl.dq[w]
-	d.Mu.Lock()
-	d.Share()
-	d.PushTop(x)
 	if pl.tidOf != nil {
-		pl.trace(recorder, rtrace.EvPush, pl.tidOf(x), d.ID, 0)
+		pl.trace(w, rtrace.EvPush, pl.tidOf(x), d.ID, 0)
 	}
-	d.Mu.Unlock()
+	d.PushTop(x)
 	pl.ready.Add(1)
 }
 
-// Pop pops the top of w's own deque — lock-free on the biased fast path,
-// under the deque's lock (rebiasing) once a thief has shared it.
+// inject places x on the shared inbox on behalf of a goroutine that is
+// not a worker (recorder identifies it in the trace: -1 for the pre-run
+// seed and mid-run injection). Injectors collectively own the inbox, so
+// their pushes are serialized by injectMu; the trace is recorded inside
+// the critical section, before the publish.
+func (pl *WSPool[T]) inject(recorder int, x T) {
+	pl.injectMu.Lock()
+	pl.lockOps.Add(1)
+	if pl.tidOf != nil {
+		pl.trace(recorder, rtrace.EvPush, pl.tidOf(x), pl.inbox.ID, 0)
+	}
+	pl.inbox.PushTop(x)
+	pl.injectMu.Unlock()
+	pl.ready.Add(1)
+}
+
+// popInbox lets worker w claim the oldest injected thread, thief-side
+// (PopBottom — many workers race here and the CAS arbitrates). Recorded
+// as a steal from the inbox deque.
+func (pl *WSPool[T]) popInbox(w int) (T, bool) {
+	var zero T
+	if pl.inbox.SizeHint() == 0 {
+		return zero, false
+	}
+	x, ok := pl.inbox.PopBottom()
+	if !ok {
+		return zero, false
+	}
+	if pl.tidOf != nil {
+		pl.trace(w, rtrace.EvSteal, pl.tidOf(x), pl.inbox.ID, -1)
+	}
+	pl.ready.Add(-1)
+	pl.steals.Add(1)
+	return x, true
+}
+
+// Pop pops the top of w's own deque — nonblocking (a single CAS only
+// when racing a thief for the last item).
 func (pl *WSPool[T]) Pop(w int) (T, bool) {
 	d := pl.dq[w]
-	var x T
-	var ok bool
-	if d.OwnerAcquire() {
-		x, ok = d.PopTop()
-		if ok && pl.tidOf != nil {
-			pl.trace(w, rtrace.EvPop, pl.tidOf(x), d.ID, 0)
-		}
-		d.OwnerRelease()
-	} else {
-		d.Mu.Lock()
-		x, ok = d.PopTop()
-		if ok && pl.tidOf != nil {
-			pl.trace(w, rtrace.EvPop, pl.tidOf(x), d.ID, 0)
-		}
-		d.Rebias()
-		d.Mu.Unlock()
-	}
+	x, ok := d.PopTop()
 	if ok {
+		if pl.tidOf != nil {
+			pl.trace(w, rtrace.EvPop, pl.tidOf(x), d.ID, 0)
+		}
 		pl.ready.Add(-1)
 		pl.local.Add(1)
 	}
@@ -137,28 +152,16 @@ func (pl *WSPool[T]) Pop(w int) (T, bool) {
 
 // PopIf pops the top of w's own deque only if it is exactly want,
 // reporting whether it did — the continuation engine's inline-join claim
-// (see core.SharedPool.PopOwnIf). The check and the pop share the deque's
-// linearization point so a racing bottom-steal of a single-item deque
-// cannot double-claim the thread.
+// (see core.SharedPool.PopOwnIf). The contested last-item case delegates
+// to the deque's conflict CAS, so a racing bottom-steal of a single-item
+// deque cannot double-claim the thread.
 func (pl *WSPool[T]) PopIf(w int, want T) bool {
 	d := pl.dq[w]
-	var ok bool
-	if d.OwnerAcquire() {
-		ok = d.PopTopIf(want)
-		if ok && pl.tidOf != nil {
-			pl.trace(w, rtrace.EvPop, pl.tidOf(want), d.ID, 0)
-		}
-		d.OwnerRelease()
-	} else {
-		d.Mu.Lock()
-		ok = d.PopTopIf(want)
-		if ok && pl.tidOf != nil {
-			pl.trace(w, rtrace.EvPop, pl.tidOf(want), d.ID, 0)
-		}
-		d.Rebias()
-		d.Mu.Unlock()
-	}
+	ok := d.PopTopIf(want)
 	if ok {
+		if pl.tidOf != nil {
+			pl.trace(w, rtrace.EvPop, pl.tidOf(want), d.ID, 0)
+		}
 		pl.ready.Add(-1)
 		pl.local.Add(1)
 	}
@@ -166,8 +169,10 @@ func (pl *WSPool[T]) PopIf(w int, want T) bool {
 }
 
 // StealFrom pops the bottom of victim v's deque on behalf of thief w. An
-// empty victim is screened out by SizeHint before the deque lock is
-// touched, so failed attempts stay contention-free.
+// empty victim is screened out by SizeHint before anything else, and the
+// steal itself is the lock-free bottom-word CAS: the victim's owner is
+// never blocked, and a CAS lost to the owner or another thief is just a
+// failed attempt.
 func (pl *WSPool[T]) StealFrom(w, v int) (T, bool) {
 	d := pl.dq[v]
 	var zero T
@@ -176,16 +181,12 @@ func (pl *WSPool[T]) StealFrom(w, v int) (T, bool) {
 		pl.failed.Add(1)
 		return zero, false
 	}
-	d.Mu.Lock()
-	d.Share()
-	pl.lockOps.Add(1)
 	pl.trace(w, rtrace.EvStealAttempt, d.ID, 0, 0)
 	x, ok := d.PopBottom()
-	if ok && pl.tidOf != nil {
-		pl.trace(w, rtrace.EvSteal, pl.tidOf(x), d.ID, -1)
-	}
-	d.Mu.Unlock()
 	if ok {
+		if pl.tidOf != nil {
+			pl.trace(w, rtrace.EvSteal, pl.tidOf(x), d.ID, -1)
+		}
 		pl.ready.Add(-1)
 		pl.steals.Add(1)
 	} else {
@@ -205,12 +206,15 @@ func (pl *WSPool[T]) NoteFailed(w int) {
 func (pl *WSPool[T]) HasWork() bool { return pl.ready.Load() > 0 }
 
 // At returns worker i's deque for serial drivers and invariant checkers;
-// concurrent callers must take its Mu.
+// concurrent callers get only the deque's nonblocking foreign reads.
 func (pl *WSPool[T]) At(i int) *deque.Deque[T] { return pl.dq[i] }
 
-// Stats returns (steals, failed attempts, local dispatches, and
-// victim-deque lock acquisitions by thieves — the pool's only
-// cross-worker serialization, the WS analogue of the R-spine count).
+// Inbox returns the shared injection deque (trace id Workers()).
+func (pl *WSPool[T]) Inbox() *deque.Deque[T] { return pl.inbox }
+
+// Stats returns (steals, failed attempts, local dispatches, and injectMu
+// acquisitions — the pool's only remaining lock, taken exclusively by
+// injectors; the worker hot paths are mutex-free).
 func (pl *WSPool[T]) Stats() (steals, failed, local, lockOps int64) {
 	return pl.steals.Load(), pl.failed.Load(), pl.local.Load(), pl.lockOps.Load()
 }
@@ -262,13 +266,15 @@ func (s *WS[T]) Name() string { return "WS" }
 // Threshold implements Policy: no quota, no dummy transformation.
 func (s *WS[T]) Threshold() int64 { return 0 }
 
-// Seed implements Policy: the root starts in worker 0's deque (recorded
-// as a pre-run push: no worker is running yet).
-func (s *WS[T]) Seed(t T) { s.pool.push(-1, 0, t) }
+// Seed implements Policy: the root starts in the shared inbox (recorded
+// as a pre-run push: no worker is running yet) and is claimed by the
+// first worker to drain it.
+func (s *WS[T]) Seed(t T) { s.pool.inject(-1, t) }
 
 // Inject implements Policy: WS has no global priority order, so injected
-// threads land in worker 0's deque like the seed; thieves spread them.
-func (s *WS[T]) Inject(t T) { s.pool.push(-1, 0, t) }
+// threads queue FIFO in the shared inbox; idle workers drain it in
+// Acquire and thieves spread the resulting work.
+func (s *WS[T]) Inject(t T) { s.pool.inject(-1, t) }
 
 // Fork implements Policy: push the parent, run the child.
 func (s *WS[T]) Fork(w int, parent, child T) T {
@@ -319,11 +325,15 @@ func (s *WS[T]) Terminate(w int, woke T, hasWoke bool) (T, bool) {
 // Dummy implements Policy (unreachable: Threshold is 0).
 func (s *WS[T]) Dummy(w int) {}
 
-// Acquire implements Policy: drain the own deque first (the root seed and
-// lock wake-ups land there), then steal the bottom of a uniformly random
+// Acquire implements Policy: drain the own deque first (lock wake-ups
+// land there), then the shared inbox (the root seed and injected
+// threads, oldest first), then steal the bottom of a uniformly random
 // victim. Drawing yourself is a failed attempt, as in the simulator.
 func (s *WS[T]) Acquire(w int) (T, bool) {
 	if x, ok := s.pool.Pop(w); ok {
+		return x, true
+	}
+	if x, ok := s.pool.popInbox(w); ok {
 		return x, true
 	}
 	v := s.rng(w).Intn(s.pool.Workers())

@@ -200,6 +200,9 @@ func (v *verifier) init() {
 		for i := 0; i < v.meta.Workers; i++ {
 			v.deques[int64(i)] = &vdeque{owner: i}
 		}
+		// The shared inbox: injectors (recorded as w=-1) push seed and
+		// mid-run roots here; any worker may claim its bottom.
+		v.deques[int64(v.meta.Workers)] = &vdeque{owner: -1}
 	}
 }
 
@@ -457,7 +460,7 @@ func (v *verifier) step(e *Event) error {
 			v.ordered = false
 			v.rep.OrderingExact = false
 			v.rep.Notes = append(v.rep.Notes,
-				"multiple jobs under WS: late roots join deque 0 regardless of priority; ordering checks disabled from "+e.String())
+				"multiple jobs under WS: late roots join the shared inbox regardless of priority; ordering checks disabled from "+e.String())
 		}
 		// Mid-run roots are safe under both engines' DFDeques geometry:
 		// a new root is the global 1DF tail, so the woken-thread

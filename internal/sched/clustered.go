@@ -230,7 +230,7 @@ func (s *Clustered) OnDummy(p int) { s.dummy[p] = true }
 func (s *Clustered) CheckInvariants() error {
 	for gi, g := range s.groups {
 		for i := 0; i < g.r.Len(); i++ {
-			items := g.r.Kth(i).UnsafeItems()
+			items := g.r.Kth(i).Items()
 			for j := 1; j < len(items); j++ {
 				if !items[j].HigherPriority(items[j-1]) {
 					return fmt.Errorf("clustered: group %d deque %d unsorted", gi, i)

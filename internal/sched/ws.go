@@ -117,7 +117,7 @@ func (s *WS) OnDummy(p int) {}
 // priority-sorted top-to-bottom (the WS analogue of Lemma 3.1(1–2)).
 func (s *WS) CheckInvariants() error {
 	for i := 0; i < s.pool.Workers(); i++ {
-		items := s.pool.At(i).UnsafeItems()
+		items := s.pool.At(i).Items()
 		for j := 1; j < len(items); j++ {
 			if !items[j].HigherPriority(items[j-1]) {
 				return errDequeOrder

@@ -70,7 +70,7 @@ go test -tags grtnotrace -run='^$' -benchtime="$benchtime" -benchmem \
 	-bench='^BenchmarkGrtTrace$' \
 	. | tee -a "$tmp"
 go test -run='^$' -benchtime="$benchtime" -benchmem \
-	-bench='^(BenchmarkListKth|BenchmarkListInsertDelete|BenchmarkStealPattern)$' \
+	-bench='^(BenchmarkListKth|BenchmarkListInsertDelete|BenchmarkStealPattern|BenchmarkOwnerUnderStealStorm)$' \
 	./internal/deque/ | tee -a "$tmp"
 go test -run='^$' -benchtime="$benchtime" -benchmem \
 	-bench='^BenchmarkStealCycle$' \
