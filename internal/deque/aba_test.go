@@ -9,6 +9,8 @@ package deque
 // exactly the window a preempted thief goroutine occupies.
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -188,6 +190,108 @@ func TestTagWraparound(t *testing.T) {
 	}
 }
 
+// TestPeekTopPopRepushABA pins the ABA-on-top window: the top word has
+// no generation tag, so an owner pop (store top=t-1, scrub slot t-1)
+// followed by a push (rewrite the slot, restore top=t) lets a frozen
+// foreign reader's slot load land on the scrub zero while the "top
+// unchanged" revalidation still passes. The test freezes PeekTop's read
+// phase by hand across that pop/repush, shows the credited value would
+// have been the typed zero (a nil thread on a scheduler's PushWoken
+// path), and checks the real PeekTop — whose zero guard treats such a
+// read as instability — credits only the live item.
+func TestPeekTopPopRepushABA(t *testing.T) {
+	d := NewDeque[int]()
+	d.PushTop(1)
+	d.PushTop(2)
+
+	// Frozen foreign reader: PeekTop's read phase up to the slot load.
+	rt := d.top.Load()
+	if _, bot := unpack(d.bottom.Load()); rt <= int64(bot) {
+		t.Fatal("reader found an empty deque")
+	}
+	ap := d.arr.Load()
+
+	// The owner pops (top=1, slot 1 scrubbed) and pushes again (top=2).
+	if x, ok := d.PopTop(); !ok || x != 2 {
+		t.Fatalf("PopTop = (%d, %v), want (2, true)", x, ok)
+	}
+	x, ok := (*ap)[rt-1].Load().(int) // reader's slot load: the scrub zero
+	d.PushTop(3)
+
+	if !ok {
+		t.Fatal("scrubbed slot lost its type: scrub must store a typed zero")
+	}
+	if x != 0 {
+		t.Fatalf("frozen reader's slot load = %d, want the scrub zero", x)
+	}
+	if got := d.top.Load(); got != rt {
+		t.Fatalf("top = %d, want %d restored by the repush", got, rt)
+	}
+	// The window is real; PeekTop itself must not credit it.
+	if top, ok := d.PeekTop(); !ok || top != 3 {
+		t.Fatalf("PeekTop = (%d, %v), want (3, true)", top, ok)
+	}
+}
+
+// TestPeekTopScrubZeroNotCredited pins the guard itself: with the top
+// slot holding the scrub zero — exactly the view the pop/repush window
+// exposes to a foreign reader — PeekTop must report instability rather
+// than credit the zero. Before the guard this returned (0, true), which
+// on a pointer-typed deque is the nil a scheduler's PushWoken priority
+// comparison would dereference.
+func TestPeekTopScrubZeroNotCredited(t *testing.T) {
+	d := NewDeque[int]()
+	d.PushTop(1)
+	d.PushTop(2)
+	(*d.arr.Load())[1].Store(0) // install the mid-window view under top
+	if x, ok := d.PeekTop(); ok {
+		t.Fatalf("PeekTop = (%d, true) reading the scrub zero, want instability", x)
+	}
+}
+
+// TestPeekTopPopRepushHammer drives the same window with a live race: an
+// owner cycles PopTop/PushTop on a two-item deque (no empty transitions,
+// so the tag never bumps and top oscillates t-1/t) while foreign readers
+// hammer PeekTop. A credited zero is the ABA misfire.
+func TestPeekTopPopRepushHammer(t *testing.T) {
+	d := NewDeque[int]()
+	d.PushTop(1)
+	d.PushTop(2)
+	stop := make(chan struct{})
+	var bad atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if x, ok := d.PeekTop(); ok && x == 0 {
+					bad.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	iters := 100000
+	if testing.Short() {
+		iters = 10000
+	}
+	for i := 0; i < iters && !bad.Load(); i++ {
+		d.PopTop()
+		d.PushTop(2 + i%7)
+	}
+	close(stop)
+	wg.Wait()
+	if bad.Load() {
+		t.Fatal("PeekTop credited the scrub zero: ABA on top")
+	}
+}
+
 // FuzzDequeStaleThief is the lock-free model oracle: a deterministic
 // linearizability check of the deque against a sequential slice model,
 // with stale thieves injected at arbitrary points. Fuzz bytes drive owner
@@ -200,11 +304,11 @@ func TestTagWraparound(t *testing.T) {
 // capture time (same epoch ⇒ nothing moved), and every owner op must
 // agree exactly with the model.
 func FuzzDequeStaleThief(f *testing.F) {
-	f.Add([]byte{0, 0, 2, 0, 1, 3, 0})                        // read, pops, commit
-	f.Add([]byte{0, 0, 0, 2, 4, 0, 0, 3, 1})                  // capture, reset+refill, commit
-	f.Add([]byte{0, 0, 2, 1, 2, 9, 3, 0, 3, 1})               // two thieves race one bottom
-	f.Add([]byte{0, 0, 0, 0, 2, 0, 5, 0, 5, 1, 3, 0})         // popIf around a frozen thief
-	f.Add([]byte{4, 200, 2, 0, 4, 3, 0, 0, 3, 0})             // refill storms
+	f.Add([]byte{0, 0, 2, 0, 1, 3, 0})                // read, pops, commit
+	f.Add([]byte{0, 0, 0, 2, 4, 0, 0, 3, 1})          // capture, reset+refill, commit
+	f.Add([]byte{0, 0, 2, 1, 2, 9, 3, 0, 3, 1})       // two thieves race one bottom
+	f.Add([]byte{0, 0, 0, 0, 2, 0, 5, 0, 5, 1, 3, 0}) // popIf around a frozen thief
+	f.Add([]byte{4, 200, 2, 0, 4, 3, 0, 0, 3, 0})     // refill storms
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d := NewDeque[int]()
 		var model []int

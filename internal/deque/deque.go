@@ -23,7 +23,7 @@ const minCap = 32
 
 // pack combines an ABA generation tag and a bottom index into the single
 // atomic word thieves CAS. unpack splits it again.
-func pack(tag, bot uint32) uint64   { return uint64(tag)<<32 | uint64(bot) }
+func pack(tag, bot uint32) uint64       { return uint64(tag)<<32 | uint64(bot) }
 func unpack(w uint64) (tag, bot uint32) { return uint32(w >> 32), uint32(w) }
 
 // Deque is a lock-free doubly-ended queue in the ABP (Arora–Blumofe–
@@ -111,8 +111,12 @@ func unpack(w uint64) (tag, bot uint32) { return uint32(w >> 32), uint32(w) }
 // with external happens-before, e.g. a pool's spine lock). PopBottom may
 // spuriously fail under contention — callers treat that as a failed
 // steal. T must be a non-interface comparable type (atomic.Value cannot
-// store nil interfaces); every scheduler instantiates deques with
-// pointer element types, which satisfy both trivially.
+// store nil interfaces), and the zero value of T must never be pushed:
+// it is reserved as the scrub sentinel for vacated slots, which foreign
+// PeekTop relies on to reject ABA-on-top reads (top, unlike the bottom
+// word, carries no generation tag). Every scheduler instantiates deques
+// with pointer element types and pushes non-nil pointers, satisfying
+// all three trivially.
 type Deque[T comparable] struct {
 	bottom atomic.Uint64                  // (tag << 32) | bot — the thief word
 	top    atomic.Int64                   // owner-written; live window is [bot, top)
@@ -373,9 +377,15 @@ func (d *Deque[T]) PeekTop() (T, bool) {
 			continue // stale geometry: the owner is mid-claim-all
 		}
 		x, ok := (*ap)[t-1].Load().(T)
-		// Only the owner writes top slots, so an unchanged top certifies
-		// the slot value regardless of concurrent thief progress.
-		if ok && d.top.Load() == t {
+		// Only the owner writes top slots, but top itself carries no
+		// generation tag, so "top unchanged" is not ABA-proof: a pop
+		// (store top=t-1, scrub slot t-1) followed by a push (rewrite
+		// slot, restore top=t) can sandwich this reader's slot load so
+		// it holds the scrub zero yet passes the revalidation. The zero
+		// value of T is reserved as the scrub sentinel (see the type
+		// comment), so a zero read is indistinguishable from that
+		// interference and is treated as instability, never credited.
+		if ok && x != zero && d.top.Load() == t {
 			return x, true
 		}
 	}
